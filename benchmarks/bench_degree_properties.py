@@ -1,0 +1,35 @@
+"""EXP-07 benchmark — degree structure (Lemma 6.1, §5 remark)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.degrees import degree_summary, in_out_degree_split
+from repro.models import SDG, SDGR
+
+N, D = 400, 4
+
+
+def sdg_degrees_kernel(seed: int = 0):
+    net = SDG(n=N, d=D, seed=seed)
+    net.run_rounds(N)
+    return degree_summary(net.snapshot())
+
+
+def sdgr_split_kernel(seed: int = 0):
+    net = SDGR(n=N, d=D, seed=seed)
+    net.run_rounds(N)
+    return in_out_degree_split(net.snapshot())
+
+
+def test_bench_sdg_mean_degree(benchmark):
+    summary = benchmark.pedantic(sdg_degrees_kernel, rounds=3, iterations=1)
+    # Lemma 6.1: expected degree d.
+    assert abs(summary.mean_degree - D) < 0.3 * D
+    # §5: max degree is Θ(log n) — certainly below a large multiple.
+    assert summary.max_degree <= 12 * math.log(N)
+
+
+def test_bench_sdgr_exact_out_requests(benchmark):
+    split = benchmark.pedantic(sdgr_split_kernel, rounds=3, iterations=1)
+    assert sum(out for out, _ in split.values()) == D * N

@@ -1,0 +1,38 @@
+"""EXP-09 benchmark — edge-destination probabilities (Lemmas 3.14 / 4.15)."""
+
+from __future__ import annotations
+
+from repro.analysis.edge_prob import (
+    poisson_slot_destination_frequency,
+    streaming_slot_destination_frequency,
+)
+from repro.models import PDGR
+
+
+def streaming_kernel(seed: int = 0):
+    return streaming_slot_destination_frequency(
+        n=50, owner_rounds=25, target_age=40, trials=20_000, seed=seed
+    )
+
+
+def test_bench_streaming_slot_frequency(benchmark):
+    freq = benchmark.pedantic(streaming_kernel, rounds=3, iterations=1)
+    assert freq.within_bound
+    # Regeneration inflates, but never past the e/(n−1) envelope.
+    assert freq.empirical <= 2.72 / 49
+
+
+def test_bench_poisson_slot_frequency(benchmark):
+    net = PDGR(n=300, d=8, seed=1)
+    snapshot = net.snapshot()
+    buckets = benchmark.pedantic(
+        poisson_slot_destination_frequency,
+        args=(snapshot, 300.0),
+        rounds=3,
+        iterations=1,
+    )
+    populous = [b for b in buckets if b.num_owners >= 20]
+    assert populous
+    assert all(
+        b.per_pair_frequency <= b.bound_at_bucket * 1.5 for b in populous
+    )

@@ -1,0 +1,57 @@
+"""EXP-03 benchmark — expander property with regeneration (Thms 3.15/4.16)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.expansion import (
+    adversarial_expansion_upper_bound,
+    vertex_expansion_exact,
+)
+from repro.models import PDGR, SDGR
+from repro.theory.expansion import EXPANSION_THRESHOLD
+
+
+@pytest.fixture(scope="module")
+def sdgr_snapshot():
+    net = SDGR(n=300, d=14, seed=5)
+    net.run_rounds(300)
+    return net.snapshot()
+
+
+@pytest.fixture(scope="module")
+def pdgr_snapshot():
+    return PDGR(n=300, d=35, seed=6).snapshot()
+
+
+def small_exact_kernel(seed: int = 7):
+    net = SDGR(n=14, d=4, seed=seed)
+    net.run_rounds(28)
+    return vertex_expansion_exact(net.snapshot())
+
+
+def test_bench_sdgr_adversarial_probe(benchmark, sdgr_snapshot):
+    probe = benchmark.pedantic(
+        adversarial_expansion_upper_bound,
+        args=(sdgr_snapshot,),
+        kwargs={"seed": 8},
+        rounds=3,
+        iterations=1,
+    )
+    assert probe.min_ratio > EXPANSION_THRESHOLD
+
+
+def test_bench_pdgr_adversarial_probe(benchmark, pdgr_snapshot):
+    probe = benchmark.pedantic(
+        adversarial_expansion_upper_bound,
+        args=(pdgr_snapshot,),
+        kwargs={"seed": 9},
+        rounds=3,
+        iterations=1,
+    )
+    assert probe.min_ratio > EXPANSION_THRESHOLD
+
+
+def test_bench_exact_expansion_small(benchmark):
+    probe = benchmark.pedantic(small_exact_kernel, rounds=3, iterations=1)
+    assert probe.min_ratio > EXPANSION_THRESHOLD

@@ -1,0 +1,65 @@
+"""EXP-15/EXP-16 benchmarks — the extension experiments.
+
+Bounded-degree regeneration (the §5 open question) and adversarial victim
+selection (the §2 positioning against adversarial-churn protocols).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.components import giant_component_fraction
+from repro.analysis.expansion import adversarial_expansion_upper_bound
+from repro.core.edge_policy import CappedRegenerationPolicy, NoRegenerationPolicy, RegenerationPolicy
+from repro.flooding import flood_discrete
+from repro.models.adversarial import AdversarialStreamingNetwork
+from repro.models.streaming import StreamingNetwork
+
+N, D = 250, 6
+
+
+def capped_regen_kernel(seed: int = 0):
+    net = StreamingNetwork(
+        N, CappedRegenerationPolicy(d=D, max_in_degree=2 * D), seed=seed
+    )
+    net.run_rounds(N)
+    return net
+
+
+def hub_removal_regen_kernel(seed: int = 0):
+    net = AdversarialStreamingNetwork(
+        N, RegenerationPolicy(8), strategy="max_degree", seed=seed
+    )
+    net.run_rounds(N)
+    return net
+
+
+def hub_removal_no_regen_kernel(seed: int = 0):
+    net = AdversarialStreamingNetwork(
+        N, NoRegenerationPolicy(3), strategy="max_degree", seed=seed
+    )
+    net.run_rounds(N)
+    return net
+
+
+def test_bench_capped_regeneration(benchmark):
+    net = benchmark.pedantic(capped_regen_kernel, rounds=2, iterations=1)
+    snap = net.snapshot()
+    # Hard degree bound: cap in-edges + d out-slots.
+    assert max(len(snap.adjacency[u]) for u in snap.nodes) <= 3 * D
+    probe = adversarial_expansion_upper_bound(snap, seed=1)
+    assert probe.min_ratio > 0.1
+    result = flood_discrete(net, max_rounds=40 * int(math.log2(N)))
+    assert result.completed
+
+
+def test_bench_adversarial_hub_removal_with_regen(benchmark):
+    net = benchmark.pedantic(hub_removal_regen_kernel, rounds=2, iterations=1)
+    probe = adversarial_expansion_upper_bound(net.snapshot(), seed=2)
+    assert probe.min_ratio > 0.1  # the expander survives the adversary
+
+
+def test_bench_adversarial_hub_removal_without_regen(benchmark):
+    net = benchmark.pedantic(hub_removal_no_regen_kernel, rounds=2, iterations=1)
+    # The contrast: no regeneration + hub removal shatters the graph.
+    assert giant_component_fraction(net.snapshot()) < 0.8

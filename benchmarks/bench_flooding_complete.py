@@ -1,0 +1,44 @@
+"""EXP-06 benchmark — complete flooding in O(log n) (Thms 3.16 / 4.20)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.flooding import flood_asynchronous, flood_discrete, flood_discretized
+from repro.models import PDGR, SDGR
+
+N = 400
+
+
+def sdgr_complete_kernel(seed: int = 0):
+    net = SDGR(n=N, d=21, seed=seed)
+    net.run_rounds(N)
+    return flood_discrete(net, max_rounds=60 * int(math.log2(N)))
+
+
+def pdgr_discretized_kernel(seed: int = 0):
+    net = PDGR(n=N, d=35, seed=seed)
+    return flood_discretized(net, max_rounds=60 * int(math.log2(N)))
+
+
+def pdgr_async_kernel(seed: int = 0):
+    net = PDGR(n=N, d=35, seed=seed)
+    return flood_asynchronous(net, max_time=60.0 * math.log2(N))
+
+
+def test_bench_sdgr_complete(benchmark):
+    result = benchmark.pedantic(sdgr_complete_kernel, rounds=3, iterations=1)
+    assert result.completed
+    assert result.completion_round <= 6 * math.log2(N)
+
+
+def test_bench_pdgr_discretized_complete(benchmark):
+    result = benchmark.pedantic(pdgr_discretized_kernel, rounds=3, iterations=1)
+    assert result.completed
+    assert result.completion_round <= 6 * math.log2(N)
+
+
+def test_bench_pdgr_asynchronous_complete(benchmark):
+    result = benchmark.pedantic(pdgr_async_kernel, rounds=3, iterations=1)
+    assert result.completed
+    assert result.completion_round <= 8 * math.log2(N)

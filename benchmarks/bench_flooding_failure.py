@@ -1,0 +1,50 @@
+"""EXP-04 benchmark — flooding failure without regeneration (Thms 3.7/4.12)."""
+
+from __future__ import annotations
+
+from repro.flooding import flood_discrete
+from repro.models import SDG
+from repro.theory.flooding import stall_probability_bound
+from repro.util.rng import child_seeds
+
+N, D = 150, 1
+
+
+def one_flood_trial(seed) -> bool:
+    """One SDG flood at d=1; True when it stalls at ≤ d+1 informed."""
+    net = SDG(n=N, d=D, seed=seed)
+    net.run_rounds(N)
+    result = flood_discrete(net, max_rounds=N, stop_when_extinct=False)
+    return result.max_informed <= D + 1
+
+
+def stall_probability_kernel(trials: int = 40, seed: int = 0) -> float:
+    stalls = sum(one_flood_trial(child) for child in child_seeds(seed, trials))
+    return stalls / trials
+
+
+def test_bench_single_flood_trial(benchmark):
+    benchmark.pedantic(one_flood_trial, args=(11,), rounds=5, iterations=1)
+
+
+def test_bench_stall_probability_batch(benchmark):
+    probability = benchmark.pedantic(
+        stall_probability_kernel, rounds=1, iterations=1
+    )
+    # Θ_d(1) stall probability, above the paper's (loose) lower bound.
+    assert probability >= stall_probability_bound(D)
+    assert probability < 0.8  # and far from certain
+
+
+def test_bench_completion_needs_omega_n(benchmark):
+    """Full completion (when it happens) cannot beat Ω(n): isolated nodes
+    must die out first."""
+
+    def completion_kernel(seed: int = 3):
+        net = SDG(n=N, d=2, seed=seed)
+        net.run_rounds(N)
+        return flood_discrete(net, max_rounds=3 * N, stop_when_extinct=False)
+
+    result = benchmark.pedantic(completion_kernel, rounds=3, iterations=1)
+    if result.completed:
+        assert result.completion_round >= 0.3 * N

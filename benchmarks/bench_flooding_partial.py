@@ -1,0 +1,38 @@
+"""EXP-05 benchmark — partial flooding coverage (Thms 3.8 / 4.13)."""
+
+from __future__ import annotations
+
+from repro.flooding import flood_discrete, flood_discretized
+from repro.models import PDG, SDG
+from repro.theory.flooding import (
+    informed_fraction_bound_poisson,
+    informed_fraction_bound_streaming,
+    partial_flooding_rounds,
+)
+
+N, D = 400, 12
+
+
+def sdg_partial_kernel(seed: int = 0) -> float:
+    horizon = partial_flooding_rounds(N, D)
+    net = SDG(n=N, d=D, seed=seed)
+    net.run_rounds(N)
+    result = flood_discrete(net, max_rounds=horizon)
+    return result.fraction_at(horizon)
+
+
+def pdg_partial_kernel(seed: int = 0) -> float:
+    horizon = partial_flooding_rounds(N, D)
+    net = PDG(n=N, d=D, seed=seed)
+    result = flood_discretized(net, max_rounds=horizon)
+    return result.fraction_at(horizon)
+
+
+def test_bench_sdg_partial_flooding(benchmark):
+    fraction = benchmark.pedantic(sdg_partial_kernel, rounds=3, iterations=1)
+    assert fraction >= informed_fraction_bound_streaming(D) - 0.02
+
+
+def test_bench_pdg_partial_flooding(benchmark):
+    fraction = benchmark.pedantic(pdg_partial_kernel, rounds=3, iterations=1)
+    assert fraction >= informed_fraction_bound_poisson(D) - 0.02

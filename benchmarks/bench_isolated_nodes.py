@@ -1,0 +1,36 @@
+"""EXP-01 benchmark — isolated-node census (Lemmas 3.5 / 4.10)."""
+
+from __future__ import annotations
+
+from repro.analysis.isolated import isolated_fraction
+from repro.models import PDG, SDG
+from repro.theory.isolated import (
+    isolated_fraction_lower_bound_poisson,
+    isolated_fraction_lower_bound_streaming,
+    isolated_fraction_prediction_streaming,
+)
+
+N, D = 400, 2
+
+
+def sdg_isolated_kernel(seed: int = 0) -> float:
+    net = SDG(n=N, d=D, seed=seed)
+    net.run_rounds(N)
+    return isolated_fraction(net.snapshot())
+
+
+def pdg_isolated_kernel(seed: int = 0) -> float:
+    net = PDG(n=N, d=D, seed=seed)
+    return isolated_fraction(net.snapshot())
+
+
+def test_bench_sdg_isolated_fraction(benchmark):
+    fraction = benchmark.pedantic(sdg_isolated_kernel, rounds=3, iterations=1)
+    assert fraction >= isolated_fraction_lower_bound_streaming(D)
+    # The measured point sits near the first-order prediction.
+    assert fraction <= 3 * isolated_fraction_prediction_streaming(D)
+
+
+def test_bench_pdg_isolated_fraction(benchmark):
+    fraction = benchmark.pedantic(pdg_isolated_kernel, rounds=3, iterations=1)
+    assert fraction >= isolated_fraction_lower_bound_poisson(D)

@@ -1,0 +1,31 @@
+"""EXP-17 benchmark — generalized lifetimes and lossy flooding."""
+
+from __future__ import annotations
+
+from repro.churn.lifetime import ParetoLifetime, WeibullLifetime
+from repro.flooding import flood_discretized, flood_lossy
+from repro.models.general import GDGR
+
+N, D = 200.0, 6
+
+
+def pareto_build_and_flood_kernel(seed: int = 0):
+    net = GDGR(ParetoLifetime(N, alpha=1.5), d=D, seed=seed, warm_time=6 * N)
+    return flood_discretized(net, max_rounds=100)
+
+
+def weibull_lossy_kernel(seed: int = 0):
+    net = GDGR(WeibullLifetime(N, shape=0.5), d=D, seed=seed, warm_time=6 * N)
+    return flood_lossy(net, loss=0.3, seed=seed, max_rounds=200)
+
+
+def test_bench_pareto_flooding(benchmark):
+    result = benchmark.pedantic(pareto_build_and_flood_kernel, rounds=2, iterations=1)
+    assert result.completed
+    assert result.completion_round <= 12
+
+
+def test_bench_weibull_lossy_flooding(benchmark):
+    result = benchmark.pedantic(weibull_lossy_kernel, rounds=2, iterations=1)
+    assert result.completed
+    assert result.completion_round <= 20

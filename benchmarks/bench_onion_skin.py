@@ -1,0 +1,29 @@
+"""EXP-10 benchmark — onion-skin processes (Claims 3.10/3.11, Lemma 7.8)."""
+
+from __future__ import annotations
+
+from repro.onion import run_poisson_onion_skin, run_streaming_onion_skin
+from repro.theory.onion import onion_growth_factor_streaming
+
+N, D = 2000, 200
+
+
+def streaming_onion_kernel(seed: int = 0):
+    return run_streaming_onion_skin(n=N, d=D, seed=seed)
+
+
+def poisson_onion_kernel(seed: int = 0):
+    return run_poisson_onion_skin(n=N, d=240, seed=seed)
+
+
+def test_bench_streaming_onion(benchmark):
+    result = benchmark.pedantic(streaming_onion_kernel, rounds=3, iterations=1)
+    assert result.reached_target
+    growth = result.layer_growth_factors()
+    # Claim 3.10: pre-saturation growth of at least d/20 per step.
+    assert growth[0] >= onion_growth_factor_streaming(D) / 2
+
+
+def test_bench_poisson_onion(benchmark):
+    result = benchmark.pedantic(poisson_onion_kernel, rounds=3, iterations=1)
+    assert result.reached_target

@@ -1,0 +1,27 @@
+"""EXP-14 benchmark — Bitcoin-like overlay vs PDGR (§1.1 / §5)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.components import component_summary
+from repro.flooding import flood_discretized
+from repro.p2p import BitcoinLikeNetwork
+
+N = 200
+
+
+def overlay_build_kernel(seed: int = 0):
+    return BitcoinLikeNetwork(n=N, seed=seed)
+
+
+def test_bench_overlay_build_and_flood(benchmark):
+    net = benchmark.pedantic(overlay_build_kernel, rounds=2, iterations=1)
+    summary = component_summary(net.snapshot())
+    assert summary.is_connected
+    assert summary.num_isolated == 0
+    result = flood_discretized(net, max_rounds=40 * int(math.log2(N)))
+    assert result.completed
+    assert result.completion_round <= 6 * math.log2(N)
+    # Bitcoin Core's inbound cap is never violated.
+    assert all(len(refs) <= 125 for refs in net.state.in_refs.values())

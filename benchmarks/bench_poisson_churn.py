@@ -1,0 +1,46 @@
+"""EXP-08 benchmark — Poisson churn machinery (Lemmas 4.4, 4.6, 4.7)."""
+
+from __future__ import annotations
+
+from repro.models import PDG
+from repro.theory.churn import jump_probability_bounds, size_concentration_bounds
+
+N = 500
+
+
+def churn_kernel(events: int = 4000, seed: int = 0):
+    """Advance the jump chain and return (births, final size, exposure)."""
+    net = PDG(n=N, d=1, seed=seed)
+    births = 0
+    deaths = 0
+    exposure = 0
+    for _ in range(events):
+        exposure += net.num_alive()
+        record = net.advance_one_event()
+        births += record.is_birth
+        deaths += record.is_death
+    return births, deaths, exposure, net.num_alive()
+
+
+def test_bench_jump_chain(benchmark):
+    births, deaths, exposure, final_size = benchmark.pedantic(
+        churn_kernel, rounds=3, iterations=1
+    )
+    events = births + deaths
+    bounds = jump_probability_bounds()
+    assert bounds.event_low <= births / events <= bounds.event_high
+    assert (
+        bounds.fixed_death_low_factor / N
+        <= deaths / exposure
+        <= bounds.fixed_death_high_factor / N
+    )
+    conc = size_concentration_bounds(N)
+    assert conc.low * 0.95 <= final_size <= conc.high * 1.05
+
+
+def test_bench_warmup_to_stationarity(benchmark):
+    net = benchmark.pedantic(
+        lambda: PDG(n=N, d=1, seed=1), rounds=3, iterations=1
+    )
+    conc = size_concentration_bounds(N)
+    assert conc.low * 0.9 <= net.num_alive() <= conc.high * 1.1

@@ -1,0 +1,35 @@
+"""EXP-13 benchmark — protocol baselines (§2 related work)."""
+
+from __future__ import annotations
+
+from repro.analysis.components import component_summary
+from repro.baselines import CentralCacheNetwork, TokenNetwork
+from repro.flooding import flood_discrete
+
+N, D = 200, 4
+
+
+def central_cache_kernel(seed: int = 0):
+    net = CentralCacheNetwork(n=N, d=D, seed=seed)
+    net.run_rounds(N)
+    return net
+
+
+def token_network_kernel(seed: int = 0):
+    net = TokenNetwork(n=N, d=D, seed=seed)
+    net.run_rounds(N // 2)
+    return net
+
+
+def test_bench_central_cache(benchmark):
+    net = benchmark.pedantic(central_cache_kernel, rounds=3, iterations=1)
+    summary = component_summary(net.snapshot())
+    assert summary.is_connected
+    result = flood_discrete(net, max_rounds=100)
+    assert result.completed
+
+
+def test_bench_token_network(benchmark):
+    net = benchmark.pedantic(token_network_kernel, rounds=2, iterations=1)
+    summary = component_summary(net.snapshot())
+    assert summary.giant_fraction > 0.95

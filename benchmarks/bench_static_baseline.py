@@ -1,0 +1,34 @@
+"""EXP-11 benchmark — static d-out baseline (Lemma B.1)."""
+
+from __future__ import annotations
+
+from repro.analysis.expansion import adversarial_expansion_upper_bound
+from repro.models import SDG, static_d_out_snapshot
+from repro.theory.expansion import EXPANSION_THRESHOLD
+
+N, D = 300, 3
+
+
+def static_expander_kernel(seed: int = 0) -> float:
+    snap = static_d_out_snapshot(N, D, seed=seed)
+    return adversarial_expansion_upper_bound(snap, seed=seed).min_ratio
+
+
+def dynamic_control_kernel(seed: int = 0) -> int:
+    net = SDG(n=N, d=D, seed=seed)
+    net.run_rounds(N)
+    return len(net.snapshot().isolated_nodes())
+
+
+def test_bench_static_d3_expands(benchmark):
+    ratio = benchmark.pedantic(static_expander_kernel, rounds=3, iterations=1)
+    assert ratio > EXPANSION_THRESHOLD
+
+
+def test_bench_dynamic_sdg_contrast(benchmark):
+    """At the same d the dynamic model loses nodes to isolation over
+    multiple seeds (single snapshots at d=3 hold ~2-3% isolated)."""
+    isolated = benchmark.pedantic(dynamic_control_kernel, rounds=3, iterations=1)
+    assert isolated >= 0  # timing kernel; the distributional claim below
+    total = sum(dynamic_control_kernel(seed) for seed in range(5))
+    assert total > 0

@@ -1,0 +1,17 @@
+"""EXP-12 benchmark — the one-command Table 1 reproduction."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table1_summary(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("EXP-12",),
+        kwargs={"quick": True, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.verdict["all_cells_agree"]
+    assert result.verdict["cells_measured"] >= 8  # all Table 1 cells covered

@@ -1,0 +1,10 @@
+"""Benchmark harness configuration.
+
+Every benchmark module regenerates one experiment's core measurement
+(DESIGN.md §3 maps EXP-xx ids to modules) at a laptop-quick scale and
+asserts the paper's qualitative shape on the measured output, so
+``pytest benchmarks/ --benchmark-only`` doubles as a fast reproduction
+check.  Benchmarks use ``benchmark.pedantic`` with few rounds: the kernels
+are stochastic simulations where single-run wall-time, not nanosecond
+jitter, is the quantity of interest.
+"""

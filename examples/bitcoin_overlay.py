@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Bitcoin-like overlay: transaction broadcast under realistic churn.
+
+The paper's §1.1 motivates the PDGR model with the Bitcoin P2P network:
+each full node keeps ~8 outbound connections chosen from an address table
+and re-dials when peers disappear.  This example builds that overlay with
+:class:`repro.p2p.BitcoinLikeNetwork`, broadcasts a "transaction" with the
+paper's discretized flooding, and compares against the idealised PDGR
+model on the same churn parameters.
+
+Run:  python examples/bitcoin_overlay.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import PDGR, flood_discretized
+from repro.analysis.components import component_summary
+from repro.analysis.degrees import degree_summary
+from repro.p2p import BitcoinLikeNetwork
+from repro.util.tables import render_table
+
+
+def describe(name: str, net, n: int) -> dict:
+    snap = net.snapshot()
+    components = component_summary(snap)
+    degrees = degree_summary(snap)
+    flood = flood_discretized(net, max_rounds=40 * int(math.log2(n)))
+    return {
+        "network": name,
+        "alive nodes": snap.num_nodes(),
+        "connected": components.is_connected,
+        "mean degree": round(degrees.mean_degree, 2),
+        "max degree": degrees.max_degree,
+        "tx broadcast rounds": flood.completion_round,
+        "rounds / log2 n": round(
+            (flood.completion_round or float("nan")) / math.log2(n), 2
+        ),
+    }
+
+
+def main() -> None:
+    n, seed = 600, 7
+    rows = []
+
+    overlay = BitcoinLikeNetwork(n=n, seed=seed)
+    rows.append(describe("bitcoin-like overlay", overlay, n))
+    print(
+        f"overlay address churn: {overlay.successful_dials} successful dials, "
+        f"{overlay.failed_dials} failed (stale addresses evicted)"
+    )
+
+    ideal = PDGR(n=n, d=8, seed=seed)
+    rows.append(describe("idealised PDGR (d=8)", ideal, n))
+
+    print(
+        render_table(
+            [
+                "network",
+                "alive nodes",
+                "connected",
+                "mean degree",
+                "max degree",
+                "tx broadcast rounds",
+                "rounds / log2 n",
+            ],
+            rows,
+            title=f"Transaction broadcast at n≈{n} (λ=1, µ=1/n churn)",
+        )
+    )
+    print(
+        "\nBoth stay connected and broadcast in O(log n) rounds: the paper's"
+        "\nPDGR abstraction captures the engineered overlay's behaviour."
+    )
+
+
+if __name__ == "__main__":
+    main()

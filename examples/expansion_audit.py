@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Expansion audit: certify a dynamic network snapshot as an expander.
+
+Shows the expansion toolkit on one SDGR snapshot:
+
+1. exact vertex expansion on a small instance (ground truth);
+2. the adversarial portfolio (singletons, BFS balls, greedy cuts, random
+   sets) on a large instance — a certified upper bound on h_out;
+3. the spectral gap + Cheeger bounds as independent evidence;
+4. the age demographics the PDGR proof (§4.3.1) relies on.
+
+Run:  python examples/expansion_audit.py
+"""
+
+from __future__ import annotations
+
+from repro import SDGR, PDGR, adversarial_expansion_upper_bound, vertex_expansion_exact
+from repro.analysis.ages import age_profile, geometric_decay_rate
+from repro.analysis.kl import nonexpansion_exponent
+from repro.analysis.spectral import cheeger_bounds
+from repro.util.tables import render_kv
+
+
+def main() -> None:
+    # 1. Ground truth at toy scale.
+    small = SDGR(n=14, d=4, seed=0)
+    small.run_rounds(28)
+    exact = vertex_expansion_exact(small.snapshot())
+    print(
+        render_kv(
+            {
+                "h_out (exact)": exact.min_ratio,
+                "worst set size": exact.witness_size,
+                "subsets enumerated": exact.candidates_checked,
+            },
+            title="1. exact expansion, SDGR(n=14, d=4):",
+        )
+    )
+
+    # 2. Adversarial audit at realistic scale.
+    net = SDGR(n=800, d=14, seed=1)
+    net.run_rounds(800)
+    snap = net.snapshot()
+    probe = adversarial_expansion_upper_bound(snap, seed=2, num_random_sets=400)
+    print(
+        render_kv(
+            {
+                "certified upper bound on h_out": probe.min_ratio,
+                "worst candidate size": probe.witness_size,
+                "candidates scored": probe.candidates_checked,
+                "paper threshold (Thm 3.15)": 0.1,
+                "passes": probe.min_ratio > 0.1,
+            },
+            title="\n2. adversarial audit, SDGR(n=800, d=14):",
+        )
+    )
+
+    # 3. Spectral evidence.
+    spectral = cheeger_bounds(snap)
+    print(
+        render_kv(
+            {
+                "lambda2 (normalized Laplacian)": spectral.lambda2,
+                "conductance >= (Cheeger)": spectral.conductance_lower,
+                "conductance <=": spectral.conductance_upper,
+                "vertex expansion >= (rigorous)": spectral.vertex_expansion_lower,
+            },
+            title="\n3. spectral gap:",
+        )
+    )
+
+    # 4. Age demographics (the §4.3.1 machinery on a PDGR snapshot).
+    pnet = PDGR(n=500, d=8, seed=3, warm_time=5000.0)
+    psnap = pnet.snapshot()
+    profile = age_profile(psnap, slice_width=500.0)
+    # The KL machinery of Lemma 4.18 applies to candidate sets of size
+    # k ≤ n/14; evaluate it for a size-25 (= n/20) set whose demographics
+    # mirror the snapshot (scale the profile down to k nodes).
+    k = 25
+    scaled = [round(c * k / profile.total) for c in profile.counts]
+    scaled[0] += k - sum(scaled)  # rounding drift goes to the young slice
+    print(
+        render_kv(
+            {
+                "age profile (slices of n)": str(list(profile.counts[:8])) + "…",
+                "per-slice survival ratio": geometric_decay_rate(profile),
+                "KL non-expansion exponent (k=n/20)": nonexpansion_exponent(
+                    scaled, n=500.0, d=35
+                ),
+            },
+            title="\n4. PDGR age demographics (§4.3.1):",
+        )
+    )
+    print(
+        "\nGeometric slice decay + positive KL exponent are exactly the"
+        "\ningredients Lemma 4.18 turns into the PDGR expansion proof."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Heavy-tailed session lengths: stress-testing the paper's robustness claim.
+
+The paper models node lifetimes as exponential and argues its findings are
+robust to modelling choices; measured P2P session lengths are heavy-tailed.
+This example runs the regeneration dichotomy under exponential, Weibull
+(k = 0.5) and Pareto (α = 1.5) lifetimes at equal mean churn, prints the
+survival curves and flooding trajectories as ASCII charts, and shows the
+dichotomy survives every law.
+
+Run:  python examples/heavy_tailed_churn.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.temporal import node_survival_curve
+from repro.churn.lifetime import (
+    ExponentialLifetime,
+    ParetoLifetime,
+    WeibullLifetime,
+)
+from repro.flooding import flood_discretized
+from repro.models.general import GDG, GDGR
+from repro.util.ascii_plot import sparkline
+from repro.util.tables import render_table
+
+
+def main() -> None:
+    n, d, seed = 300.0, 6, 0
+    laws = [
+        ("exponential (paper)", ExponentialLifetime(n)),
+        ("Weibull k=0.5", WeibullLifetime(n, shape=0.5)),
+        ("Pareto a=1.5", ParetoLifetime(n, alpha=1.5)),
+    ]
+
+    rows = []
+    print("cohort survival over [n/4, n/2, n] rounds (fraction alive):\n")
+    for label, law in laws:
+        survival_net = GDG(law, d=d, seed=seed, warm_time=8 * n)
+        curve = node_survival_curve(
+            survival_net, [int(n / 4), int(n / 2), int(n)]
+        )
+        print(f"  {label:22s} {sparkline(curve)}   {[round(c, 2) for c in curve]}")
+
+        flood_net = GDGR(law, d=d, seed=seed, warm_time=8 * n)
+        result = flood_discretized(flood_net, max_rounds=120)
+        rows.append(
+            {
+                "lifetime law": label,
+                "alive at start": result.network_sizes[0],
+                "flood completed": result.completed,
+                "rounds": result.completion_round,
+                "trajectory": sparkline(result.informed_sizes),
+            }
+        )
+
+    print()
+    print(
+        render_table(
+            ["lifetime law", "alive at start", "flood completed", "rounds", "trajectory"],
+            rows,
+            title=f"Complete flooding with regeneration (d={d}, mean lifetime {n:g})",
+        )
+    )
+    print(
+        "\nHeavy tails change the demographics (Pareto keeps a few ancient"
+        "\nnodes and many infants) but not the paper's dichotomy: with"
+        "\nregeneration, flooding still completes in a handful of rounds."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-use-pep517`` works on machines without the ``wheel``
+package (offline environments).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""Connected-component structure of snapshots.
+
+The models without regeneration are never connected for constant ``d``
+(Lemmas 3.5/4.10 give Ω_d(n) isolated nodes) but keep a *giant component*
+covering a 1 − exp(−Ω(d)) fraction; with regeneration the snapshot is an
+expander, hence connected w.h.p.  These helpers quantify that split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.snapshot import Snapshot
+
+
+@dataclass(frozen=True)
+class ComponentSummary:
+    """Component census of one snapshot."""
+
+    num_nodes: int
+    num_components: int
+    giant_size: int
+    second_size: int
+    num_isolated: int
+
+    @property
+    def giant_fraction(self) -> float:
+        if self.num_nodes == 0:
+            return 0.0
+        return self.giant_size / self.num_nodes
+
+    @property
+    def is_connected(self) -> bool:
+        return self.num_components == 1 and self.num_nodes > 0
+
+
+def component_summary(snapshot: Snapshot) -> ComponentSummary:
+    """Compute the component census of *snapshot*."""
+    components = snapshot.connected_components()
+    sizes = [len(c) for c in components]
+    return ComponentSummary(
+        num_nodes=snapshot.num_nodes(),
+        num_components=len(components),
+        giant_size=sizes[0] if sizes else 0,
+        second_size=sizes[1] if len(sizes) > 1 else 0,
+        num_isolated=sum(1 for s in sizes if s == 1),
+    )
+
+
+def giant_component_fraction(snapshot: Snapshot) -> float:
+    """Fraction of nodes in the largest connected component."""
+    return component_summary(snapshot).giant_fraction

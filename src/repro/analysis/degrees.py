@@ -1,0 +1,85 @@
+"""Degree statistics (Lemma 6.1 and the §5 max-degree remark).
+
+Lemma 6.1: in a streaming snapshot every node has expected degree ``d``
+(hence ``nd/2`` expected edges).  With regeneration the out-degree is
+*exactly* ``d`` whenever the network has ≥ 2 nodes, so the edge count is
+exactly ``nd`` request-edges (≤ nd distinct undirected edges).  Section 5
+remarks that the maximum degree still grows like Θ(log n) — the in-degree
+of a long-lived node behaves like a balls-in-bins maximum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.snapshot import Snapshot
+
+
+@dataclass(frozen=True)
+class DegreeSummary:
+    """Summary of a snapshot's degree distribution."""
+
+    num_nodes: int
+    num_edges: int
+    mean_degree: float
+    max_degree: int
+    min_degree: int
+    std_degree: float
+
+    @property
+    def mean_out_requests(self) -> float:
+        """Average number of assigned out-slots per node (filled separately)."""
+        return self.mean_degree / 2.0
+
+
+def degree_summary(snapshot: Snapshot) -> DegreeSummary:
+    """Compute the degree summary of a snapshot."""
+    degrees = np.array(
+        [len(nbrs) for nbrs in snapshot.adjacency.values()], dtype=float
+    )
+    if degrees.size == 0:
+        return DegreeSummary(0, 0, 0.0, 0, 0, 0.0)
+    return DegreeSummary(
+        num_nodes=snapshot.num_nodes(),
+        num_edges=snapshot.num_edges(),
+        mean_degree=float(degrees.mean()),
+        max_degree=int(degrees.max()),
+        min_degree=int(degrees.min()),
+        std_degree=float(degrees.std(ddof=1)) if degrees.size > 1 else 0.0,
+    )
+
+
+def max_degree(snapshot: Snapshot) -> int:
+    """Maximum undirected degree."""
+    if snapshot.num_nodes() == 0:
+        return 0
+    return max(len(nbrs) for nbrs in snapshot.adjacency.values())
+
+
+def in_out_degree_split(snapshot: Snapshot) -> dict[int, tuple[int, int]]:
+    """Per-node (out_requests, in_requests) from the snapshot's slots.
+
+    ``out_requests`` counts the node's assigned slots; ``in_requests``
+    counts slots of other nodes pointing at it.  Their sum can exceed the
+    undirected degree because parallel requests collapse to one edge.
+    """
+    in_counts: dict[int, int] = {u: 0 for u in snapshot.nodes}
+    out_counts: dict[int, int] = {}
+    for u, slots in snapshot.out_slots.items():
+        assigned = [t for t in slots if t is not None]
+        out_counts[u] = len(assigned)
+        for t in assigned:
+            if t in in_counts:
+                in_counts[t] += 1
+    return {u: (out_counts.get(u, 0), in_counts[u]) for u in snapshot.nodes}
+
+
+def degree_histogram(snapshot: Snapshot) -> dict[int, int]:
+    """Map degree value -> number of nodes with that degree."""
+    hist: dict[int, int] = {}
+    for nbrs in snapshot.adjacency.values():
+        deg = len(nbrs)
+        hist[deg] = hist.get(deg, 0) + 1
+    return dict(sorted(hist.items()))

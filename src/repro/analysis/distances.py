@@ -1,0 +1,94 @@
+"""Distance structure: diameters and typical path lengths.
+
+Flooding time on a (temporarily) static topology is exactly the source's
+eccentricity, so diameters connect the expansion results to the flooding
+results; the central-cache baseline [23] explicitly claims an O(log n)
+diameter, which EXP-13/EXP-16 verify with these helpers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.core.snapshot import Snapshot
+from repro.errors import AnalysisError
+from repro.util.rng import SeedLike, make_rng
+
+
+def bfs_distances(snapshot: Snapshot, source: int) -> dict[int, int]:
+    """Hop distances from *source* to every reachable node."""
+    if source not in snapshot.nodes:
+        raise AnalysisError(f"source {source} not in snapshot")
+    distances = {source: 0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in snapshot.adjacency[u]:
+            if v not in distances:
+                distances[v] = distances[u] + 1
+                queue.append(v)
+    return distances
+
+
+def eccentricity(snapshot: Snapshot, source: int) -> int:
+    """Largest hop distance from *source* within its component."""
+    return max(bfs_distances(snapshot, source).values())
+
+
+def giant_component_diameter(
+    snapshot: Snapshot, exact_limit: int = 600, seed: SeedLike = None
+) -> int:
+    """Diameter of the largest component.
+
+    Exact (all-pairs via per-node BFS) for components up to *exact_limit*
+    nodes; beyond that, a standard double-sweep lower bound refined from
+    32 random restarts (tight in practice on expanders).
+    """
+    components = snapshot.connected_components()
+    if not components:
+        raise AnalysisError("empty snapshot has no diameter")
+    giant = components[0]
+    if len(giant) == 1:
+        return 0
+    if len(giant) <= exact_limit:
+        return max(_component_eccentricity(snapshot, u, giant) for u in giant)
+    rng = make_rng(seed)
+    nodes = sorted(giant)
+    best = 0
+    for _ in range(32):
+        start = nodes[int(rng.integers(0, len(nodes)))]
+        distances = bfs_distances(snapshot, start)
+        far_node, far_distance = max(distances.items(), key=lambda kv: kv[1])
+        best = max(best, far_distance)
+        second = bfs_distances(snapshot, far_node)
+        best = max(best, max(second.values()))
+    return best
+
+
+def average_shortest_path_sample(
+    snapshot: Snapshot, num_sources: int = 16, seed: SeedLike = None
+) -> float:
+    """Mean hop distance over sampled sources (giant component only)."""
+    components = snapshot.connected_components()
+    if not components or len(components[0]) < 2:
+        raise AnalysisError("need a component with at least 2 nodes")
+    giant = sorted(components[0])
+    rng = make_rng(seed)
+    picks = rng.choice(len(giant), size=min(num_sources, len(giant)), replace=False)
+    total = 0.0
+    count = 0
+    for index in picks:
+        distances = bfs_distances(snapshot, giant[int(index)])
+        total += sum(d for d in distances.values() if d > 0)
+        count += len(distances) - 1
+    if count == 0:
+        raise AnalysisError("no pairs sampled")
+    return total / count
+
+
+def _component_eccentricity(
+    snapshot: Snapshot, source: int, component: Iterable[int]
+) -> int:
+    distances = bfs_distances(snapshot, source)
+    return max(distances[v] for v in component)

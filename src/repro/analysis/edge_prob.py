@@ -1,0 +1,178 @@
+"""Empirical edge-destination probabilities (Lemmas 3.14 and 4.15).
+
+With edge regeneration, an old node accumulates extra chances of being
+chosen: every time a request's destination dies the request re-samples, so
+the probability that a *specific older* node ``v`` is the current
+destination of a fixed request of ``u`` grows with ``u``'s age — the
+lemmas bound it by ``(1/(n−1))·(1+1/(n−1))^k`` (streaming, ``u`` of age
+``k+1``) and ``(1/0.8n)·(1+i/1.7n)`` (Poisson, ``u`` born ``i`` rounds
+ago).
+
+Streaming case: :func:`streaming_slot_destination_frequency` runs an
+*exact* standalone simulation of one request under the streaming churn
+(the deterministic age structure makes the full network irrelevant), so
+the empirical frequency can be compared to the bound at high precision.
+
+Poisson case: :func:`poisson_slot_destination_frequency` measures, on a
+live PDGR snapshot, the per-pair frequency that a request of an age-``i``
+node points to an older node, bucketed by the owner's age.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.snapshot import Snapshot
+from repro.errors import ConfigurationError
+from repro.util.rng import SeedLike, make_rng
+
+
+def streaming_bound(n: int, k: int) -> float:
+    """Lemma 3.14's bound for an older target: (1/(n−1))·(1+1/(n−1))^k."""
+    return (1.0 / (n - 1)) * (1.0 + 1.0 / (n - 1)) ** k
+
+
+def poisson_bound(n: float, i: float) -> float:
+    """Lemma 4.15's bound for an older target: (1/0.8n)·(1+i/1.7n)."""
+    return (1.0 / (0.8 * n)) * (1.0 + i / (1.7 * n))
+
+
+@dataclass(frozen=True)
+class SlotFrequency:
+    """Empirical request-destination frequency vs the paper's bound."""
+
+    empirical: float
+    bound: float
+    trials: int
+
+    @property
+    def within_bound(self) -> bool:
+        # Three-sigma slack for the binomial noise of the estimate.
+        sigma = (self.empirical * (1 - self.empirical) / max(self.trials, 1)) ** 0.5
+        return self.empirical <= self.bound + 3 * sigma
+
+
+def streaming_slot_destination_frequency(
+    n: int,
+    owner_rounds: int,
+    target_age: int,
+    trials: int = 50_000,
+    seed: SeedLike = None,
+) -> SlotFrequency:
+    """Exact mini-simulation of one SDGR request over *owner_rounds* rounds.
+
+    The owner ``u`` is born at round 0 into a full streaming network
+    (other nodes have ages 1 … n−1); one request is tracked for
+    *owner_rounds* rounds (so ``u`` has age ``owner_rounds`` at
+    measurement).  The measured event is "the request currently points at
+    the specific node of age *target_age*" where ``target_age >
+    owner_rounds`` selects a node *older* than ``u`` (it must be
+    ``< n`` so the target is still alive).
+
+    Node identities are birth rounds: ``u = 0``; the node of age ``a`` at
+    measurement round ``R`` is ``R − a``.  At round ``r`` the node ``r−n``
+    dies; a dead destination re-samples uniformly among the ``n−2`` alive
+    non-owner nodes (death → regeneration → birth order, see DESIGN.md).
+    """
+    if not 0 < owner_rounds < n:
+        raise ConfigurationError("owner_rounds must be in (0, n)")
+    if not owner_rounds < target_age < n:
+        raise ConfigurationError(
+            "target must be older than the owner and still alive: "
+            f"need owner_rounds < target_age < n, got {target_age}"
+        )
+    rng = make_rng(seed)
+    target_id = owner_rounds - target_age  # v's birth round (negative)
+    hits = 0
+    for _ in range(trials):
+        # Initial choice: uniform among birth rounds −(n−1) … −1.
+        slot = -int(rng.integers(1, n))
+        for r in range(1, owner_rounds + 1):
+            if slot == r - n:  # destination dies this round
+                slot = _sample_streaming_replacement(rng, r, n)
+        if slot == target_id:
+            hits += 1
+    return SlotFrequency(
+        empirical=hits / trials,
+        bound=streaming_bound(n, owner_rounds),
+        trials=trials,
+    )
+
+
+def _sample_streaming_replacement(rng: np.random.Generator, r: int, n: int) -> int:
+    """Uniform alive non-owner id right after the round-*r* death.
+
+    Alive ids are ``r−n+1 … r−1`` (the newborn ``r`` arrives later);
+    the owner is id 0 and is excluded.
+    """
+    low, high = r - n + 1, r - 1
+    while True:
+        candidate = int(rng.integers(low, high + 1))
+        if candidate != 0:
+            return candidate
+
+
+@dataclass(frozen=True)
+class AgeBucketFrequency:
+    """Per-pair request frequency towards older nodes, for one age bucket."""
+
+    age_low: float
+    age_high: float
+    num_owners: int
+    per_pair_frequency: float
+    bound_at_bucket: float
+
+
+def poisson_slot_destination_frequency(
+    snapshot: Snapshot, n: float, num_buckets: int = 6
+) -> list[AgeBucketFrequency]:
+    """Measure per-pair older-target request frequencies on a PDGR snapshot.
+
+    For every node ``u`` (with ``o_u`` strictly older alive nodes), each of
+    its assigned requests points at a *specific* older node with average
+    probability ``(#requests of u towards older nodes) / (d · o_u)``.
+    Owners are bucketed by age; Lemma 4.15's bound is evaluated at each
+    bucket's upper edge with the round-age conversion ``i ≈ 2 · age``
+    (at stationarity the jump chain makes ≈ 2 events per time unit).
+    """
+    ages = snapshot.ages()
+    order = sorted(snapshot.nodes, key=lambda u: ages[u])
+    total = len(order)
+    if total < 4:
+        raise ConfigurationError("snapshot too small to bucket")
+    max_age = ages[order[-1]]
+    edges = np.linspace(0.0, max_age + 1e-9, num_buckets + 1)
+    rank = {u: idx for idx, u in enumerate(order)}  # idx = #younger-or-equal-1
+
+    sums = [0.0] * num_buckets
+    counts = [0] * num_buckets
+    for u in snapshot.nodes:
+        older = total - 1 - rank[u]
+        if older == 0:
+            continue
+        slots = [t for t in snapshot.out_slots[u] if t is not None]
+        if not slots:
+            continue
+        towards_older = sum(1 for t in slots if ages.get(t, -1.0) > ages[u])
+        per_pair = towards_older / (len(slots) * older)
+        bucket = min(int(np.searchsorted(edges, ages[u], side="right")) - 1, num_buckets - 1)
+        sums[bucket] += per_pair
+        counts[bucket] += 1
+
+    out: list[AgeBucketFrequency] = []
+    for b in range(num_buckets):
+        if counts[b] == 0:
+            continue
+        age_high = float(edges[b + 1])
+        out.append(
+            AgeBucketFrequency(
+                age_low=float(edges[b]),
+                age_high=age_high,
+                num_owners=counts[b],
+                per_pair_frequency=sums[b] / counts[b],
+                bound_at_bucket=poisson_bound(n, 2.0 * age_high),
+            )
+        )
+    return out

@@ -1,0 +1,271 @@
+"""Vertex-expansion measurement (Definition 3.1).
+
+Computing ``h_out(G) = min_{0<|S|≤n/2} |∂out(S)|/|S|`` exactly is NP-hard,
+so the module offers three tools:
+
+* :func:`vertex_expansion_exact` — exhaustive enumeration, for ``n ≤ 22``
+  (used in tests and the small-n certification of EXP-03);
+* :func:`adversarial_expansion_upper_bound` — a *certified upper bound* on
+  ``h_out`` from a portfolio of adversarial candidate sets: singletons,
+  BFS balls from every node, greedy boundary-minimising local search, and
+  random sets.  If even this adversarial bound exceeds the paper's 0.1
+  threshold, the graph passes the expander check far more stringently than
+  random probing alone;
+* :func:`large_set_expansion_probe` — the same portfolio restricted to the
+  size window of the large-set lemmas (3.6 and 4.11), including the
+  age-extreme sets (oldest-k, youngest-k) that are the natural worst cases
+  in models without regeneration.
+
+All candidates are genuine subsets, so every reported ratio is an exact
+expansion of a real set: the minimum over candidates is always a valid
+upper bound on ``h_out``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.snapshot import Snapshot
+from repro.errors import AnalysisError
+from repro.util.rng import SeedLike, make_rng
+
+#: Hard cap for exhaustive enumeration (sum of binomials stays ~ 3M).
+EXACT_ENUMERATION_LIMIT = 22
+
+
+@dataclass(frozen=True)
+class ExpansionProbe:
+    """Outcome of an expansion search.
+
+    Attributes:
+        min_ratio: smallest ``|∂out(S)|/|S|`` found (an upper bound on the
+            graph's expansion over the probed size window).
+        witness_size: ``|S|`` of the minimising set.
+        witness: the minimising set itself.
+        candidates_checked: number of candidate sets evaluated.
+    """
+
+    min_ratio: float
+    witness_size: int
+    witness: frozenset[int]
+    candidates_checked: int
+
+
+def expansion_of_set(snapshot: Snapshot, subset: Iterable[int]) -> float:
+    """Exact expansion ``|∂out(S)|/|S|`` of one concrete subset."""
+    return snapshot.expansion_of(subset)
+
+
+def vertex_expansion_exact(snapshot: Snapshot) -> ExpansionProbe:
+    """Exhaustive ``h_out`` for small graphs (``n ≤ 22``)."""
+    n = snapshot.num_nodes()
+    if n < 2:
+        raise AnalysisError("vertex expansion needs at least 2 nodes")
+    if n > EXACT_ENUMERATION_LIMIT:
+        raise AnalysisError(
+            f"exact enumeration limited to n <= {EXACT_ENUMERATION_LIMIT}, got {n}"
+        )
+    nodes = sorted(snapshot.nodes)
+    best_ratio = float("inf")
+    best_set: tuple[int, ...] = ()
+    checked = 0
+    for size in range(1, n // 2 + 1):
+        for subset in combinations(nodes, size):
+            checked += 1
+            ratio = len(snapshot.outer_boundary(subset)) / size
+            if ratio < best_ratio:
+                best_ratio = ratio
+                best_set = subset
+                if best_ratio == 0.0 and size == 1:
+                    # Cannot do worse than an isolated node.
+                    return ExpansionProbe(0.0, 1, frozenset(best_set), checked)
+    return ExpansionProbe(best_ratio, len(best_set), frozenset(best_set), checked)
+
+
+def adversarial_expansion_upper_bound(
+    snapshot: Snapshot,
+    seed: SeedLike = None,
+    num_random_sets: int = 200,
+    greedy_restarts: int = 8,
+    min_size: int = 1,
+    max_size: int | None = None,
+) -> ExpansionProbe:
+    """Adversarial upper bound on ``h_out`` over sizes in [min_size, max_size].
+
+    Candidate portfolio (every candidate within the size window is scored):
+
+    1. all singletons (equivalently the minimum degree) and each node's
+       closed neighbourhood;
+    2. BFS balls around every node, all radii until the ball exceeds the
+       window;
+    3. greedy growth: starting from the lowest-degree seeds, repeatedly
+       absorb the boundary vertex that minimises the resulting boundary —
+       the standard local-search heuristic for sparse cuts;
+    4. uniformly random sets of random sizes in the window.
+    """
+    n = snapshot.num_nodes()
+    if n < 2:
+        raise AnalysisError("vertex expansion needs at least 2 nodes")
+    if max_size is None:
+        max_size = n // 2
+    max_size = min(max_size, n // 2)
+    if min_size > max_size:
+        raise AnalysisError(f"empty size window [{min_size}, {max_size}]")
+    rng = make_rng(seed)
+    nodes = list(snapshot.nodes)
+    tracker = _MinTracker(snapshot, min_size, max_size)
+
+    # 1. singletons and closed neighbourhoods.
+    for u in nodes:
+        tracker.consider({u})
+        tracker.consider({u} | set(snapshot.adjacency[u]))
+
+    # 2. BFS balls from every node.
+    for u in nodes:
+        ball = {u}
+        frontier = {u}
+        while frontier and len(ball) < max_size:
+            next_frontier: set[int] = set()
+            for v in frontier:
+                for w in snapshot.adjacency[v]:
+                    if w not in ball:
+                        next_frontier.add(w)
+            if not next_frontier:
+                break
+            ball |= next_frontier
+            frontier = next_frontier
+            if len(ball) <= max_size:
+                tracker.consider(ball)
+
+    # 3. greedy boundary-minimising growth from low-degree seeds.
+    seeds = sorted(nodes, key=snapshot.degree)[:greedy_restarts]
+    for seed_node in seeds:
+        _greedy_grow(snapshot, seed_node, max_size, tracker)
+
+    # 4. random sets.
+    for _ in range(num_random_sets):
+        size = int(rng.integers(min_size, max_size + 1))
+        chosen = rng.choice(len(nodes), size=size, replace=False)
+        tracker.consider({nodes[i] for i in chosen})
+
+    return tracker.result()
+
+
+def large_set_expansion_probe(
+    snapshot: Snapshot,
+    min_size: int,
+    max_size: int | None = None,
+    seed: SeedLike = None,
+    num_random_sets: int = 200,
+) -> ExpansionProbe:
+    """Adversarial probe restricted to the large-set window of Lemmas 3.6/4.11.
+
+    Adds the age-extreme candidates that stress models without
+    regeneration: the ``k`` oldest nodes tend to have lost their out-edges,
+    the ``k`` youngest have received few in-edges.
+    """
+    n = snapshot.num_nodes()
+    if max_size is None:
+        max_size = n // 2
+    max_size = min(max_size, n // 2)
+    min_size = max(1, min_size)
+    if min_size > max_size:
+        raise AnalysisError(f"empty size window [{min_size}, {max_size}]")
+    rng = make_rng(seed)
+    tracker = _MinTracker(snapshot, min_size, max_size)
+
+    by_age = sorted(snapshot.nodes, key=snapshot.age)
+    sizes = sorted(
+        {min_size, max_size, (min_size + max_size) // 2}
+        | {int(s) for s in np.linspace(min_size, max_size, num=8)}
+    )
+    for size in sizes:
+        tracker.consider(by_age[:size])  # youngest
+        tracker.consider(by_age[-size:])  # oldest
+        lowest_degree = sorted(snapshot.nodes, key=snapshot.degree)[:size]
+        tracker.consider(lowest_degree)
+
+    nodes = list(snapshot.nodes)
+    for _ in range(num_random_sets):
+        size = int(rng.integers(min_size, max_size + 1))
+        chosen = rng.choice(len(nodes), size=size, replace=False)
+        tracker.consider({nodes[i] for i in chosen})
+
+    # Greedy growth through the window as well.
+    seeds = sorted(nodes, key=snapshot.degree)[:4]
+    for seed_node in seeds:
+        _greedy_grow(snapshot, seed_node, max_size, tracker)
+
+    return tracker.result()
+
+
+def _greedy_grow(
+    snapshot: Snapshot, seed_node: int, max_size: int, tracker: "_MinTracker"
+) -> None:
+    """Grow a set by absorbing the boundary node minimising the new boundary.
+
+    Classic sparse-cut local search: at each step, move the boundary vertex
+    whose absorption shrinks (or least grows) the boundary into the set.
+    Scores every intermediate set against the tracker.
+    """
+    current = {seed_node}
+    boundary = set(snapshot.adjacency[seed_node])
+    tracker.consider(current)
+    while len(current) < max_size and boundary:
+        best_vertex = None
+        best_delta = None
+        for v in boundary:
+            # Absorbing v removes it from the boundary and adds its
+            # outside neighbours.
+            new_out = sum(
+                1
+                for w in snapshot.adjacency[v]
+                if w not in current and w not in boundary
+            )
+            delta = new_out - 1
+            if best_delta is None or delta < best_delta:
+                best_delta = delta
+                best_vertex = v
+        assert best_vertex is not None
+        current.add(best_vertex)
+        boundary.discard(best_vertex)
+        for w in snapshot.adjacency[best_vertex]:
+            if w not in current:
+                boundary.add(w)
+        tracker.consider(current)
+
+
+class _MinTracker:
+    """Tracks the minimum-expansion candidate within a size window."""
+
+    def __init__(self, snapshot: Snapshot, min_size: int, max_size: int) -> None:
+        self.snapshot = snapshot
+        self.min_size = min_size
+        self.max_size = max_size
+        self.best_ratio = float("inf")
+        self.best_set: frozenset[int] = frozenset()
+        self.checked = 0
+
+    def consider(self, subset: Iterable[int]) -> None:
+        candidate = set(subset)
+        if not (self.min_size <= len(candidate) <= self.max_size):
+            return
+        self.checked += 1
+        ratio = len(self.snapshot.outer_boundary(candidate)) / len(candidate)
+        if ratio < self.best_ratio:
+            self.best_ratio = ratio
+            self.best_set = frozenset(candidate)
+
+    def result(self) -> ExpansionProbe:
+        if self.checked == 0:
+            raise AnalysisError("no candidate set fell inside the size window")
+        return ExpansionProbe(
+            min_ratio=self.best_ratio,
+            witness_size=len(self.best_set),
+            witness=self.best_set,
+            candidates_checked=self.checked,
+        )

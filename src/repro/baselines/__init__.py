@@ -1,0 +1,20 @@
+"""Simplified protocol baselines from the paper's related work (§2).
+
+The paper positions its *fully random, protocol-free* models against
+distributed algorithms that actively maintain good topologies.  Two
+representative families are implemented (simplified, but with the same
+structural mechanism) so experiments can compare them with SDG/SDGR under
+identical churn:
+
+* :class:`~repro.baselines.central_cache.CentralCacheNetwork` —
+  Pandurangan–Raghavan–Upfal [23]: newcomers connect to nodes drawn from a
+  small centrally maintained cache.
+* :class:`~repro.baselines.random_walk_tokens.TokenNetwork` —
+  Cooper–Dyer–Greenhill [8]: nodes inject ID tokens that random-walk until
+  "mixed"; newcomers connect to the owners of harvested tokens.
+"""
+
+from repro.baselines.central_cache import CentralCacheNetwork
+from repro.baselines.random_walk_tokens import TokenNetwork
+
+__all__ = ["CentralCacheNetwork", "TokenNetwork"]

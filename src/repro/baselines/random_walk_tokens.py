@@ -1,0 +1,150 @@
+"""Simplified random-walk-token protocol (Cooper, Dyer, Greenhill [8]).
+
+Mechanism of the original protocol, kept intact in simplified form:
+
+* every node, at birth, injects ``tokens_per_node`` tokens carrying its id;
+* tokens random-walk over the current topology for ``mixing_steps`` steps,
+  after which they are *mature* (well mixed);
+* a newborn harvests ``d`` mature tokens and connects to their owners
+  (dead owners' tokens are discarded).
+
+Under the streaming churn this maintains a near-random d-out topology —
+the point of [8] — at the cost of the token machinery the paper's models
+avoid.  Tokens walk one step per round; tokens whose carrier dies are
+re-injected at the owner (if alive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.edge_policy import NoRegenerationPolicy
+from repro.errors import ConfigurationError
+from repro.models.base import RoundReport
+from repro.models.streaming import StreamingNetwork
+from repro.util.rng import SeedLike
+
+
+@dataclass
+class _Token:
+    owner: int
+    carrier: int
+    age: int  # walk steps taken
+
+
+class TokenNetwork(StreamingNetwork):
+    """Streaming churn + random-walk-token edge creation.
+
+    Args:
+        n: network size (streaming lifetime).
+        d: tokens harvested (connections made) per newcomer.
+        tokens_per_node: tokens injected by each newborn.
+        mixing_steps: walk length before a token is mature.
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        d: int,
+        tokens_per_node: int | None = None,
+        mixing_steps: int = 10,
+        seed: SeedLike = None,
+    ) -> None:
+        if tokens_per_node is None:
+            tokens_per_node = 2 * d
+        if tokens_per_node < d:
+            raise ConfigurationError("need at least d tokens per node")
+        self.tokens_per_node = tokens_per_node
+        self.mixing_steps = mixing_steps
+        self.tokens: list[_Token] = []
+        super().__init__(n, NoRegenerationPolicy(d), seed=seed, warm=False)
+        self._warm(n)
+
+    def _warm(self, rounds: int) -> None:
+        for _ in range(rounds):
+            self.advance_round()
+
+    def advance_round(self) -> RoundReport:
+        self.round_number += 1
+        start = self.now
+        self.clock.advance_to(float(self.round_number))
+        report = RoundReport(start_time=start, end_time=self.now)
+
+        death_id = self.schedule.death_id(self.round_number)
+        if death_id is not None:
+            report.events.append(
+                self.policy.handle_death(self.state, death_id, self.now, self.rng)
+            )
+            self._handle_token_deaths(death_id)
+
+        self._walk_tokens()
+
+        birth_id = self.state.allocate_id()
+        report.events.append(self._birth_via_tokens(birth_id))
+        self._inject_tokens(birth_id)
+        return report
+
+    # ------------------------------------------------------------------
+    # token machinery
+    # ------------------------------------------------------------------
+
+    def _inject_tokens(self, owner: int) -> None:
+        for _ in range(self.tokens_per_node):
+            self.tokens.append(_Token(owner=owner, carrier=owner, age=0))
+
+    def _handle_token_deaths(self, dead: int) -> None:
+        """Tokens owned by the dead vanish; stranded carriers re-home."""
+        survivors: list[_Token] = []
+        for token in self.tokens:
+            if token.owner == dead:
+                continue
+            if token.carrier == dead:
+                token.carrier = token.owner  # restart from the owner
+                token.age = 0
+            survivors.append(token)
+        self.tokens = survivors
+
+    def _walk_tokens(self) -> None:
+        for token in self.tokens:
+            neighbors = self.state.adj.get(token.carrier)
+            if neighbors:
+                keys = list(neighbors)
+                token.carrier = keys[int(self.rng.integers(0, len(keys)))]
+                token.age += 1
+
+    def _birth_via_tokens(self, node_id: int):
+        from repro.sim.events import EdgeCreated, EventRecord, NodeBorn
+
+        self.state.add_node(node_id, birth_time=self.now, num_slots=self.policy.d)
+        record = EventRecord(time=self.now, kind=NodeBorn(node_id=node_id))
+        mature = [
+            i
+            for i, t in enumerate(self.tokens)
+            if t.age >= self.mixing_steps
+            and self.state.is_alive(t.owner)
+            and t.owner != node_id
+        ]
+        self.rng.shuffle(mature)
+        used: list[int] = []
+        targets: list[int] = []
+        for index in mature:
+            owner = self.tokens[index].owner
+            if owner in targets:
+                continue
+            targets.append(owner)
+            used.append(index)
+            if len(targets) == self.policy.d:
+                break
+        # Fallback: too few mature tokens (early warm-up) → uniform picks,
+        # exactly like the paper's bootstrap assumption.
+        while len(targets) < self.policy.d and self.state.num_alive() > len(targets) + 1:
+            candidate = self.state.alive.sample(self.rng)
+            if candidate != node_id and candidate not in targets:
+                targets.append(candidate)
+        for slot_index, target in enumerate(targets):
+            self.state.assign_slot(node_id, slot_index, target)
+            record.edges_created.append(EdgeCreated(source=node_id, target=target))
+        for index in sorted(used, reverse=True):
+            self.tokens.pop(index)
+        return record

@@ -1,0 +1,25 @@
+"""Node-churn processes: streaming (Def. 3.2), Poisson (Defs. 4.1/4.5),
+adversarial victim strategies, and generalized lifetime distributions."""
+
+from repro.churn.adversarial import STRATEGIES, get_strategy
+from repro.churn.lifetime import (
+    ExponentialLifetime,
+    FixedLifetime,
+    LifetimeDistribution,
+    ParetoLifetime,
+    WeibullLifetime,
+)
+from repro.churn.poisson import PoissonJumpChain
+from repro.churn.streaming import StreamingSchedule
+
+__all__ = [
+    "STRATEGIES",
+    "ExponentialLifetime",
+    "FixedLifetime",
+    "LifetimeDistribution",
+    "ParetoLifetime",
+    "PoissonJumpChain",
+    "StreamingSchedule",
+    "WeibullLifetime",
+    "get_strategy",
+]

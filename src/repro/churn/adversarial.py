@@ -1,0 +1,79 @@
+"""Adversarial victim selection — an extension beyond the paper.
+
+The paper's churn is *oblivious*: the streaming model kills the oldest
+node, the Poisson model a uniformly random one; neither looks at the
+topology.  Related work ([2, 4] in the paper) studies adversaries that
+pick victims after inspecting the graph.  This module provides victim
+strategies so experiments can measure how much of the paper's robustness
+survives a topology-aware adversary with the same churn *rate* (one death
+per round):
+
+* ``oldest`` — the paper's streaming rule (baseline);
+* ``random`` — the paper's Poisson-style rule at streaming cadence;
+* ``max_degree`` — hub removal (targets the best-connected node);
+* ``min_degree`` — fringe removal (targets the worst-connected node).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.graph import DynamicGraphState
+from repro.errors import ConfigurationError
+
+#: A victim strategy maps (state, rng) -> node id to kill.
+VictimStrategy = Callable[[DynamicGraphState, np.random.Generator], int]
+
+
+def oldest_victim(state: DynamicGraphState, rng: np.random.Generator) -> int:
+    """The paper's streaming rule: smallest id = earliest birth."""
+    del rng
+    return min(state.alive_ids())
+
+
+def random_victim(state: DynamicGraphState, rng: np.random.Generator) -> int:
+    """Uniformly random victim (the Poisson model's rule)."""
+    return state.alive.sample(rng)
+
+
+def max_degree_victim(state: DynamicGraphState, rng: np.random.Generator) -> int:
+    """Hub removal: kill a maximum-degree node (ties broken by age)."""
+    del rng
+    return max(state.alive_ids(), key=lambda u: (state.degree(u), -u))
+
+
+def min_degree_victim(state: DynamicGraphState, rng: np.random.Generator) -> int:
+    """Fringe removal: kill a minimum-degree node (ties broken by age)."""
+    del rng
+    return min(state.alive_ids(), key=lambda u: (state.degree(u), u))
+
+
+STRATEGIES: dict[str, VictimStrategy] = {
+    "oldest": oldest_victim,
+    "random": random_victim,
+    "max_degree": max_degree_victim,
+    "min_degree": min_degree_victim,
+}
+
+
+def get_strategy(name: str) -> VictimStrategy:
+    """Look up a named strategy (raises ConfigurationError if unknown)."""
+    try:
+        return STRATEGIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown victim strategy {name!r}; choose from {sorted(STRATEGIES)}"
+        ) from None
+
+
+__all__ = [
+    "STRATEGIES",
+    "VictimStrategy",
+    "get_strategy",
+    "max_degree_victim",
+    "min_degree_victim",
+    "oldest_victim",
+    "random_victim",
+]

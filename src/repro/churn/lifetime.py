@@ -1,0 +1,142 @@
+"""Node-lifetime distributions beyond the exponential.
+
+The paper's Poisson model gives every node an Exp(µ) lifetime and argues
+(§1, §5) that its results should be robust to modelling choices.
+Measurement studies of real P2P session lengths, however, consistently
+find *heavy tails* (many short-lived nodes, a few very long-lived ones).
+These samplers — all normalised to a chosen mean so the churn *rate* is
+held fixed — power the generalized model of :mod:`repro.models.general`
+and EXP-17's robustness test:
+
+* :class:`ExponentialLifetime` — the paper's memoryless baseline;
+* :class:`WeibullLifetime` — shape < 1 gives a heavy (stretched-
+  exponential) tail with many infant deaths;
+* :class:`ParetoLifetime` — power-law tail (Lomax/Pareto-II so lifetimes
+  can be arbitrarily small), the classic P2P session model;
+* :class:`FixedLifetime` — deterministic lifetimes, the continuous-time
+  analogue of the streaming model.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class LifetimeDistribution(ABC):
+    """A positive random lifetime with a known mean."""
+
+    @property
+    @abstractmethod
+    def mean(self) -> float:
+        """Expected lifetime."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one lifetime."""
+
+    def sample_many(self, rng: np.random.Generator, count: int) -> list[float]:
+        return [self.sample(rng) for _ in range(count)]
+
+
+class ExponentialLifetime(LifetimeDistribution):
+    """Exp(1/mean) — the paper's Definition 4.1."""
+
+    def __init__(self, mean: float) -> None:
+        if mean <= 0:
+            raise ConfigurationError(f"mean must be positive, got {mean}")
+        self._mean = float(mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self._mean))
+
+    def __repr__(self) -> str:
+        return f"ExponentialLifetime(mean={self._mean:g})"
+
+
+class WeibullLifetime(LifetimeDistribution):
+    """Weibull with the given *shape*, scaled to the given mean.
+
+    Shape k < 1 is heavy-tailed (decreasing hazard: survivors keep
+    surviving), k = 1 reduces to the exponential, k > 1 is light-tailed
+    (ageing).  The scale is ``mean / Γ(1 + 1/k)``.
+    """
+
+    def __init__(self, mean: float, shape: float) -> None:
+        if mean <= 0 or shape <= 0:
+            raise ConfigurationError("mean and shape must be positive")
+        self._mean = float(mean)
+        self.shape = float(shape)
+        self.scale = self._mean / math.gamma(1.0 + 1.0 / self.shape)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self.scale * rng.weibull(self.shape))
+
+    def __repr__(self) -> str:
+        return f"WeibullLifetime(mean={self._mean:g}, shape={self.shape:g})"
+
+
+class ParetoLifetime(LifetimeDistribution):
+    """Lomax (Pareto type II) with tail index *alpha*, scaled to the mean.
+
+    Density ∝ (1 + x/λ)^{−α−1} on x ≥ 0; mean = λ/(α−1) requires α > 1.
+    Small α (close to 1) gives an extremely heavy tail: a few nodes live
+    for enormous times while the median lifetime is far below the mean.
+    """
+
+    def __init__(self, mean: float, alpha: float) -> None:
+        if mean <= 0:
+            raise ConfigurationError(f"mean must be positive, got {mean}")
+        if alpha <= 1.0:
+            raise ConfigurationError("alpha must exceed 1 for a finite mean")
+        self._mean = float(mean)
+        self.alpha = float(alpha)
+        self.lam = self._mean * (self.alpha - 1.0)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def sample(self, rng: np.random.Generator) -> float:
+        # Inverse CDF: X = λ ((1-U)^{-1/α} − 1).
+        u = float(rng.random())
+        return self.lam * ((1.0 - u) ** (-1.0 / self.alpha) - 1.0)
+
+    def median(self) -> float:
+        """Closed-form median (far below the mean for small alpha)."""
+        return self.lam * (2.0 ** (1.0 / self.alpha) - 1.0)
+
+    def __repr__(self) -> str:
+        return f"ParetoLifetime(mean={self._mean:g}, alpha={self.alpha:g})"
+
+
+class FixedLifetime(LifetimeDistribution):
+    """Deterministic lifetime — the streaming model's continuous cousin."""
+
+    def __init__(self, mean: float) -> None:
+        if mean <= 0:
+            raise ConfigurationError(f"mean must be positive, got {mean}")
+        self._mean = float(mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def sample(self, rng: np.random.Generator) -> float:
+        del rng
+        return self._mean
+
+    def __repr__(self) -> str:
+        return f"FixedLifetime(mean={self._mean:g})"

@@ -1,0 +1,89 @@
+"""Poisson node churn (Definitions 4.1 and 4.5).
+
+Births follow a Poisson process of rate ``λ``; each node's lifetime is an
+independent Exp(``µ``).  Rather than keeping one timer per node, we simulate
+the equivalent *jump chain* of Lemma 4.6: with ``N`` alive nodes,
+
+* the waiting time to the next event is Exp(``λ + Nµ``);
+* the event is a birth with probability ``λ / (λ + Nµ)``;
+* otherwise it is the death of a uniformly random alive node
+  (each fixed node dies with probability ``µ / (λ + Nµ)``).
+
+With ``λ = 1`` and ``µ = 1/n`` (the paper's convention) the stationary
+expected size is ``n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class JumpEvent:
+    """One transition of the churn jump chain."""
+
+    dt: float
+    is_birth: bool
+
+
+class PoissonJumpChain:
+    """The birth/death jump chain of the Poisson churn."""
+
+    def __init__(self, lam: float = 1.0, mu: float | None = None, n: float | None = None):
+        """Create the chain with rates ``λ = lam`` and ``µ = mu``.
+
+        Exactly one of *mu* and *n* must be given; ``n`` is the paper's
+        shorthand for ``λ/µ`` (the expected stationary network size), so
+        passing ``n`` sets ``µ = λ/n``.
+        """
+        if (mu is None) == (n is None):
+            raise ConfigurationError("specify exactly one of mu= or n=")
+        if n is not None:
+            if n <= 0:
+                raise ConfigurationError(f"n must be positive, got {n}")
+            mu = lam / n
+        assert mu is not None
+        if lam <= 0 or mu <= 0:
+            raise ConfigurationError(f"rates must be positive: lam={lam}, mu={mu}")
+        self.lam = float(lam)
+        self.mu = float(mu)
+
+    @property
+    def expected_size(self) -> float:
+        """The stationary expected network size ``λ/µ`` (the paper's n)."""
+        return self.lam / self.mu
+
+    def total_rate(self, num_alive: int) -> float:
+        """Total event rate with *num_alive* nodes in the network."""
+        return self.lam + num_alive * self.mu
+
+    def birth_probability(self, num_alive: int) -> float:
+        """P(next event is a birth | N alive) — Lemma 4.6."""
+        return self.lam / self.total_rate(num_alive)
+
+    def death_probability(self, num_alive: int) -> float:
+        """P(next event is a death | N alive) — Lemma 4.6."""
+        return (num_alive * self.mu) / self.total_rate(num_alive)
+
+    def fixed_node_death_probability(self, num_alive: int) -> float:
+        """P(next event is the death of one fixed node | N alive) — Lemma 4.6."""
+        if num_alive == 0:
+            return 0.0
+        return self.mu / self.total_rate(num_alive)
+
+    def next_event(self, num_alive: int, rng: np.random.Generator) -> JumpEvent:
+        """Sample the next jump given *num_alive* nodes."""
+        if num_alive < 0:
+            raise ValueError(f"num_alive must be >= 0, got {num_alive}")
+        rate = self.total_rate(num_alive)
+        dt = float(rng.exponential(1.0 / rate))
+        is_birth = bool(rng.random() < self.lam / rate)
+        return JumpEvent(dt=dt, is_birth=is_birth)
+
+    def sample_lifetime(self, rng: np.random.Generator) -> float:
+        """Sample one node lifetime Exp(µ) (used by tests and baselines)."""
+        return float(rng.exponential(1.0 / self.mu))

@@ -1,0 +1,69 @@
+"""Streaming node churn (Definition 3.2).
+
+The streaming model is deterministic: at each round ``t ≥ 1`` exactly one
+node is born, and every node lives exactly ``n`` rounds, so for ``t > n``
+the node born at round ``t − n`` dies at round ``t``.  After the first ``n``
+rounds the network always has exactly ``n`` nodes, one of each age
+``0 .. n−1`` (measuring age in completed rounds since birth).
+
+This module only encodes the schedule; the topology consequences live in
+:class:`repro.models.streaming.StreamingNetwork`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class StreamingSchedule:
+    """The deterministic birth/death calendar of the streaming churn.
+
+    Node ids equal birth order: the node born at round ``t`` has id
+    ``t − 1`` (ids are 0-based, rounds are 1-based as in the paper).
+    """
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigurationError(f"network size n must be >= 1, got {self.n}")
+
+    def birth_id(self, round_number: int) -> int:
+        """Id of the node born at *round_number* (1-based round)."""
+        if round_number < 1:
+            raise ValueError(f"rounds are 1-based, got {round_number}")
+        return round_number - 1
+
+    def death_id(self, round_number: int) -> int | None:
+        """Id of the node dying at *round_number*, or None during warm-up.
+
+        The node born at round ``t`` lives through rounds ``t .. t+n−1``
+        and dies at round ``t + n``; equivalently, at round ``r > n`` the
+        node with id ``r − n − 1`` dies.
+        """
+        if round_number <= self.n:
+            return None
+        return round_number - self.n - 1
+
+    def birth_round(self, node_id: int) -> int:
+        """Round at which node *node_id* was born."""
+        return node_id + 1
+
+    def death_round(self, node_id: int) -> int:
+        """Round at which node *node_id* dies (first round it is absent)."""
+        return node_id + 1 + self.n
+
+    def age_at(self, node_id: int, round_number: int) -> int:
+        """Age (completed rounds since birth) of *node_id* at *round_number*."""
+        return round_number - self.birth_round(node_id)
+
+    def alive_at(self, node_id: int, round_number: int) -> bool:
+        """Whether *node_id* is alive during *round_number*."""
+        return self.birth_round(node_id) <= round_number < self.death_round(node_id)
+
+    def expected_size(self, round_number: int) -> int:
+        """Network size after the round-*round_number* churn is applied."""
+        return min(round_number, self.n)

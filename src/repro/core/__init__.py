@@ -1,0 +1,21 @@
+"""Dynamic-graph core: node registry, slot-based topology, snapshots, policies."""
+
+from repro.core.edge_policy import (
+    CappedRegenerationPolicy,
+    EdgePolicy,
+    NoRegenerationPolicy,
+    RegenerationPolicy,
+)
+from repro.core.graph import DynamicGraphState
+from repro.core.node import NodeRecord
+from repro.core.snapshot import Snapshot
+
+__all__ = [
+    "CappedRegenerationPolicy",
+    "DynamicGraphState",
+    "EdgePolicy",
+    "NodeRecord",
+    "NoRegenerationPolicy",
+    "RegenerationPolicy",
+    "Snapshot",
+]

@@ -1,0 +1,185 @@
+"""Edge-creation and edge-repair policies (the paper's topology dynamics).
+
+Two policies implement the paper's two topology dynamics:
+
+* :class:`NoRegenerationPolicy` — Definitions 3.4 (SDG) and 4.9 (PDG):
+  edges are created only at birth; a request whose destination dies is
+  lost forever (the slot stays ``None``).
+* :class:`RegenerationPolicy` — Definitions 3.13 (SDGR) and 4.14 (PDGR):
+  whenever a request's destination dies, the owner immediately re-samples
+  a fresh uniformly random destination, keeping its out-degree at ``d``
+  whenever the network has at least one other node.
+
+:class:`CappedRegenerationPolicy` is an *extension* beyond the paper (see
+DESIGN.md §5): it bounds the in-degree of every node, probing the §5 open
+question about bounded-degree dynamics (Bitcoin Core's 125-peer cap).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.graph import DynamicGraphState
+from repro.errors import ConfigurationError
+from repro.sim.events import (
+    EdgeCreated,
+    EdgeDestroyed,
+    EventRecord,
+    NodeBorn,
+    NodeDied,
+)
+
+
+class EdgePolicy(ABC):
+    """Decides how edge requests are created at birth and repaired at death."""
+
+    def __init__(self, d: int) -> None:
+        if d < 1:
+            raise ConfigurationError(f"out-degree d must be >= 1, got {d}")
+        self.d = d
+
+    def handle_birth(
+        self,
+        state: DynamicGraphState,
+        node_id: int,
+        time: float,
+        rng: np.random.Generator,
+    ) -> EventRecord:
+        """Register the newborn and issue its ``d`` initial requests."""
+        state.add_node(node_id, birth_time=time, num_slots=self.d)
+        record = EventRecord(time=time, kind=NodeBorn(node_id=node_id))
+        targets = state.sample_targets(rng, self.d, exclude=node_id)
+        for slot_index, target in enumerate(targets):
+            state.assign_slot(node_id, slot_index, target)
+            record.edges_created.append(EdgeCreated(source=node_id, target=target))
+        return record
+
+    def handle_death(
+        self,
+        state: DynamicGraphState,
+        node_id: int,
+        time: float,
+        rng: np.random.Generator,
+    ) -> EventRecord:
+        """Remove the dying node and repair orphaned requests per policy."""
+        record = EventRecord(time=time, kind=NodeDied(node_id=node_id))
+        # Destroyed edges: everything incident to the dying node.
+        for neighbor in list(state.neighbors(node_id)):
+            record.edges_destroyed.append(
+                EdgeDestroyed(source=node_id, target=neighbor)
+            )
+        orphaned = state.remove_node(node_id, death_time=time)
+        self.repair_orphans(state, orphaned, time, rng, record)
+        return record
+
+    @abstractmethod
+    def repair_orphans(
+        self,
+        state: DynamicGraphState,
+        orphaned: list[tuple[int, int]],
+        time: float,
+        rng: np.random.Generator,
+        record: EventRecord,
+    ) -> None:
+        """Handle slots whose destination just died."""
+
+
+class NoRegenerationPolicy(EdgePolicy):
+    """Lost requests stay lost (SDG / PDG)."""
+
+    def repair_orphans(
+        self,
+        state: DynamicGraphState,
+        orphaned: list[tuple[int, int]],
+        time: float,
+        rng: np.random.Generator,
+        record: EventRecord,
+    ) -> None:
+        # Slots were already cleared by remove_node; nothing to do.
+        del state, orphaned, time, rng, record
+
+
+class RegenerationPolicy(EdgePolicy):
+    """Each orphaned request immediately re-samples a fresh uniform target
+    (SDGR / PDGR)."""
+
+    def repair_orphans(
+        self,
+        state: DynamicGraphState,
+        orphaned: list[tuple[int, int]],
+        time: float,
+        rng: np.random.Generator,
+        record: EventRecord,
+    ) -> None:
+        for source, slot_index in orphaned:
+            targets = state.sample_targets(rng, 1, exclude=source)
+            if not targets:
+                continue  # the source is the only node left
+            state.assign_slot(source, slot_index, targets[0])
+            record.edges_created.append(
+                EdgeCreated(source=source, target=targets[0])
+            )
+
+
+class CappedRegenerationPolicy(EdgePolicy):
+    """Regeneration with a maximum in-degree (extension beyond the paper).
+
+    A request (at birth or regeneration) is retried up to *max_attempts*
+    times until it finds a target whose current in-slot count is below
+    ``max_in_degree``; if every attempt fails the slot is left empty for
+    now (it will be repaired at the next incident death).  With
+    ``max_in_degree=inf`` this reduces to :class:`RegenerationPolicy`.
+    """
+
+    def __init__(self, d: int, max_in_degree: int, max_attempts: int = 16) -> None:
+        super().__init__(d)
+        if max_in_degree < 1:
+            raise ConfigurationError("max_in_degree must be >= 1")
+        self.max_in_degree = max_in_degree
+        self.max_attempts = max_attempts
+
+    def _pick_capped_target(
+        self, state: DynamicGraphState, source: int, rng: np.random.Generator
+    ) -> int | None:
+        for _ in range(self.max_attempts):
+            targets = state.sample_targets(rng, 1, exclude=source)
+            if not targets:
+                return None
+            target = targets[0]
+            if len(state.in_refs[target]) < self.max_in_degree:
+                return target
+        return None
+
+    def handle_birth(
+        self,
+        state: DynamicGraphState,
+        node_id: int,
+        time: float,
+        rng: np.random.Generator,
+    ) -> EventRecord:
+        state.add_node(node_id, birth_time=time, num_slots=self.d)
+        record = EventRecord(time=time, kind=NodeBorn(node_id=node_id))
+        for slot_index in range(self.d):
+            target = self._pick_capped_target(state, node_id, rng)
+            if target is None:
+                continue
+            state.assign_slot(node_id, slot_index, target)
+            record.edges_created.append(EdgeCreated(source=node_id, target=target))
+        return record
+
+    def repair_orphans(
+        self,
+        state: DynamicGraphState,
+        orphaned: list[tuple[int, int]],
+        time: float,
+        rng: np.random.Generator,
+        record: EventRecord,
+    ) -> None:
+        for source, slot_index in orphaned:
+            target = self._pick_capped_target(state, source, rng)
+            if target is None:
+                continue
+            state.assign_slot(source, slot_index, target)
+            record.edges_created.append(EdgeCreated(source=source, target=target))

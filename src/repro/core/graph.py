@@ -1,0 +1,252 @@
+"""Mutable dynamic-graph state shared by all four models.
+
+The state tracks, incrementally and in O(1) amortised per operation:
+
+* the set of alive nodes (with O(1) uniform sampling, via
+  :class:`~repro.util.sampling.IndexedSet`);
+* per-node out-request slots (see :mod:`repro.core.node`);
+* the reverse index ``in_refs`` mapping a node to the set of
+  ``(source, slot_index)`` pairs currently pointing at it — this is what
+  makes deaths O(degree): a dying node knows exactly which slots it orphans;
+* the undirected adjacency with multiplicities, because two slots may
+  connect the same pair (the d choices are independent, with replacement)
+  and an undirected edge disappears only when its last supporting slot does.
+
+The state is policy-agnostic: birth/death/regeneration *decisions* live in
+:mod:`repro.core.edge_policy`; this module only applies topology deltas and
+maintains invariants (checkable via :meth:`DynamicGraphState.check_invariants`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.node import NodeRecord
+from repro.core.snapshot import Snapshot
+from repro.errors import SimulationError
+from repro.util.sampling import IndexedSet
+
+
+class DynamicGraphState:
+    """Nodes + slot-based topology of a dynamic network at one instant."""
+
+    def __init__(self) -> None:
+        self.records: dict[int, NodeRecord] = {}
+        self.alive = IndexedSet()
+        self.in_refs: dict[int, set[tuple[int, int]]] = {}
+        self.adj: dict[int, dict[int, int]] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+
+    def num_alive(self) -> int:
+        return len(self.alive)
+
+    def alive_ids(self) -> list[int]:
+        """Snapshot list of alive node ids (internal order)."""
+        return self.alive.as_list()
+
+    def is_alive(self, node_id: int) -> bool:
+        return node_id in self.alive
+
+    def neighbors(self, node_id: int) -> Iterable[int]:
+        """Current undirected neighbours of *node_id*."""
+        return self.adj.get(node_id, {}).keys()
+
+    def degree(self, node_id: int) -> int:
+        """Undirected degree (number of distinct neighbours)."""
+        return len(self.adj.get(node_id, {}))
+
+    def num_edges(self) -> int:
+        """Number of distinct undirected edges."""
+        return sum(len(nbrs) for nbrs in self.adj.values()) // 2
+
+    def record(self, node_id: int) -> NodeRecord:
+        return self.records[node_id]
+
+    # ------------------------------------------------------------------
+    # topology mutation (used by edge policies and network drivers)
+    # ------------------------------------------------------------------
+
+    def allocate_id(self) -> int:
+        """Reserve the next node id (birth order)."""
+        node_id = self._next_id
+        self._next_id += 1
+        return node_id
+
+    def add_node(self, node_id: int, birth_time: float, num_slots: int) -> NodeRecord:
+        """Register a newborn with *num_slots* empty out-slots."""
+        if node_id in self.records:
+            raise SimulationError(f"node id {node_id} already exists")
+        record = NodeRecord(
+            node_id=node_id,
+            birth_time=birth_time,
+            out_slots=[None] * num_slots,
+        )
+        self.records[node_id] = record
+        self.alive.add(node_id)
+        self.in_refs[node_id] = set()
+        self.adj[node_id] = {}
+        return record
+
+    def assign_slot(self, source: int, slot_index: int, target: int) -> None:
+        """Point ``source``'s slot *slot_index* at *target* (must be empty)."""
+        record = self.records[source]
+        if record.out_slots[slot_index] is not None:
+            raise SimulationError(
+                f"slot {slot_index} of node {source} is already assigned"
+            )
+        if target == source:
+            raise SimulationError(f"self-loop requested by node {source}")
+        if target not in self.alive:
+            raise SimulationError(f"slot target {target} is not alive")
+        record.out_slots[slot_index] = target
+        self.in_refs[target].add((source, slot_index))
+        self._adj_increment(source, target)
+
+    def clear_slot(self, source: int, slot_index: int) -> int | None:
+        """Empty ``source``'s slot *slot_index*; returns the old target."""
+        record = self.records[source]
+        target = record.out_slots[slot_index]
+        if target is None:
+            return None
+        record.out_slots[slot_index] = None
+        refs = self.in_refs.get(target)
+        if refs is not None:
+            refs.discard((source, slot_index))
+        self._adj_decrement(source, target)
+        return target
+
+    def remove_node(self, node_id: int, death_time: float) -> list[tuple[int, int]]:
+        """Kill *node_id*: drop all incident edges.
+
+        Returns the list of *orphaned slots* — ``(source, slot_index)``
+        pairs of other alive nodes whose request pointed at the dead node.
+        The caller's edge policy decides what happens to them (clear vs
+        regenerate).  The dead node's own out-slots are cleared here.
+        """
+        if node_id not in self.alive:
+            raise SimulationError(f"cannot remove node {node_id}: not alive")
+        record = self.records[node_id]
+        record.death_time = death_time
+        self.alive.discard(node_id)
+
+        # Drop the dying node's own requests.
+        for slot_index, target in enumerate(record.out_slots):
+            if target is not None:
+                record.out_slots[slot_index] = None
+                refs = self.in_refs.get(target)
+                if refs is not None:
+                    refs.discard((node_id, slot_index))
+                self._adj_decrement(node_id, target)
+
+        # Orphan the requests of others pointing here; clear them from the
+        # topology — the policy may immediately re-assign them.
+        orphaned = sorted(self.in_refs.pop(node_id, set()))
+        for source, slot_index in orphaned:
+            self.records[source].out_slots[slot_index] = None
+            self._adj_decrement(source, node_id)
+
+        leftovers = self.adj.pop(node_id, {})
+        if leftovers:
+            raise SimulationError(
+                f"node {node_id} died with dangling adjacency: {leftovers}"
+            )
+        return orphaned
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+
+    def sample_targets(
+        self, rng: np.random.Generator, k: int, exclude: int
+    ) -> list[int]:
+        """Sample *k* destinations uniformly (with replacement), never *exclude*.
+
+        Mirrors the paper's edge-creation rule: each of the ``d`` requests
+        independently picks a uniformly random node of the current network.
+        Returns fewer than *k* ids (possibly none) when no candidate exists.
+        """
+        return self.alive.sample_many(rng, k, exclude=exclude)
+
+    # ------------------------------------------------------------------
+    # snapshot / verification
+    # ------------------------------------------------------------------
+
+    def snapshot(self, time: float) -> Snapshot:
+        """Freeze the current topology into an immutable :class:`Snapshot`."""
+        nodes = self.alive.as_list()
+        adjacency = {u: frozenset(self.adj[u].keys()) for u in nodes}
+        birth_times = {u: self.records[u].birth_time for u in nodes}
+        out_slots = {u: tuple(self.records[u].out_slots) for u in nodes}
+        return Snapshot(
+            time=time,
+            nodes=frozenset(nodes),
+            adjacency=adjacency,
+            birth_times=birth_times,
+            out_slots=out_slots,
+        )
+
+    def check_invariants(self) -> None:
+        """Raise :class:`SimulationError` if internal indices disagree.
+
+        Checked invariants:
+          * adjacency is symmetric with matching multiplicities;
+          * every assigned slot points at an alive node and is registered
+            in the target's ``in_refs``;
+          * every ``in_refs`` entry corresponds to a real slot assignment;
+          * adjacency multiplicity equals the number of supporting slots.
+        """
+        multiplicity: dict[tuple[int, int], int] = {}
+        for node_id in self.alive:
+            record = self.records[node_id]
+            for slot_index, target in enumerate(record.out_slots):
+                if target is None:
+                    continue
+                if target not in self.alive:
+                    raise SimulationError(
+                        f"slot ({node_id},{slot_index}) points at dead node {target}"
+                    )
+                if (node_id, slot_index) not in self.in_refs[target]:
+                    raise SimulationError(
+                        f"slot ({node_id},{slot_index})->{target} missing from in_refs"
+                    )
+                key = (min(node_id, target), max(node_id, target))
+                multiplicity[key] = multiplicity.get(key, 0) + 1
+        for target, refs in self.in_refs.items():
+            for source, slot_index in refs:
+                if self.records[source].out_slots[slot_index] != target:
+                    raise SimulationError(
+                        f"stale in_ref ({source},{slot_index}) -> {target}"
+                    )
+        seen: dict[tuple[int, int], int] = {}
+        for u, nbrs in self.adj.items():
+            for v, count in nbrs.items():
+                if self.adj.get(v, {}).get(u) != count:
+                    raise SimulationError(f"asymmetric adjacency {u}-{v}")
+                seen[(min(u, v), max(u, v))] = count
+        if seen != multiplicity:
+            raise SimulationError(
+                "adjacency multiplicities disagree with slot assignments"
+            )
+
+    # ------------------------------------------------------------------
+    # internal adjacency maintenance
+    # ------------------------------------------------------------------
+
+    def _adj_increment(self, u: int, v: int) -> None:
+        self.adj[u][v] = self.adj[u].get(v, 0) + 1
+        self.adj[v][u] = self.adj[v].get(u, 0) + 1
+
+    def _adj_decrement(self, u: int, v: int) -> None:
+        for a, b in ((u, v), (v, u)):
+            row = self.adj.get(a)
+            if row is None or b not in row:
+                raise SimulationError(f"decrementing missing edge {a}-{b}")
+            row[b] -= 1
+            if row[b] == 0:
+                del row[b]

@@ -1,0 +1,44 @@
+"""Per-node bookkeeping.
+
+Every node carries exactly ``d`` *out-request slots* — the "d independent
+connections" of Definitions 3.4/3.13/4.9/4.14.  A slot stores the id of its
+current destination, or ``None`` when the destination has died and the model
+does not regenerate edges.  Distinguishing out-slots from the undirected
+adjacency is essential: the regeneration rule and the edge-probability
+lemmas (3.14, 4.15) are statements about slots, not undirected edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class NodeRecord:
+    """State of a single (alive or dead) node.
+
+    Attributes:
+        node_id: unique, monotonically increasing id (birth order).
+        birth_time: simulation time at which the node joined.
+        death_time: time at which the node left, or ``None`` while alive.
+        out_slots: current destination of each of the node's ``d`` requests;
+            ``None`` marks a slot whose destination died (no-regen models)
+            or that could not be filled (empty network at birth).
+    """
+
+    node_id: int
+    birth_time: float
+    death_time: float | None = None
+    out_slots: list[int | None] = field(default_factory=list)
+
+    @property
+    def is_alive(self) -> bool:
+        return self.death_time is None
+
+    def age(self, now: float) -> float:
+        """Age of the node at time *now* (time since birth)."""
+        return now - self.birth_time
+
+    def out_degree(self) -> int:
+        """Number of currently-assigned out-slots."""
+        return sum(1 for slot in self.out_slots if slot is not None)

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A model, process, or experiment received invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an inconsistent internal state.
+
+    This indicates a bug in the library (an invariant was violated), not a
+    user mistake; it is raised by internal sanity checks.
+    """
+
+
+class AnalysisError(ReproError):
+    """An analysis routine was asked for something it cannot compute.
+
+    For example: exact vertex expansion on a graph too large to enumerate,
+    or a spectral gap on an empty graph.
+    """
+
+
+class ExperimentError(ReproError):
+    """An experiment id is unknown or an experiment was misconfigured."""

@@ -1,0 +1,31 @@
+"""Experiment harness — one module per table/figure of the reproduction.
+
+Run from the command line::
+
+    python -m repro.experiments --list
+    python -m repro.experiments EXP-01
+    python -m repro.experiments --all
+    python -m repro.experiments --all --full   # EXPERIMENTS.md scale
+
+or programmatically::
+
+    from repro.experiments import run_experiment
+    result = run_experiment("EXP-06", quick=True, seed=0)
+    print(result.to_text())
+"""
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import (
+    Experiment,
+    all_experiments,
+    get_experiment,
+    run_experiment,
+)
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "all_experiments",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,66 @@
+"""CLI for the experiment harness: ``python -m repro.experiments``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.registry import all_experiments, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment_ids",
+        nargs="*",
+        help="experiment ids to run (e.g. EXP-01 EXP-06)",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the full (EXPERIMENTS.md) parameters instead of quick mode",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also write each experiment's rows to DIR/<EXP-ID>.csv",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or (not args.experiment_ids and not args.all):
+        for experiment in all_experiments():
+            print(
+                f"{experiment.experiment_id}: {experiment.title}"
+                f"  [{experiment.paper_reference}]"
+            )
+        return 0
+
+    ids = (
+        [e.experiment_id for e in all_experiments()]
+        if args.all
+        else args.experiment_ids
+    )
+    failures = 0
+    for experiment_id in ids:
+        result = run_experiment(experiment_id, quick=not args.full, seed=args.seed)
+        print(result.to_text())
+        if args.csv:
+            path = result.write_csv(args.csv)
+            print(f"csv: {path}")
+        print()
+        if not result.passed():
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) had failing verdict entries")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

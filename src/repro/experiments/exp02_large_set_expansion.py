@@ -1,0 +1,97 @@
+"""EXP-02 — expansion of large subsets without regeneration.
+
+Reproduces Lemma 3.6 (SDG) and Lemma 4.11 (PDG): every subset whose size
+falls in the window ``[n·e^{−d/10}, n/2]`` (streaming; ``e^{−d/20}`` for
+Poisson) has vertex expansion ≥ 0.1, even though small sets do not expand
+(isolated nodes exist).  The adversarial probe searches the window with
+age-extreme, low-degree, greedy and random candidates; the claim is
+reproduced when even the worst candidate found stays above the threshold.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.expansion import large_set_expansion_probe
+from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
+from repro.experiments.registry import register
+from repro.models import PDG, SDG
+from repro.theory.expansion import (
+    EXPANSION_THRESHOLD,
+    large_set_window_poisson,
+    large_set_window_streaming,
+)
+
+COLUMNS = [
+    "model",
+    "n",
+    "d",
+    "window_low",
+    "window_high",
+    "worst_ratio_found",
+    "worst_size",
+    "above_0.1",
+]
+
+
+@register(
+    "EXP-02",
+    "Θ(1)-expansion of large subsets (no regeneration)",
+    "Table 1 row 2; Lemma 3.6 (SDG), Lemma 4.11 (PDG)",
+)
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    if quick:
+        n, trials, ds = 300, 2, [20]
+    else:
+        n, trials, ds = 1200, 4, [20, 26, 32]
+
+    rows: list[dict] = []
+    with Stopwatch() as watch:
+        for d in ds:
+            for model_name in ["SDG", "PDG"]:
+                worst = None
+                for child in trial_seeds(seed, trials):
+                    if model_name == "SDG":
+                        net = SDG(n=n, d=d, seed=child)
+                        net.run_rounds(n)
+                        low, high = large_set_window_streaming(n, d)
+                    else:
+                        net = PDG(n=n, d=d, seed=child)
+                        low, high = large_set_window_poisson(n, d)
+                    snap = net.snapshot()
+                    high = min(high, snap.num_nodes() // 2)
+                    probe = large_set_expansion_probe(
+                        snap, min_size=low, max_size=high, seed=child
+                    )
+                    if worst is None or probe.min_ratio < worst.min_ratio:
+                        worst = probe
+                assert worst is not None
+                rows.append(
+                    {
+                        "model": model_name,
+                        "n": n,
+                        "d": d,
+                        "window_low": low,
+                        "window_high": high,
+                        "worst_ratio_found": worst.min_ratio,
+                        "worst_size": worst.witness_size,
+                        "above_0.1": worst.min_ratio > EXPANSION_THRESHOLD,
+                    }
+                )
+
+    return ExperimentResult(
+        experiment_id="EXP-02",
+        title="Θ(1)-expansion of large subsets (no regeneration)",
+        paper_reference="Lemma 3.6 (SDG), Lemma 4.11 (PDG)",
+        columns=COLUMNS,
+        rows=rows,
+        verdict={
+            "all_windows_expand_above_0.1": all(r["above_0.1"] for r in rows),
+            "threshold": EXPANSION_THRESHOLD,
+        },
+        notes=(
+            "Exact minimisation over all windowed subsets is intractable; "
+            "the probe's minimum over adversarial candidates (oldest-k, "
+            "youngest-k, low-degree-k, greedy growth, random) is a valid "
+            "upper bound on the true windowed expansion."
+        ),
+        elapsed_seconds=watch.elapsed,
+    )

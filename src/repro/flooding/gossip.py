@@ -1,0 +1,102 @@
+"""Push/pull rumour spreading — an extension beyond the paper (DESIGN.md §5).
+
+The paper's §5 notes that flooding contacts *all* neighbours, so a node of
+degree Θ(log n) sends Θ(log n) messages per round, and asks for dynamics
+with bounded communication.  Push/pull gossip is the classic bounded-budget
+alternative: each round every informed node *pushes* the rumour to one
+uniformly random neighbour, and every uninformed node *pulls* from one
+uniformly random neighbour (receiving the rumour if that neighbour is
+informed).  Per node per round: O(1) messages.
+
+The round structure mirrors :func:`repro.flooding.discrete.flood_discrete`:
+contacts are drawn in the snapshot ``G_{t-1}``, then churn is applied and
+dead nodes drop out of the informed set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.flooding.result import FloodingResult
+from repro.models.base import DynamicNetwork
+from repro.util.rng import SeedLike, make_rng
+
+
+def gossip_push_pull(
+    network: DynamicNetwork,
+    source: int | None = None,
+    max_rounds: int = 10_000,
+    push: bool = True,
+    pull: bool = True,
+    seed: SeedLike = None,
+) -> FloodingResult:
+    """Run push/pull gossip on *network* until all alive nodes know the rumour.
+
+    Args:
+        network: a warm dynamic network driver.
+        source: initially informed node; defaults to the youngest alive.
+        max_rounds: hard cap on rounds.
+        push: enable the push half (informed → random neighbour).
+        pull: enable the pull half (uninformed ← random neighbour).
+        seed: RNG for the contact choices (independent of the network's).
+    """
+    if not push and not pull:
+        raise ConfigurationError("enable at least one of push/pull")
+    state = network.state
+    rng: np.random.Generator = make_rng(seed)
+    if source is None:
+        alive = state.alive_ids()
+        if not alive:
+            raise ConfigurationError("network has no alive nodes")
+        source = max(alive, key=lambda u: state.records[u].birth_time)
+    if not state.is_alive(source):
+        raise ConfigurationError(f"source node {source} is not alive")
+
+    informed: set[int] = {source}
+    result = FloodingResult(source=source, start_time=network.now)
+    result.record_round(1, state.num_alive())
+
+    for round_index in range(1, max_rounds + 1):
+        newly: set[int] = set()
+        if push:
+            for u in informed:
+                neighbor = _random_neighbor(state, u, rng)
+                if neighbor is not None and neighbor not in informed:
+                    newly.add(neighbor)
+        if pull:
+            for u in state.alive_ids():
+                if u in informed or u in newly:
+                    continue
+                neighbor = _random_neighbor(state, u, rng)
+                if neighbor is not None and neighbor in informed:
+                    newly.add(u)
+
+        report = network.advance_round()
+
+        informed |= newly
+        informed = {u for u in informed if state.is_alive(u)}
+        result.record_round(len(informed), state.num_alive())
+
+        uninformed_count = state.num_alive() - len(informed)
+        fresh_uninformed = sum(
+            1 for b in report.births if state.is_alive(b) and b not in informed
+        )
+        if informed and uninformed_count == fresh_uninformed:
+            result.completed = True
+            result.completion_round = round_index
+            return result
+        if not informed:
+            result.extinct = True
+            result.extinction_round = round_index
+            return result
+    return result
+
+
+def _random_neighbor(state, node: int, rng: np.random.Generator) -> int | None:
+    """Uniformly random current neighbour of *node*, or None if isolated."""
+    neighbors = state.adj.get(node)
+    if not neighbors:
+        return None
+    keys = list(neighbors)
+    return keys[int(rng.integers(0, len(keys)))]

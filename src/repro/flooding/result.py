@@ -1,0 +1,71 @@
+"""Result record shared by all flooding/gossip processes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FloodingResult:
+    """Trajectory and verdict of one flooding run.
+
+    Attributes:
+        source: id of the initially informed node.
+        start_time: simulation time at which flooding started.
+        informed_sizes: ``|I_t|`` after each round (index 0 = at start,
+            so ``informed_sizes[k]`` is the size after ``k`` rounds).
+        network_sizes: ``|N_t|`` at the same instants.
+        completed: whether some round had every alive node informed
+            (the paper's completion criterion, ``I_t ⊇ N_{t-1} ∩ N_t``
+            evaluated as "all currently alive nodes informed").
+        completion_round: first round index achieving completion (or None).
+        extinct: True when every informed node died with uninformed nodes
+            left — the broadcast can still only resume through new arrivals
+            attaching to dead ends, i.e. never; this is the "flooding dies
+            out" event of Theorems 3.7/4.12.
+        extinction_round: first round at which extinction held (or None).
+        max_informed: peak of ``informed_sizes``.
+    """
+
+    source: int
+    start_time: float
+    informed_sizes: list[int] = field(default_factory=list)
+    network_sizes: list[int] = field(default_factory=list)
+    completed: bool = False
+    completion_round: int | None = None
+    extinct: bool = False
+    extinction_round: int | None = None
+    max_informed: int = 0
+
+    @property
+    def rounds_run(self) -> int:
+        """Number of flooding rounds executed."""
+        return max(0, len(self.informed_sizes) - 1)
+
+    @property
+    def final_informed(self) -> int:
+        return self.informed_sizes[-1] if self.informed_sizes else 0
+
+    @property
+    def final_network_size(self) -> int:
+        return self.network_sizes[-1] if self.network_sizes else 0
+
+    @property
+    def final_fraction(self) -> float:
+        """Informed fraction of the final snapshot (0 when network empty)."""
+        if not self.network_sizes or self.network_sizes[-1] == 0:
+            return 0.0
+        return self.informed_sizes[-1] / self.network_sizes[-1]
+
+    def fraction_at(self, round_index: int) -> float:
+        """Informed fraction after *round_index* rounds (clamped to the end)."""
+        idx = min(round_index, len(self.informed_sizes) - 1)
+        if self.network_sizes[idx] == 0:
+            return 0.0
+        return self.informed_sizes[idx] / self.network_sizes[idx]
+
+    def record_round(self, informed: int, alive: int) -> None:
+        """Append one round's sizes and update the peak."""
+        self.informed_sizes.append(informed)
+        self.network_sizes.append(alive)
+        self.max_informed = max(self.max_informed, informed)

@@ -1,0 +1,40 @@
+"""The four dynamic-graph models of the paper plus static baselines.
+
+===========  ===================  ==================  =====================
+name         churn                edge dynamics       paper definition
+===========  ===================  ==================  =====================
+``SDG``      streaming            no regeneration     Definition 3.4
+``SDGR``     streaming            regeneration        Definition 3.13
+``PDG``      Poisson              no regeneration     Definition 4.9
+``PDGR``     Poisson              regeneration        Definition 4.14
+===========  ===================  ==================  =====================
+"""
+
+from repro.models.adversarial import AdversarialStreamingNetwork
+from repro.models.base import DynamicNetwork, RoundReport
+from repro.models.general import GDG, GDGR, GeneralChurnNetwork
+from repro.models.poisson import PDG, PDGR, PoissonNetwork
+from repro.models.static import (
+    erdos_renyi_snapshot,
+    random_regular_snapshot,
+    static_d_out_snapshot,
+)
+from repro.models.streaming import SDG, SDGR, StreamingNetwork
+
+__all__ = [
+    "GDG",
+    "GDGR",
+    "PDG",
+    "PDGR",
+    "SDG",
+    "SDGR",
+    "AdversarialStreamingNetwork",
+    "DynamicNetwork",
+    "GeneralChurnNetwork",
+    "PoissonNetwork",
+    "RoundReport",
+    "StreamingNetwork",
+    "erdos_renyi_snapshot",
+    "random_regular_snapshot",
+    "static_d_out_snapshot",
+]

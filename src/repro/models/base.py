@@ -1,0 +1,78 @@
+"""Common driver interface for dynamic networks.
+
+A *driver* owns a :class:`~repro.core.graph.DynamicGraphState`, an
+:class:`~repro.core.edge_policy.EdgePolicy` and a source of randomness, and
+advances the network through time.  Flooding and the experiment harness only
+rely on the small interface defined here:
+
+* ``now`` — current simulation time;
+* ``snapshot()`` — freeze the current topology;
+* ``advance_round()`` — advance time by exactly one unit (one streaming
+  round, or one unit of continuous time), returning the churn events that
+  occurred, so observers can tell who was born/died and which edges changed.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.edge_policy import EdgePolicy
+from repro.core.graph import DynamicGraphState
+from repro.core.snapshot import Snapshot
+from repro.sim.clock import SimClock
+from repro.sim.events import EventRecord
+from repro.util.rng import SeedLike, make_rng
+
+
+@dataclass
+class RoundReport:
+    """Everything that happened during one unit-time round."""
+
+    start_time: float
+    end_time: float
+    events: list[EventRecord] = field(default_factory=list)
+
+    @property
+    def births(self) -> list[int]:
+        return [e.node_id for e in self.events if e.is_birth]
+
+    @property
+    def deaths(self) -> list[int]:
+        return [e.node_id for e in self.events if e.is_death]
+
+
+class DynamicNetwork(ABC):
+    """Base class for the streaming and Poisson network drivers."""
+
+    def __init__(self, policy: EdgePolicy, seed: SeedLike = None) -> None:
+        self.state = DynamicGraphState()
+        self.policy = policy
+        self.rng: np.random.Generator = make_rng(seed)
+        self.clock = SimClock()
+
+    @property
+    def d(self) -> int:
+        """The out-degree parameter of the model."""
+        return self.policy.d
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def num_alive(self) -> int:
+        return self.state.num_alive()
+
+    def snapshot(self) -> Snapshot:
+        """Freeze the current topology (the paper's ``G_t``)."""
+        return self.state.snapshot(self.now)
+
+    @abstractmethod
+    def advance_round(self) -> RoundReport:
+        """Advance simulation time by exactly one unit."""
+
+    def run_rounds(self, count: int) -> list[RoundReport]:
+        """Advance *count* unit-time rounds, returning their reports."""
+        return [self.advance_round() for _ in range(count)]

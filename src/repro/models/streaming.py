@@ -1,0 +1,99 @@
+"""Streaming dynamic graphs: SDG (Def. 3.4) and SDGR (Def. 3.13).
+
+One round of the streaming churn, for round number ``r > n``:
+
+1. the node born at round ``r − n`` **dies** (all incident edges vanish);
+2. under regeneration, every orphaned request immediately re-samples a
+   uniform destination among the ``n − 1`` survivors;
+3. a new node is **born** and issues ``d`` uniform requests among the
+   ``n − 1`` nodes present (it cannot pick the node that died this round).
+
+The paper leaves the intra-round order unspecified; this death →
+regeneration → birth order matches the 1/(n−1) destination probabilities
+used by Lemma 3.14 (see DESIGN.md §2.2).  During the first ``n`` rounds
+(warm-up) only births occur, exactly as in Definition 3.2 (``N_0 = ∅``).
+"""
+
+from __future__ import annotations
+
+from repro.churn.streaming import StreamingSchedule
+from repro.core.edge_policy import (
+    EdgePolicy,
+    NoRegenerationPolicy,
+    RegenerationPolicy,
+)
+from repro.errors import ConfigurationError, SimulationError
+from repro.models.base import DynamicNetwork, RoundReport
+from repro.util.rng import SeedLike
+
+
+class StreamingNetwork(DynamicNetwork):
+    """Driver for the streaming models (shared by SDG and SDGR).
+
+    Args:
+        n: network size (= deterministic node lifetime in rounds).
+        policy: edge policy (no-regen for SDG, regen for SDGR).
+        seed: RNG seed.
+        warm: when true (default), immediately run the first ``n`` birth
+            rounds so the network starts full, at round ``n``.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        policy: EdgePolicy,
+        seed: SeedLike = None,
+        warm: bool = True,
+    ) -> None:
+        if n < 2:
+            raise ConfigurationError(f"streaming model needs n >= 2, got {n}")
+        super().__init__(policy, seed)
+        self.n = n
+        self.schedule = StreamingSchedule(n)
+        self.round_number = 0
+        if warm:
+            self.run_rounds(n)
+
+    def advance_round(self) -> RoundReport:
+        """Apply one streaming round: death (if any), regeneration, birth."""
+        self.round_number += 1
+        start = self.now
+        self.clock.advance_to(float(self.round_number))
+        report = RoundReport(start_time=start, end_time=self.now)
+
+        death_id = self.schedule.death_id(self.round_number)
+        if death_id is not None:
+            report.events.append(
+                self.policy.handle_death(self.state, death_id, self.now, self.rng)
+            )
+
+        birth_id = self.state.allocate_id()
+        expected = self.schedule.birth_id(self.round_number)
+        if birth_id != expected:
+            raise SimulationError(
+                f"id drift: allocated {birth_id}, schedule expects {expected}"
+            )
+        report.events.append(
+            self.policy.handle_birth(self.state, birth_id, self.now, self.rng)
+        )
+        return report
+
+    def newest_id(self) -> int:
+        """Id of the node born in the most recent round."""
+        if self.round_number == 0:
+            raise SimulationError("no rounds have run yet")
+        return self.schedule.birth_id(self.round_number)
+
+    def oldest_id(self) -> int:
+        """Id of the oldest alive node."""
+        return max(0, self.round_number - self.n)
+
+
+def SDG(n: int, d: int, seed: SeedLike = None, warm: bool = True) -> StreamingNetwork:
+    """Streaming Dynamic Graph without edge regeneration (Definition 3.4)."""
+    return StreamingNetwork(n, NoRegenerationPolicy(d), seed=seed, warm=warm)
+
+
+def SDGR(n: int, d: int, seed: SeedLike = None, warm: bool = True) -> StreamingNetwork:
+    """Streaming Dynamic Graph with edge regeneration (Definition 3.13)."""
+    return StreamingNetwork(n, RegenerationPolicy(d), seed=seed, warm=warm)

@@ -1,0 +1,21 @@
+"""The onion-skin processes — executable versions of the proofs' constructions.
+
+The partial-flooding theorems (3.8 / 4.13) are proved by analysing a
+restricted flooding process that builds a bipartite young/old "onion": each
+phase informs a new layer of young nodes via type-B requests into the last
+old layer, then a new layer of old nodes via the young layer's type-A
+requests.  These modules simulate that exact stochastic process (with the
+proofs' deferred-decision sampling), so Claims 3.10/3.11 and Lemma 7.8 can
+be checked quantitatively: per-phase growth factors and overall success
+probabilities.
+"""
+
+from repro.onion.poisson import PoissonOnionSkinResult, run_poisson_onion_skin
+from repro.onion.streaming import OnionSkinResult, run_streaming_onion_skin
+
+__all__ = [
+    "OnionSkinResult",
+    "PoissonOnionSkinResult",
+    "run_poisson_onion_skin",
+    "run_streaming_onion_skin",
+]

@@ -1,0 +1,130 @@
+"""The extended (Poisson) onion-skin process (§7.2.4).
+
+Differences from the streaming version, following the proof exactly:
+
+* the population is the ``m ∈ [0.9n, 1.1n]`` nodes alive at ``t_0``;
+  *young* = the younger half by rank, *old* = the older half (no
+  very-old exclusion — the churn handles deaths probabilistically);
+* every newly informed node independently *dies* with probability
+  ``log n / n`` immediately upon being informed (steps 1.b / 2.b's
+  worst-case removal), contributing nothing further;
+* growth per phase is ``≥ d/48`` (Claims 7.6/7.7) and the overall
+  success probability is ``≥ 1 − 2e^{−d/576} − o(1)`` (Lemma 7.8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.util.rng import SeedLike, make_rng
+
+
+@dataclass
+class PoissonOnionSkinResult:
+    """Trajectory of one extended onion-skin run."""
+
+    m: int
+    d: int
+    target: int
+    young_layers: list[int] = field(default_factory=list)
+    old_layers: list[int] = field(default_factory=list)
+    removed_by_death: int = 0
+    reached_target: bool = False
+    phases_run: int = 0
+
+    @property
+    def total_informed(self) -> int:
+        return 1 + sum(self.young_layers) + sum(self.old_layers)
+
+
+def run_poisson_onion_skin(
+    n: int,
+    d: int,
+    m: int | None = None,
+    target_fraction: float = 0.05,
+    max_phases: int | None = None,
+    seed: SeedLike = None,
+) -> PoissonOnionSkinResult:
+    """Run the §7.2.4 extended onion-skin process once.
+
+    Args:
+        n: the model's expected network size (sets the death probability
+           ``log n / n``).
+        d: request budget (even).
+        m: population at ``t_0`` (defaults to ``n``; the proof allows
+           ``[0.9n, 1.1n]``).
+        target_fraction: stop once the informed set reaches this fraction
+           of ``m`` (the proof's Lemma 7.8 targets ``m/20``).
+        max_phases: phase cap; defaults to O(log n).
+        seed: RNG seed.
+    """
+    if d < 2 or d % 2 != 0:
+        raise ConfigurationError(f"d must be even and >= 2, got {d}")
+    if n < 20:
+        raise ConfigurationError(f"n too small, got {n}")
+    if m is None:
+        m = n
+    rng = make_rng(seed)
+    if max_phases is None:
+        max_phases = max(4, int(4 * math.log(n)))
+    death_probability = math.log(n) / n
+    target = max(2, int(target_fraction * m))
+
+    half = m // 2
+    # Ranks 0 … m−1 by youth: 0 … half−1 young, half … m−1 old.
+    num_young = half
+
+    def is_old(node: int) -> bool:
+        return node >= half
+
+    type_b = rng.integers(0, m, size=(num_young, d // 2))
+    type_a = rng.integers(0, m, size=(num_young, d // 2))
+
+    result = PoissonOnionSkinResult(m=m, d=d, target=target)
+
+    # Phase 0: the source's d requests, then coin-flip removals (step 2).
+    source_requests = rng.integers(0, m, size=d)
+    z0 = {int(w) for w in source_requests if is_old(int(w))}
+    old_prev_layer = {w for w in z0 if rng.random() >= death_probability}
+    result.removed_by_death += len(z0) - len(old_prev_layer)
+    informed_old = set(old_prev_layer)
+    informed_young: set[int] = set()
+    result.old_layers.append(len(old_prev_layer))
+
+    for _ in range(max_phases):
+        result.phases_run += 1
+        # Step 1.a/1.b: young nodes hitting the previous old layer, minus
+        # coin-flip deaths.
+        w_k = [
+            i
+            for i in range(num_young)
+            if i not in informed_young
+            and any(int(t) in old_prev_layer for t in type_b[i])
+        ]
+        survivors = [i for i in w_k if rng.random() >= death_probability]
+        result.removed_by_death += len(w_k) - len(survivors)
+        informed_young.update(survivors)
+        result.young_layers.append(len(survivors))
+
+        # Step 2.a/2.b: old nodes hit by the survivors' type-A requests,
+        # minus coin-flip deaths.
+        z_k: set[int] = set()
+        for i in survivors:
+            for t in type_a[i]:
+                t = int(t)
+                if is_old(t) and t not in informed_old:
+                    z_k.add(t)
+        new_old = {w for w in z_k if rng.random() >= death_probability}
+        result.removed_by_death += len(z_k) - len(new_old)
+        informed_old.update(new_old)
+        result.old_layers.append(len(new_old))
+        old_prev_layer = new_old
+
+        if result.total_informed >= target:
+            result.reached_target = True
+            break
+        if not survivors and not new_old:
+            break
+    return result

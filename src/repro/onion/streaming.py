@@ -1,0 +1,162 @@
+"""The streaming onion-skin process (§3.1.2).
+
+Population model (ages at the flooding start ``t_0``, following the proof):
+
+* young ``Y``: nodes of age in ``[2, n/2)`` — the source ``s`` is young;
+* old ``O``: age in ``[n/2, n − log n]``;
+* very old ``Ô``: the rest — excluded (they die during the window).
+
+Each young node owns ``d`` requests with destinations sampled uniformly
+from the ``n`` current nodes (the deferred-decision simplification used by
+Claim 3.10); requests ``1 … d/2`` are *type-A*, ``d/2+1 … d`` *type-B*.
+
+Phase 0: the source's ``d`` requests land a first old layer
+``O_0 = targets(s) ∩ O``.
+Phase k ≥ 1: ``Y_k − Y_{k−1}`` = young nodes with a type-B request into
+``O_{k−1} − O_{k−2}``; then ``O_k − O_{k−1}`` = old nodes hit by a type-A
+request of ``Y_k − Y_{k−1}``.
+
+Claim 3.10 predicts each layer grows by ``≥ d/20`` per step (w.h.p. in the
+layer size); Claim 3.11 bounds the overall success probability by
+``1 − 4e^{−d/100}`` for ``d ≥ 200``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.util.rng import SeedLike, make_rng
+
+
+@dataclass
+class OnionSkinResult:
+    """Trajectory of one onion-skin run.
+
+    ``young_layers[k]`` / ``old_layers[k]`` are the *new* nodes added in
+    phase ``k`` (phase 0 adds no young nodes beyond the source).
+    """
+
+    n: int
+    d: int
+    target: int
+    young_layers: list[int] = field(default_factory=list)
+    old_layers: list[int] = field(default_factory=list)
+    reached_target: bool = False
+    phases_run: int = 0
+
+    @property
+    def total_young(self) -> int:
+        return 1 + sum(self.young_layers)  # the source counts as young
+
+    @property
+    def total_old(self) -> int:
+        return sum(self.old_layers)
+
+    @property
+    def total_informed(self) -> int:
+        return self.total_young + self.total_old
+
+    def layer_sequence(self) -> list[int]:
+        """Interleaved layer sizes: source, O₀, Y₁, O₁−O₀, Y₂, …"""
+        sequence = [1]
+        if self.old_layers:
+            sequence.append(self.old_layers[0])
+        for young, old in zip(self.young_layers, self.old_layers[1:]):
+            sequence.extend([young, old])
+        return sequence
+
+    def layer_growth_factors(self) -> list[float]:
+        """Consecutive ratios of the interleaved layer sequence (the
+        quantities Claim 3.10 lower-bounds by d/20)."""
+        sequence = self.layer_sequence()
+        return [
+            b / a for a, b in zip(sequence, sequence[1:]) if a > 0 and b > 0
+        ]
+
+
+def run_streaming_onion_skin(
+    n: int,
+    d: int,
+    target_fraction: float = 0.1,
+    max_phases: int | None = None,
+    seed: SeedLike = None,
+) -> OnionSkinResult:
+    """Run the §3.1.2 onion-skin process once.
+
+    Args:
+        n: network size (population of the process).
+        d: request budget per node (must be even; the proof splits d/2+d/2).
+        target_fraction: stop once ``|Y_k| + |O_k|`` reaches this fraction
+            of ``n`` (the proof targets ``2n/d``, i.e. fraction ``2/d``;
+            experiments typically use 0.1).
+        max_phases: phase cap; defaults to a generous O(log n).
+        seed: RNG seed.
+    """
+    if d < 2 or d % 2 != 0:
+        raise ConfigurationError(f"d must be even and >= 2, got {d}")
+    if n < 20:
+        raise ConfigurationError(f"n too small for the age classes, got {n}")
+    rng = make_rng(seed)
+    if max_phases is None:
+        max_phases = max(4, int(4 * math.log(n)))
+
+    log_n = max(1, int(math.log(n)))
+    half = n // 2
+    # Node ids 0 … n−1 with age = id + 1 (id n−1 is the oldest).
+    young_ids = np.arange(1, half)  # ages 2 … n/2 − 1 → young
+    old_low, old_high = half, n - log_n  # ages n/2 … n − log n (ids inclusive)
+    target = max(2, int(target_fraction * n))
+
+    def is_old(node: int) -> bool:
+        return old_low <= node <= old_high
+
+    # Deferred decisions, sampled up front: each young node's type-A and
+    # type-B request destinations (uniform over all n ids).
+    num_young = len(young_ids)
+    type_b = rng.integers(0, n, size=(num_young, d // 2))
+    type_a = rng.integers(0, n, size=(num_young, d // 2))
+
+    result = OnionSkinResult(n=n, d=d, target=target)
+
+    # Phase 0: the source (a fresh young node, outside the arrays).
+    source_requests = rng.integers(0, n, size=d)
+    old_prev_layer = {int(w) for w in source_requests if is_old(int(w))}
+    informed_old: set[int] = set(old_prev_layer)
+    informed_young_idx: set[int] = set()
+    result.old_layers.append(len(old_prev_layer))
+
+    for _ in range(max_phases):
+        result.phases_run += 1
+        # Step 1: young nodes with a type-B request into the last old layer.
+        new_young: list[int] = []
+        for i in range(num_young):
+            if i in informed_young_idx:
+                continue
+            if any(int(t) in old_prev_layer for t in type_b[i]):
+                new_young.append(i)
+        informed_young_idx.update(new_young)
+        result.young_layers.append(len(new_young))
+
+        # Step 2: old nodes hit by the new young layer's type-A requests.
+        new_old: set[int] = set()
+        for i in new_young:
+            for t in type_a[i]:
+                t = int(t)
+                if is_old(t) and t not in informed_old:
+                    new_old.add(t)
+        informed_old.update(new_old)
+        result.old_layers.append(len(new_old))
+        old_prev_layer = new_old
+
+        total = 1 + len(informed_young_idx) + len(informed_old)
+        if total >= target:
+            result.reached_target = True
+            break
+        if not new_young and not new_old:
+            break
+
+    return result

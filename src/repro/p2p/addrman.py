@@ -1,0 +1,66 @@
+"""Address manager — the known-peers table of a full node.
+
+Models Bitcoin Core's ``addrman``: a bounded table of node addresses,
+seeded from DNS at start-up and refreshed by ``addr`` gossip.  Addresses of
+dead peers linger until a failed dial evicts them, exactly the staleness
+the paper's §1.1 describes ("a sufficiently random subset of all nodes").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.util.sampling import IndexedSet
+
+
+class AddressManager:
+    """Bounded random-eviction table of peer addresses."""
+
+    def __init__(self, owner: int, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ConfigurationError("capacity must be >= 1")
+        self.owner = owner
+        self.capacity = capacity
+        self._table = IndexedSet()
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._table
+
+    def add(self, address: int, rng: np.random.Generator) -> None:
+        """Insert *address*, evicting a random entry when full."""
+        if address == self.owner or address in self._table:
+            return
+        if len(self._table) >= self.capacity:
+            self._table.discard(self._table.sample(rng))
+        self._table.add(address)
+
+    def add_many(self, addresses: list[int], rng: np.random.Generator) -> None:
+        for address in addresses:
+            self.add(address, rng)
+
+    def remove(self, address: int) -> None:
+        """Evict *address* (after a failed dial)."""
+        self._table.discard(address)
+
+    def sample(self, rng: np.random.Generator) -> int | None:
+        """A uniformly random known address, or None if the table is empty."""
+        if not len(self._table):
+            return None
+        return self._table.sample(rng)
+
+    def advertise(self, rng: np.random.Generator, count: int) -> list[int]:
+        """A random subset of known addresses for an ``addr`` message."""
+        size = len(self._table)
+        if size == 0:
+            return []
+        count = min(count, size)
+        picks = rng.choice(size, size=count, replace=False)
+        items = self._table.as_list()
+        return [items[int(i)] for i in picks]
+
+    def known(self) -> list[int]:
+        return self._table.as_list()

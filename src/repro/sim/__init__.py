@@ -1,0 +1,28 @@
+"""Discrete-event simulation substrate.
+
+The continuous-time (Poisson) models and the asynchronous flooding process
+are driven by a small priority-queue event engine.  The streaming models do
+not need it (their churn is a deterministic round structure), but share the
+event record types for uniform trace output.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.engine import EventEngine, ScheduledEvent
+from repro.sim.events import (
+    EdgeCreated,
+    EdgeDestroyed,
+    EventRecord,
+    NodeBorn,
+    NodeDied,
+)
+
+__all__ = [
+    "EdgeCreated",
+    "EdgeDestroyed",
+    "EventEngine",
+    "EventRecord",
+    "NodeBorn",
+    "NodeDied",
+    "ScheduledEvent",
+    "SimClock",
+]

@@ -1,0 +1,40 @@
+"""Simulation clock.
+
+A tiny monotone clock shared between a network driver and any process
+(flooding, gossip) observing it.  Keeping it as an object rather than a bare
+float lets several components hold a reference to the same advancing time.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class SimClock:
+    """Monotonically non-decreasing simulation time."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to absolute time *t*."""
+        if t < self._now:
+            raise SimulationError(
+                f"clock cannot move backwards: now={self._now}, requested={t}"
+            )
+        self._now = float(t)
+
+    def advance_by(self, dt: float) -> None:
+        """Move the clock forward by *dt* (must be non-negative)."""
+        if dt < 0:
+            raise SimulationError(f"negative time step: {dt}")
+        self._now += float(dt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now})"

@@ -1,0 +1,99 @@
+"""Priority-queue event engine.
+
+Used by the asynchronous flooding process (Definition 4.2), which must
+interleave message deliveries (scheduled one time unit after transmission)
+with the churn events produced by the network driver.  The engine is a thin
+wrapper over :mod:`heapq` with stable FIFO tie-breaking and cancellation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """An event in the queue, ordered by (time, insertion sequence)."""
+
+    time: float
+    sequence: int
+    payload: Any = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventEngine:
+    """A min-heap of timestamped payloads with O(log n) push/pop.
+
+    The engine does not own a clock: callers pop events and advance their
+    own clock to the popped timestamps, which makes it easy to interleave
+    with an external event source (the jump-chain churn process).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def schedule(self, time: float, payload: Any) -> ScheduledEvent:
+        """Insert *payload* at *time*; returns a handle usable for cancel()."""
+        event = ScheduledEvent(time=float(time), sequence=next(self._counter), payload=payload)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def cancel(self, event: ScheduledEvent) -> None:
+        """Lazily cancel a scheduled event (skipped when popped)."""
+        if not event.cancelled:
+            event.cancelled = True
+            self._live -= 1
+
+    def peek_time(self) -> float | None:
+        """Earliest pending event time, or None if the queue is empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> ScheduledEvent:
+        """Remove and return the earliest pending event."""
+        self._drop_cancelled()
+        if not self._heap:
+            raise SimulationError("pop() on an empty event queue")
+        event = heapq.heappop(self._heap)
+        self._live -= 1
+        return event
+
+    def pop_until(self, time: float) -> list[ScheduledEvent]:
+        """Pop all events with timestamp <= *time*, in order."""
+        out: list[ScheduledEvent] = []
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time > time:
+                return out
+            out.append(self.pop())
+
+    def run(self, handler: Callable[[ScheduledEvent], None], until: float) -> int:
+        """Dispatch events to *handler* until the queue is empty or *until*.
+
+        Returns the number of events dispatched.  The handler may schedule
+        further events.
+        """
+        dispatched = 0
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time > until:
+                return dispatched
+            handler(self.pop())
+            dispatched += 1
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

@@ -1,0 +1,78 @@
+"""Event record types emitted by the dynamic-network drivers.
+
+Each churn event (a node birth or death) produces one :class:`EventRecord`
+describing exactly which topology changes it caused.  The asynchronous
+flooding process consumes these records to learn about newly created edges
+incident to informed nodes; experiment code consumes them for tracing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class EdgeCreated:
+    """An undirected edge appeared, requested by *source* towards *target*."""
+
+    source: int
+    target: int
+
+    def endpoints(self) -> tuple[int, int]:
+        return (self.source, self.target)
+
+
+@dataclass(frozen=True)
+class EdgeDestroyed:
+    """An undirected edge disappeared (because one endpoint died)."""
+
+    source: int
+    target: int
+
+    def endpoints(self) -> tuple[int, int]:
+        return (self.source, self.target)
+
+
+@dataclass(frozen=True)
+class NodeBorn:
+    """A node joined the network and issued its initial edge requests."""
+
+    node_id: int
+
+
+@dataclass(frozen=True)
+class NodeDied:
+    """A node left the network; all its incident edges disappeared."""
+
+    node_id: int
+
+
+@dataclass
+class EventRecord:
+    """One churn event and the topology delta it caused.
+
+    Attributes:
+        time: simulation time at which the event occurred.
+        kind: either a :class:`NodeBorn` or a :class:`NodeDied` marker.
+        edges_created: edges that appeared as a consequence (the newborn's
+            requests, or regenerated replacement edges after a death).
+        edges_destroyed: edges that disappeared (all edges incident to a
+            dying node; empty for births).
+    """
+
+    time: float
+    kind: NodeBorn | NodeDied
+    edges_created: list[EdgeCreated] = field(default_factory=list)
+    edges_destroyed: list[EdgeDestroyed] = field(default_factory=list)
+
+    @property
+    def is_birth(self) -> bool:
+        return isinstance(self.kind, NodeBorn)
+
+    @property
+    def is_death(self) -> bool:
+        return isinstance(self.kind, NodeDied)
+
+    @property
+    def node_id(self) -> int:
+        return self.kind.node_id

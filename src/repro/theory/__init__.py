@@ -1,0 +1,70 @@
+"""Closed-form bounds and predictions extracted from the paper's theorems.
+
+Each function returns the quantity a theorem/lemma promises, so experiment
+output can print a "paper" column next to the measured one.  Two kinds of
+values coexist:
+
+* **bounds** — the literal constants of the statements (often loose: the
+  union bounds burn large factors);
+* **predictions** — sharper first-order estimates derived from the same
+  probabilistic structure (documented per function), which the simulations
+  should track closely.  These are clearly named ``*_prediction``.
+"""
+
+from repro.theory.churn import (
+    jump_probability_bounds,
+    lifetime_horizon_rounds,
+    size_concentration_bounds,
+)
+from repro.theory.expansion import (
+    EXPANSION_THRESHOLD,
+    large_set_window_poisson,
+    large_set_window_streaming,
+    min_degree_for_expansion,
+)
+from repro.theory.flooding import (
+    informed_fraction_bound_poisson,
+    informed_fraction_bound_streaming,
+    stall_probability_bound,
+    success_probability_poisson,
+    success_probability_streaming,
+)
+from repro.theory.isolated import (
+    isolated_forever_fraction_prediction_poisson,
+    isolated_forever_fraction_prediction_streaming,
+    isolated_fraction_lower_bound_poisson,
+    isolated_fraction_lower_bound_streaming,
+    isolated_fraction_prediction_poisson,
+    isolated_fraction_prediction_streaming,
+)
+from repro.theory.onion import (
+    infinite_product_success_probability,
+    onion_growth_factor_poisson,
+    onion_growth_factor_streaming,
+)
+from repro.theory.static import static_d_out_expander_min_d
+
+__all__ = [
+    "EXPANSION_THRESHOLD",
+    "infinite_product_success_probability",
+    "informed_fraction_bound_poisson",
+    "informed_fraction_bound_streaming",
+    "isolated_forever_fraction_prediction_poisson",
+    "isolated_forever_fraction_prediction_streaming",
+    "isolated_fraction_lower_bound_poisson",
+    "isolated_fraction_lower_bound_streaming",
+    "isolated_fraction_prediction_poisson",
+    "isolated_fraction_prediction_streaming",
+    "jump_probability_bounds",
+    "large_set_window_poisson",
+    "large_set_window_streaming",
+    "lifetime_horizon_rounds",
+    "min_degree_for_expansion",
+    "onion_growth_factor_poisson",
+    "onion_growth_factor_streaming",
+    "size_concentration_bounds",
+    "stall_probability_bound",
+    "static_d_out_expander_min_d",
+    "success_probability_poisson",
+    "success_probability_streaming",
+]

@@ -1,0 +1,67 @@
+"""Poisson-churn theory (Lemmas 4.4, 4.6, 4.7, 4.8).
+
+* Lemma 4.4 — size concentration: for ``t ≥ 3n``,
+  ``P(0.9 n ≤ |N_t| ≤ 1.1 n) ≥ 1 − 2 e^{−√n}``.
+* Lemma 4.6 — jump chain: next event is a death w.p. ``Nµ/(Nµ+λ)``.
+* Lemma 4.7 — for ``r ≥ n log n`` both jump probabilities lie in
+  ``[0.47, 0.53]`` and a fixed node dies in the next round with
+  probability in ``[1/(2.2n), 1/(1.8n)]``.
+* Lemma 4.8 — for ``r ≥ 7 n log n``, w.p. ≥ 1 − 2/n^{2.1} every alive
+  node was born within the last ``7 n log n`` rounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SizeConcentration:
+    """Lemma 4.4's window and failure probability."""
+
+    low: float
+    high: float
+    failure_probability: float
+    min_time: float
+
+
+def size_concentration_bounds(n: float) -> SizeConcentration:
+    """Lemma 4.4 for expected size *n*."""
+    return SizeConcentration(
+        low=0.9 * n,
+        high=1.1 * n,
+        failure_probability=2.0 * math.exp(-math.sqrt(n)),
+        min_time=3.0 * n,
+    )
+
+
+@dataclass(frozen=True)
+class JumpProbabilityBounds:
+    """Lemma 4.7's stationary jump-probability windows."""
+
+    event_low: float = 0.47
+    event_high: float = 0.53
+    fixed_death_low_factor: float = 1.0 / 2.2  # probability ≥ factor / n
+    fixed_death_high_factor: float = 1.0 / 1.8  # probability ≤ factor / n
+
+
+def jump_probability_bounds() -> JumpProbabilityBounds:
+    """Lemma 4.7's constants."""
+    return JumpProbabilityBounds()
+
+
+def lifetime_horizon_rounds(n: float) -> float:
+    """Lemma 4.8's age horizon ``7 n log n`` (jump-chain rounds)."""
+    return 7.0 * n * math.log(n)
+
+
+def expected_size_at(t: float, n: float, lam: float = 1.0) -> float:
+    """``E[|N_t|] = n (1 − e^{−λ t / n})`` from the birth/death dynamics.
+
+    Exact for the M/M/∞-like churn started empty: arrivals rate λ, each
+    alive independently for Exp(λ/n), so ``|N_t|`` is Poisson with this
+    mean.  Converges to ``n`` (Lemma 4.4's centre) for ``t ≫ n``.
+    """
+    mu = lam / n
+    return n * (1.0 - math.exp(-mu * t))

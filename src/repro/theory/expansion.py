@@ -1,0 +1,54 @@
+"""Expansion theory constants (Lemmas 3.6/4.11, Theorems 3.15/4.16).
+
+The positive expansion statements all certify the same threshold
+``ε = 0.1``; what varies is the minimum ``d`` and the size window:
+
+=====================  =======  ==========================================
+result                 min d    size window for S
+=====================  =======  ==========================================
+Lemma 3.6  (SDG)       20       ``n·e^{−d/10} ≤ |S| ≤ n/2``
+Lemma 4.11 (PDG)       20       ``n·e^{−d/20} ≤ |S| ≤ |N_t|/2``
+Theorem 3.15 (SDGR)    14       all ``1 ≤ |S| ≤ n/2``
+Theorem 4.16 (PDGR)    35       all ``1 ≤ |S| ≤ |N_t|/2``
+=====================  =======  ==========================================
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+#: The expansion constant certified by every positive result in the paper.
+EXPANSION_THRESHOLD = 0.1
+
+
+def large_set_window_streaming(n: int, d: int) -> tuple[int, int]:
+    """Lemma 3.6's size window ``[n·e^{−d/10}, n/2]`` (integer-rounded)."""
+    low = max(1, math.ceil(n * math.exp(-d / 10.0)))
+    return low, n // 2
+
+
+def large_set_window_poisson(n: int, d: int) -> tuple[int, int]:
+    """Lemma 4.11's size window ``[n·e^{−d/20}, n/2]`` (integer-rounded)."""
+    low = max(1, math.ceil(n * math.exp(-d / 20.0)))
+    return low, n // 2
+
+
+def min_degree_for_expansion(model: str) -> int:
+    """Minimum ``d`` for which the paper proves its expansion result."""
+    thresholds = {
+        "sdg_large_sets": 20,
+        "pdg_large_sets": 20,
+        "sdgr": 14,
+        "pdgr": 35,
+        "sdgr_flooding": 21,
+        "pdgr_flooding": 35,
+        "static": 3,
+    }
+    try:
+        return thresholds[model]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown model {model!r}; choose one of {sorted(thresholds)}"
+        ) from None

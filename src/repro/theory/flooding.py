@@ -1,0 +1,97 @@
+"""Flooding theory (Theorems 3.7, 3.8, 3.16, 4.12, 4.13, 4.20).
+
+Positive results:
+
+* **partial flooding without regeneration** — within
+  ``τ = O(log n / log d + d)`` rounds flooding informs a fraction at least
+  ``1 − e^{−d/10}`` (streaming, Thm 3.8) or ``1 − e^{−d/20}`` (Poisson,
+  Thm 4.13), with probability ≥ ``1 − 4e^{−d/100} − o(1)`` respectively
+  ``1 − 2e^{−d/576} − o(1)``;
+* **complete flooding with regeneration** — ``O(log n)`` w.h.p.
+  (Thms 3.16/4.20).
+
+Negative results (Thms 3.7/4.12): with probability ``Ω(e^{−d²})`` the
+informed set never exceeds ``d+1`` nodes, and full completion takes
+``Ω_d(n)`` because some isolated nodes must die out first.
+
+The stall-probability *prediction* uses the event structure of the proof:
+the source's ``d`` targets are all isolated-forever nodes and the source
+receives no in-edges, giving ``≈ p_iso^d · e^{−d}`` with ``p_iso`` the
+isolated-forever fraction.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.theory.isolated import (
+    isolated_forever_fraction_prediction_poisson,
+    isolated_forever_fraction_prediction_streaming,
+)
+
+
+def informed_fraction_bound_streaming(d: int) -> float:
+    """Theorem 3.8's informed-fraction guarantee ``1 − e^{−d/10}``."""
+    return 1.0 - math.exp(-d / 10.0)
+
+
+def informed_fraction_bound_poisson(d: int) -> float:
+    """Theorem 4.13's informed-fraction guarantee ``1 − e^{−d/20}``."""
+    return 1.0 - math.exp(-d / 20.0)
+
+
+def success_probability_streaming(d: int) -> float:
+    """Theorem 3.8's success probability ``1 − 4e^{−d/100}`` (sans o(1))."""
+    return 1.0 - 4.0 * math.exp(-d / 100.0)
+
+
+def success_probability_poisson(d: int) -> float:
+    """Theorem 4.13's success probability ``1 − 2e^{−d/576}`` (sans o(1))."""
+    return 1.0 - 2.0 * math.exp(-d / 576.0)
+
+
+def stall_probability_bound(d: int, streaming: bool = True) -> float:
+    """The Θ(e^{−d²})-type lower bound of Theorems 3.7/4.12.
+
+    Literal constants from the proofs: ``(1/2)·(e^{−2d}/6)^d`` (streaming)
+    and ``((1−e^{−1}) e^{−2d}/8)·(e^{−2d}/20)^d`` (Poisson).
+    """
+    if streaming:
+        return 0.5 * (math.exp(-2.0 * d) / 6.0) ** d
+    return (
+        (1.0 - math.exp(-1.0)) * math.exp(-2.0 * d) / 8.0
+    ) * (math.exp(-2.0 * d) / 20.0) ** d
+
+
+def stall_probability_prediction(d: int, streaming: bool = True) -> float:
+    """First-order stall-probability prediction ``p_iso^d · e^{−d}``.
+
+    ``p_iso`` is the isolated-forever fraction prediction; the extra
+    ``e^{−d}`` approximates the source itself receiving no in-edges over
+    its lifetime.  The event measured by EXP-04 (``|I_t| ≤ d+1`` forever)
+    is implied by the source's targets being isolated-forever nodes.
+    """
+    if streaming:
+        p_iso = isolated_forever_fraction_prediction_streaming(d)
+    else:
+        p_iso = isolated_forever_fraction_prediction_poisson(d)
+    return (p_iso**d) * math.exp(-d)
+
+
+def partial_flooding_rounds(n: int, d: int, constant: float = 4.0) -> int:
+    """A concrete ``τ = O(log n / log d + d)`` horizon for EXP-05.
+
+    The paper's τ has unspecified constants; experiments use
+    ``ceil(constant · (log n / log max(d,2) + d^{1/2}))`` — logarithmic in
+    ``n`` for fixed ``d`` — and then *verify* the informed fraction, so
+    the choice only has to be generous, not tight.  (The additive Θ(d)
+    phase-2 term is only ``Θ(log d)`` growth rounds plus slack in the
+    proof; √d keeps the horizon practical for the d-sweeps.)
+    """
+    tau = constant * (math.log(n) / math.log(max(d, 2)) + math.sqrt(d))
+    return int(math.ceil(tau))
+
+
+def complete_flooding_rounds(n: int, constant: float = 8.0) -> int:
+    """A concrete ``O(log n)`` horizon for the regeneration models."""
+    return int(math.ceil(constant * math.log(max(n, 2))))

@@ -1,0 +1,64 @@
+"""Onion-skin process theory (Claims 3.10/3.11, Lemmas 3.9 and 7.8).
+
+The constructive proof of the partial-flooding theorems builds alternating
+young/old layers whose sizes grow geometrically:
+
+* streaming (Claim 3.10): each phase multiplies the freshly informed layer
+  by at least ``d/20``, each step succeeding w.p. ``1 − e^{−(layer)d/100}``;
+* Poisson (Claims 7.5–7.7): growth factor ``d/48``, step failure
+  ``e^{−(layer)d/576}`` (plus O(log n/n) removal noise).
+
+Claim 3.11 bounds the whole process' success probability by the infinite
+product ``∏_i (1 − e^{−a_i d/100})`` with ``a_i = (d/20)^i``, which is at
+least ``1 − 4e^{−d/100}`` for ``d ≥ 200``.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def onion_growth_factor_streaming(d: int) -> float:
+    """Claim 3.10's per-phase layer growth factor ``d/20``."""
+    return d / 20.0
+
+
+def onion_growth_factor_poisson(d: int) -> float:
+    """Claim 7.6/7.7's per-phase layer growth factor ``d/48``."""
+    return d / 48.0
+
+
+def infinite_product_success_probability(
+    d: int, growth_divisor: float = 20.0, failure_divisor: float = 100.0, terms: int = 64
+) -> float:
+    """Numerically evaluate ``∏_{i≥0} (1 − e^{−a_i · d/failure_divisor})``
+    with ``a_i = (d/growth_divisor)^i`` (Claim 3.11's product ``c``).
+
+    Requires ``d > growth_divisor`` for the product to converge to a
+    positive constant; returns 0.0 when any factor is ≤ 0 numerically.
+    """
+    log_sum = 0.0
+    for i in range(terms):
+        a_i = (d / growth_divisor) ** i
+        factor = 1.0 - math.exp(-a_i * d / failure_divisor)
+        if factor <= 0.0:
+            return 0.0
+        log_sum += math.log(factor)
+        if a_i * d / failure_divisor > 700:  # further factors are 1 − 0
+            break
+    return math.exp(log_sum)
+
+
+def claim_311_lower_bound(d: int) -> float:
+    """Claim 3.11's closed-form lower bound ``1 − 4 e^{−d/100}`` (d ≥ 200)."""
+    return 1.0 - 4.0 * math.exp(-d / 100.0)
+
+
+def phases_to_reach(n: int, d: int, target_fraction: float = 0.1,
+                    growth_divisor: float = 20.0) -> int:
+    """Number of phases for layers of growth ``d/growth_divisor`` to reach
+    ``target_fraction · n`` nodes (the τ₁ = O(log n / log d) of Lemma 3.9)."""
+    growth = d / growth_divisor
+    if growth <= 1.0:
+        raise ValueError(f"growth factor must exceed 1, got {growth}")
+    return max(1, math.ceil(math.log(max(target_fraction * n, 1.0)) / math.log(growth)))

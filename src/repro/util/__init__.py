@@ -1,0 +1,27 @@
+"""Shared low-level utilities: RNG management, sampling, statistics, tables."""
+
+from repro.util.rng import child_seeds, make_rng, spawn_rngs
+from repro.util.sampling import IndexedSet
+from repro.util.stats import (
+    ConfidenceInterval,
+    exponential_decay_fit,
+    geometric_growth_rate,
+    linear_fit,
+    log_scaling_fit,
+    mean_confidence_interval,
+    summarize,
+)
+
+__all__ = [
+    "ConfidenceInterval",
+    "IndexedSet",
+    "child_seeds",
+    "exponential_decay_fit",
+    "geometric_growth_rate",
+    "linear_fit",
+    "log_scaling_fit",
+    "make_rng",
+    "mean_confidence_interval",
+    "spawn_rngs",
+    "summarize",
+]

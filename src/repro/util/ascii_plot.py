@@ -1,0 +1,117 @@
+"""Dependency-free ASCII charts for terminal output.
+
+Examples and the experiment CLI render flooding trajectories and sweep
+series without any plotting library:
+
+* :func:`sparkline` — a one-line unicode summary of a series;
+* :func:`line_chart` — a fixed-height character canvas with axis labels;
+* :func:`histogram` — horizontal bars for discrete distributions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line unicode sparkline of *values* (empty input → empty str)."""
+    data = [float(v) for v in values]
+    if not data:
+        return ""
+    low = min(data)
+    high = max(data)
+    if math.isclose(low, high):
+        return _SPARK_LEVELS[0] * len(data)
+    span = high - low
+    out = []
+    for v in data:
+        index = int((v - low) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[index])
+    return "".join(out)
+
+
+def line_chart(
+    values: Sequence[float],
+    height: int = 8,
+    width: int | None = None,
+    title: str | None = None,
+) -> str:
+    """Render *values* as a character line chart.
+
+    The series is resampled to *width* columns (default: its length,
+    capped at 72) and drawn on a *height*-row canvas with min/max labels.
+    """
+    data = [float(v) for v in values]
+    if not data:
+        return "(empty series)"
+    if height < 2:
+        raise ValueError("height must be >= 2")
+    if width is None:
+        width = min(len(data), 72)
+    width = max(1, width)
+    resampled = _resample(data, width)
+    low, high = min(resampled), max(resampled)
+    span = high - low if high > low else 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for x, v in enumerate(resampled):
+        y = int((v - low) / span * (height - 1))
+        canvas[height - 1 - y][x] = "•"
+
+    label_width = max(len(_fmt(high)), len(_fmt(low)))
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(canvas):
+        if row_index == 0:
+            label = _fmt(high).rjust(label_width)
+        elif row_index == height - 1:
+            label = _fmt(low).rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    return "\n".join(lines)
+
+
+def histogram(
+    counts: Mapping[int, int] | Mapping[str, int],
+    max_bar: int = 40,
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart for a discrete distribution."""
+    if not counts:
+        return "(empty histogram)"
+    peak = max(counts.values())
+    label_width = max(len(str(k)) for k in counts)
+    lines = []
+    if title:
+        lines.append(title)
+    for key in counts:
+        value = counts[key]
+        bar = "#" * max(1 if value > 0 else 0, int(value / peak * max_bar))
+        lines.append(f"{str(key).rjust(label_width)} | {bar} {value}")
+    return "\n".join(lines)
+
+
+def _resample(data: list[float], width: int) -> list[float]:
+    """Average-pool *data* down (or index-map up) to *width* points."""
+    n = len(data)
+    if n == width:
+        return data
+    out = []
+    for i in range(width):
+        start = int(i * n / width)
+        end = max(start + 1, int((i + 1) * n / width))
+        chunk = data[start:end]
+        out.append(sum(chunk) / len(chunk))
+    return out
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:.3g}"

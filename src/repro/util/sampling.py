@@ -1,0 +1,104 @@
+"""O(1) uniform sampling from a mutable set of node ids.
+
+The dynamic-graph models need to pick a node uniformly at random from the
+set of currently-alive nodes thousands of times per simulated second, while
+nodes are continuously inserted and removed.  :class:`IndexedSet` supports
+``add``, ``discard``, membership, and uniform ``sample`` all in O(1) using
+the classic list + position-map ("swap-pop") representation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+
+class IndexedSet:
+    """A set of ints supporting O(1) add/discard/contains/uniform-sample."""
+
+    __slots__ = ("_items", "_pos")
+
+    def __init__(self, items: Iterable[int] = ()) -> None:
+        self._items: list[int] = []
+        self._pos: dict[int, int] = {}
+        for item in items:
+            self.add(item)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item: int) -> bool:
+        return item in self._pos
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IndexedSet({self._items!r})"
+
+    def add(self, item: int) -> None:
+        """Insert *item* if not already present."""
+        if item in self._pos:
+            return
+        self._pos[item] = len(self._items)
+        self._items.append(item)
+
+    def discard(self, item: int) -> None:
+        """Remove *item* if present (no-op otherwise)."""
+        pos = self._pos.pop(item, None)
+        if pos is None:
+            return
+        last = self._items.pop()
+        if last != item:
+            self._items[pos] = last
+            self._pos[last] = pos
+
+    def remove(self, item: int) -> None:
+        """Remove *item*, raising :class:`KeyError` if absent."""
+        if item not in self._pos:
+            raise KeyError(item)
+        self.discard(item)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        """Return a uniformly random member (the set must be non-empty)."""
+        if not self._items:
+            raise IndexError("cannot sample from an empty IndexedSet")
+        return self._items[int(rng.integers(0, len(self._items)))]
+
+    def sample_excluding(self, rng: np.random.Generator, excluded: int) -> int:
+        """Uniformly sample a member different from *excluded*.
+
+        Requires at least one eligible member.  Uses rejection sampling,
+        which terminates quickly because at most one element is excluded.
+        """
+        size = len(self._items)
+        if size == 0 or (size == 1 and self._items[0] == excluded):
+            raise IndexError("no eligible element to sample")
+        while True:
+            candidate = self._items[int(rng.integers(0, size))]
+            if candidate != excluded:
+                return candidate
+
+    def sample_many(
+        self, rng: np.random.Generator, k: int, exclude: int | None = None
+    ) -> list[int]:
+        """Sample *k* members independently (with replacement).
+
+        If *exclude* is given, that member is never returned.  Returns an
+        empty list when no eligible member exists: this mirrors the paper's
+        convention that the very first node of the network creates no edges
+        because "the network" is empty at that point.
+        """
+        size = len(self._items)
+        if size == 0:
+            return []
+        if exclude is not None and exclude in self._pos:
+            if size == 1:
+                return []
+            return [self.sample_excluding(rng, exclude) for _ in range(k)]
+        return [self._items[int(i)] for i in rng.integers(0, size, size=k)]
+
+    def as_list(self) -> list[int]:
+        """Return a snapshot copy of the members (ordering is internal)."""
+        return list(self._items)

@@ -1,0 +1,150 @@
+"""Statistics helpers used by the experiment harness.
+
+The paper's claims have three recurring statistical shapes, each served by a
+dedicated fit helper:
+
+* **O(log n) flooding time** — :func:`log_scaling_fit` regresses a measured
+  quantity against ``log n`` and reports the slope, intercept and R²; a good
+  linear fit in ``log n`` (and a flat ``time / log n`` ratio) is the
+  reproduction criterion for Theorems 3.8/3.16/4.13/4.20.
+* **1 − exp(−Ω(d)) fractions** — :func:`exponential_decay_fit` regresses
+  ``log(residual)`` against ``d`` and reports the decay rate; a negative
+  slope reproduces the exp(−Ω(d)) claims of Lemmas 3.5/4.10 and
+  Theorems 3.8/4.13.
+* **constant-factor growth** — :func:`geometric_growth_rate` estimates the
+  per-round multiplicative growth of the informed set (onion-skin claims).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A mean with a symmetric normal-approximation confidence interval."""
+
+    mean: float
+    half_width: float
+    n_samples: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.half_width:.2g}"
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Least-squares fit ``y ≈ slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+
+def mean_confidence_interval(
+    samples: Sequence[float], z: float = 1.96
+) -> ConfidenceInterval:
+    """Normal-approximation CI for the mean of *samples* (default 95%)."""
+    data = np.asarray(list(samples), dtype=float)
+    if data.size == 0:
+        raise ValueError("need at least one sample")
+    mean = float(data.mean())
+    if data.size == 1:
+        return ConfidenceInterval(mean=mean, half_width=float("nan"), n_samples=1)
+    stderr = float(data.std(ddof=1)) / math.sqrt(data.size)
+    return ConfidenceInterval(mean=mean, half_width=z * stderr, n_samples=int(data.size))
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Ordinary least squares fit of ``ys`` against ``xs``."""
+    x = np.asarray(list(xs), dtype=float)
+    y = np.asarray(list(ys), dtype=float)
+    if x.size != y.size:
+        raise ValueError("xs and ys must have the same length")
+    if x.size < 2:
+        raise ValueError("need at least two points for a linear fit")
+    slope, intercept = np.polyfit(x, y, deg=1)
+    predicted = slope * x + intercept
+    ss_res = float(np.sum((y - predicted) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return LinearFit(slope=float(slope), intercept=float(intercept), r_squared=r_squared)
+
+
+def log_scaling_fit(ns: Sequence[float], values: Sequence[float]) -> LinearFit:
+    """Fit ``values ≈ a * log(n) + b``.
+
+    Used to check O(log n) claims: a stable positive slope with high R²
+    (and no super-logarithmic curvature) reproduces the claimed scaling.
+    """
+    logs = [math.log(n) for n in ns]
+    return linear_fit(logs, values)
+
+
+def exponential_decay_fit(
+    ds: Sequence[float], residuals: Sequence[float], floor: float = 1e-12
+) -> LinearFit:
+    """Fit ``log(residual) ≈ -rate * d + c`` and return the linear fit.
+
+    *residuals* are quantities the paper claims decay like exp(−Ω(d)),
+    e.g. the uninformed fraction or the isolated-node fraction.  Zero
+    residuals are clamped to *floor* so that a fully-informed trial does
+    not destroy the fit.  A negative ``slope`` with magnitude bounded away
+    from zero reproduces the exp(−Ω(d)) shape.
+    """
+    logged = [math.log(max(r, floor)) for r in residuals]
+    return linear_fit(ds, logged)
+
+
+def geometric_growth_rate(sizes: Sequence[float]) -> float:
+    """Median per-step multiplicative growth factor of a size sequence.
+
+    Only strictly positive consecutive pairs contribute.  Returns ``nan``
+    when no pair is usable (e.g. the process died immediately).
+    """
+    ratios = [
+        b / a
+        for a, b in zip(sizes, list(sizes)[1:])
+        if a > 0 and b > 0
+    ]
+    if not ratios:
+        return float("nan")
+    return float(np.median(ratios))
+
+
+def summarize(samples: Sequence[float]) -> dict[str, float]:
+    """Return a dict of basic summary statistics (min/median/mean/max/std)."""
+    data = np.asarray(list(samples), dtype=float)
+    if data.size == 0:
+        raise ValueError("need at least one sample")
+    return {
+        "min": float(data.min()),
+        "median": float(np.median(data)),
+        "mean": float(data.mean()),
+        "max": float(data.max()),
+        "std": float(data.std(ddof=1)) if data.size > 1 else 0.0,
+        "count": float(data.size),
+    }
+
+
+def fraction_true(flags: Sequence[bool]) -> float:
+    """Fraction of ``True`` entries (empirical probability of an event)."""
+    flags = list(flags)
+    if not flags:
+        raise ValueError("need at least one observation")
+    return sum(bool(f) for f in flags) / len(flags)

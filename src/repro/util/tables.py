@@ -1,0 +1,68 @@
+"""Minimal ASCII table rendering for experiment output.
+
+The experiment harness prints the same rows the paper's Table 1 summarises.
+We keep formatting dependency-free: a table is a list of column names plus a
+list of row dicts; values are formatted with sensible defaults (floats get 4
+significant digits).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def format_value(value: Any) -> str:
+    """Render a single cell."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-4:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    columns: Sequence[str],
+    rows: Sequence[Mapping[str, Any]],
+    title: str | None = None,
+) -> str:
+    """Render *rows* as a fixed-width ASCII table with the given *columns*."""
+    header = list(columns)
+    body = [[format_value(row.get(col)) for col in header] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    rule = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(rule)
+    out.append(line(header))
+    out.append(rule)
+    for r in body:
+        out.append(line(r))
+    out.append(rule)
+    return "\n".join(out)
+
+
+def render_kv(pairs: Mapping[str, Any], title: str | None = None) -> str:
+    """Render a key/value block (used for experiment headline verdicts)."""
+    out: list[str] = []
+    if title:
+        out.append(title)
+    width = max((len(k) for k in pairs), default=0)
+    for key, value in pairs.items():
+        out.append(f"  {key.ljust(width)} : {format_value(value)}")
+    return "\n".join(out)

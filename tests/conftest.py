@@ -1,0 +1,70 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.snapshot import Snapshot
+
+
+def snapshot_from_edges(
+    num_nodes: int,
+    edges: list[tuple[int, int]],
+    time: float = 0.0,
+    birth_times: dict[int, float] | None = None,
+) -> Snapshot:
+    """Build a Snapshot from an explicit undirected edge list.
+
+    Nodes are ``0 .. num_nodes-1``; out_slots are left empty (tests that
+    need slots build real models instead).
+    """
+    adjacency: dict[int, set[int]] = {u: set() for u in range(num_nodes)}
+    for u, v in edges:
+        if u == v:
+            raise ValueError("no self loops in tests")
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+    births = birth_times or {u: 0.0 for u in range(num_nodes)}
+    return Snapshot(
+        time=time,
+        nodes=frozenset(range(num_nodes)),
+        adjacency={u: frozenset(nbrs) for u, nbrs in adjacency.items()},
+        birth_times=births,
+        out_slots={u: () for u in range(num_nodes)},
+    )
+
+
+def path_snapshot(num_nodes: int) -> Snapshot:
+    """A path 0-1-2-…-(n-1)."""
+    return snapshot_from_edges(
+        num_nodes, [(i, i + 1) for i in range(num_nodes - 1)]
+    )
+
+
+def cycle_snapshot(num_nodes: int) -> Snapshot:
+    """A cycle on num_nodes nodes."""
+    edges = [(i, (i + 1) % num_nodes) for i in range(num_nodes)]
+    return snapshot_from_edges(num_nodes, edges)
+
+
+def complete_snapshot(num_nodes: int) -> Snapshot:
+    """The complete graph K_n."""
+    edges = [
+        (i, j) for i in range(num_nodes) for j in range(i + 1, num_nodes)
+    ]
+    return snapshot_from_edges(num_nodes, edges)
+
+
+@pytest.fixture
+def path8() -> Snapshot:
+    return path_snapshot(8)
+
+
+@pytest.fixture
+def cycle10() -> Snapshot:
+    return cycle_snapshot(10)
+
+
+@pytest.fixture
+def complete6() -> Snapshot:
+    return complete_snapshot(6)

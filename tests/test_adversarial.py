@@ -1,0 +1,117 @@
+"""Tests for adversarial churn strategies and the adversarial driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.churn.adversarial import (
+    STRATEGIES,
+    get_strategy,
+    max_degree_victim,
+    min_degree_victim,
+    oldest_victim,
+    random_victim,
+)
+from repro.core.edge_policy import NoRegenerationPolicy, RegenerationPolicy
+from repro.errors import ConfigurationError
+from repro.models.adversarial import AdversarialStreamingNetwork
+from repro.models.streaming import SDG
+from repro.util.rng import make_rng
+
+
+class TestStrategies:
+    def test_registry_contents(self):
+        assert set(STRATEGIES) == {"oldest", "random", "max_degree", "min_degree"}
+
+    def test_get_strategy(self):
+        assert get_strategy("oldest") is oldest_victim
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ConfigurationError):
+            get_strategy("sneaky")
+
+    def test_oldest_picks_smallest_id(self):
+        net = SDG(n=20, d=2, seed=0)
+        net.run_rounds(5)
+        assert oldest_victim(net.state, make_rng(0)) == min(net.state.alive_ids())
+
+    def test_random_picks_alive(self):
+        net = SDG(n=20, d=2, seed=1)
+        rng = make_rng(1)
+        for _ in range(10):
+            assert net.state.is_alive(random_victim(net.state, rng))
+
+    def test_max_degree_picks_hub(self):
+        net = SDG(n=30, d=3, seed=2)
+        net.run_rounds(30)
+        victim = max_degree_victim(net.state, make_rng(0))
+        top = max(net.state.degree(u) for u in net.state.alive_ids())
+        assert net.state.degree(victim) == top
+
+    def test_min_degree_picks_fringe(self):
+        net = SDG(n=30, d=3, seed=3)
+        net.run_rounds(30)
+        victim = min_degree_victim(net.state, make_rng(0))
+        bottom = min(net.state.degree(u) for u in net.state.alive_ids())
+        assert net.state.degree(victim) == bottom
+
+
+class TestAdversarialDriver:
+    def test_constant_size(self):
+        net = AdversarialStreamingNetwork(
+            40, RegenerationPolicy(3), strategy="max_degree", seed=0
+        )
+        for _ in range(30):
+            net.advance_round()
+            assert net.num_alive() == 40
+
+    def test_invariants_under_hub_removal(self):
+        net = AdversarialStreamingNetwork(
+            50, RegenerationPolicy(4), strategy="max_degree", seed=1
+        )
+        net.run_rounds(60)
+        net.state.check_invariants()
+
+    def test_oldest_strategy_matches_streaming_semantics(self):
+        """With the 'oldest' strategy the victim sequence equals SDG's."""
+        net = AdversarialStreamingNetwork(
+            30, NoRegenerationPolicy(2), strategy="oldest", seed=2
+        )
+        report = net.advance_round()
+        assert report.deaths == [0]
+
+    def test_callable_strategy(self):
+        calls = []
+
+        def chooser(state, rng):
+            victim = min(state.alive_ids())
+            calls.append(victim)
+            return victim
+
+        net = AdversarialStreamingNetwork(
+            20, NoRegenerationPolicy(2), strategy=chooser, seed=3
+        )
+        net.advance_round()
+        assert calls == [0]
+
+    def test_hub_removal_fragments_no_regen(self):
+        """The EXP-16 headline: targeted hub deletion without regeneration
+        shatters the graph at small d."""
+        hub = AdversarialStreamingNetwork(
+            200, NoRegenerationPolicy(3), strategy="max_degree", seed=4
+        )
+        hub.run_rounds(200)
+        oblivious = AdversarialStreamingNetwork(
+            200, NoRegenerationPolicy(3), strategy="oldest", seed=4
+        )
+        oblivious.run_rounds(200)
+        from repro.analysis.components import giant_component_fraction
+
+        assert (
+            giant_component_fraction(hub.snapshot())
+            < giant_component_fraction(oblivious.snapshot()) - 0.1
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdversarialStreamingNetwork(1, RegenerationPolicy(2))

@@ -1,0 +1,83 @@
+"""Tests for the distance/diameter analysis."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.distances import (
+    average_shortest_path_sample,
+    bfs_distances,
+    eccentricity,
+    giant_component_diameter,
+)
+from repro.errors import AnalysisError
+from repro.models import SDGR, static_d_out_snapshot
+from tests.conftest import cycle_snapshot, path_snapshot, snapshot_from_edges
+
+
+class TestBfs:
+    def test_path_distances(self):
+        snap = path_snapshot(5)
+        assert bfs_distances(snap, 0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_unreachable_not_included(self):
+        snap = snapshot_from_edges(4, [(0, 1)])
+        assert bfs_distances(snap, 0) == {0: 0, 1: 1}
+
+    def test_unknown_source(self):
+        with pytest.raises(AnalysisError):
+            bfs_distances(path_snapshot(3), 99)
+
+    def test_eccentricity(self):
+        snap = path_snapshot(7)
+        assert eccentricity(snap, 0) == 6
+        assert eccentricity(snap, 3) == 3
+
+
+class TestDiameter:
+    def test_path(self):
+        assert giant_component_diameter(path_snapshot(9)) == 8
+
+    def test_cycle(self):
+        assert giant_component_diameter(cycle_snapshot(10)) == 5
+
+    def test_isolated_only(self):
+        snap = snapshot_from_edges(3, [])
+        assert giant_component_diameter(snap) == 0
+
+    def test_uses_giant_component(self):
+        snap = snapshot_from_edges(7, [(0, 1), (1, 2), (2, 3), (5, 6)])
+        assert giant_component_diameter(snap) == 3
+
+    def test_double_sweep_matches_exact_on_cycle(self):
+        snap = cycle_snapshot(24)
+        exact = giant_component_diameter(snap, exact_limit=600)
+        sweep = giant_component_diameter(snap, exact_limit=1, seed=0)
+        assert sweep == exact
+
+    def test_expander_diameter_logarithmic(self):
+        """Static 3-out expanders have O(log n) diameter."""
+        snap = static_d_out_snapshot(500, 3, seed=0)
+        assert giant_component_diameter(snap, seed=1) <= 4 * math.log2(500)
+
+    def test_sdgr_diameter_logarithmic(self):
+        net = SDGR(n=300, d=8, seed=1)
+        net.run_rounds(300)
+        assert giant_component_diameter(net.snapshot(), seed=2) <= 4 * math.log2(300)
+
+
+class TestAveragePath:
+    def test_path_graph_average(self):
+        value = average_shortest_path_sample(path_snapshot(6), num_sources=6, seed=0)
+        assert 1.0 < value < 5.0
+
+    def test_requires_component(self):
+        with pytest.raises(AnalysisError):
+            average_shortest_path_sample(snapshot_from_edges(3, []))
+
+    def test_smaller_than_diameter(self):
+        snap = cycle_snapshot(20)
+        avg = average_shortest_path_sample(snap, seed=1)
+        assert avg <= giant_component_diameter(snap)

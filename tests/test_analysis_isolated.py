@@ -1,0 +1,90 @@
+"""Tests for the isolated-node census (Lemmas 3.5 / 4.10 machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.isolated import (
+    count_isolated,
+    isolated_fraction,
+    lifetime_isolated_census,
+)
+from repro.models import SDG, SDGR
+from repro.theory.isolated import (
+    isolated_fraction_lower_bound_streaming,
+    isolated_fraction_prediction_streaming,
+)
+from tests.conftest import snapshot_from_edges
+
+
+class TestCounts:
+    def test_count(self):
+        snap = snapshot_from_edges(5, [(0, 1)])
+        assert count_isolated(snap) == 3
+
+    def test_fraction(self):
+        snap = snapshot_from_edges(4, [(0, 1)])
+        assert isolated_fraction(snap) == pytest.approx(0.5)
+
+    def test_no_isolated(self):
+        snap = snapshot_from_edges(3, [(0, 1), (1, 2)])
+        assert count_isolated(snap) == 0
+
+
+class TestSDGIsolation:
+    def test_fraction_above_paper_bound(self):
+        """Lemma 3.5: at least e^{-2d}/6 of nodes are isolated."""
+        d = 2
+        net = SDG(n=600, d=d, seed=0)
+        net.run_rounds(1200)
+        frac = isolated_fraction(net.snapshot())
+        assert frac >= isolated_fraction_lower_bound_streaming(d)
+
+    def test_fraction_matches_prediction(self):
+        """First-order prediction ∫ a^d e^{-da} da tracks simulation."""
+        d = 3
+        net = SDG(n=2000, d=d, seed=1)
+        net.run_rounds(4000)
+        frac = isolated_fraction(net.snapshot())
+        predicted = isolated_fraction_prediction_streaming(d)
+        assert frac == pytest.approx(predicted, rel=0.5)
+
+    def test_sdgr_has_no_isolated(self):
+        net = SDGR(n=400, d=3, seed=2)
+        net.run_rounds(800)
+        assert count_isolated(net.snapshot()) == 0
+
+
+class TestLifetimeCensus:
+    def test_census_accounts_for_every_tracked_node(self):
+        net = SDG(n=200, d=2, seed=3)
+        net.run_rounds(400)
+        census = lifetime_isolated_census(net, max_rounds=200)
+        assert (
+            census.reconnected + census.died_isolated + census.still_alive
+            == census.initial_isolated
+        )
+
+    def test_most_isolated_nodes_stay_isolated(self):
+        """Lemma 3.5's second claim: isolated nodes remain isolated for
+        their whole life (they have no out-requests left and in-requests
+        arrive at rate d/n)."""
+        net = SDG(n=400, d=2, seed=4)
+        net.run_rounds(800)
+        census = lifetime_isolated_census(net, max_rounds=400)
+        if census.initial_isolated >= 5:
+            assert census.forever_isolated_fraction_of_tracked > 0.5
+
+    def test_initial_fraction(self):
+        net = SDG(n=300, d=2, seed=5)
+        net.run_rounds(600)
+        census = lifetime_isolated_census(net, max_rounds=0)
+        assert census.initial_fraction == pytest.approx(
+            census.initial_isolated / 300
+        )
+
+    def test_streaming_all_dead_within_n_rounds(self):
+        net = SDG(n=150, d=2, seed=6)
+        net.run_rounds(300)
+        census = lifetime_isolated_census(net, max_rounds=150)
+        assert census.still_alive == 0

@@ -1,0 +1,213 @@
+"""Tests for degrees, components, ages, KL, and spectral analyses."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.ages import age_profile, age_slices, geometric_decay_rate, mean_age
+from repro.analysis.components import component_summary, giant_component_fraction
+from repro.analysis.degrees import (
+    degree_histogram,
+    degree_summary,
+    in_out_degree_split,
+    max_degree,
+)
+from repro.analysis.kl import (
+    kl_divergence,
+    nonexpansion_exponent,
+    paper_profile_distribution,
+    profile_distribution_mass,
+)
+from repro.analysis.spectral import cheeger_bounds, normalized_laplacian_lambda2
+from repro.errors import AnalysisError
+from repro.models import PDGR, SDG, SDGR, static_d_out_snapshot
+from tests.conftest import (
+    complete_snapshot,
+    cycle_snapshot,
+    path_snapshot,
+    snapshot_from_edges,
+)
+
+
+class TestDegrees:
+    def test_summary_on_cycle(self):
+        s = degree_summary(cycle_snapshot(10))
+        assert s.mean_degree == pytest.approx(2.0)
+        assert s.max_degree == 2
+        assert s.min_degree == 2
+        assert s.num_edges == 10
+
+    def test_max_degree(self):
+        assert max_degree(path_snapshot(5)) == 2
+        assert max_degree(snapshot_from_edges(3, [])) == 0
+
+    def test_histogram(self):
+        hist = degree_histogram(path_snapshot(4))
+        assert hist == {1: 2, 2: 2}
+
+    def test_in_out_split_sdgr(self):
+        net = SDGR(n=60, d=3, seed=0)
+        net.run_rounds(60)
+        split = in_out_degree_split(net.snapshot())
+        outs = [o for o, _ in split.values()]
+        ins = [i for _, i in split.values()]
+        assert all(o == 3 for o in outs)
+        assert sum(ins) == sum(outs)
+
+    def test_mean_degree_lemma_61(self):
+        """Lemma 6.1: expected degree d in the streaming model."""
+        net = SDG(n=500, d=4, seed=1)
+        net.run_rounds(1000)
+        s = degree_summary(net.snapshot())
+        assert s.mean_degree == pytest.approx(4.0, rel=0.15)
+
+    def test_max_degree_logarithmic(self):
+        """§5 remark: max degree O(log n) — check it is far below n."""
+        net = SDGR(n=500, d=3, seed=2)
+        net.run_rounds(1000)
+        assert max_degree(net.snapshot()) < 12 * math.log(500)
+
+
+class TestComponents:
+    def test_connected_cycle(self):
+        s = component_summary(cycle_snapshot(8))
+        assert s.is_connected
+        assert s.giant_fraction == 1.0
+
+    def test_split_graph(self):
+        snap = snapshot_from_edges(7, [(0, 1), (1, 2), (3, 4)])
+        s = component_summary(snap)
+        assert s.num_components == 4
+        assert s.giant_size == 3
+        assert s.second_size == 2
+        assert s.num_isolated == 2
+
+    def test_giant_fraction_sdg(self):
+        """SDG keeps a giant component despite isolated nodes."""
+        net = SDG(n=500, d=4, seed=3)
+        net.run_rounds(1000)
+        frac = giant_component_fraction(net.snapshot())
+        assert frac > 0.8
+
+
+class TestAges:
+    def test_age_slices_default(self):
+        assert age_slices(100) == math.ceil(7 * math.log(100))
+
+    def test_age_slices_override(self):
+        assert age_slices(100, 5) == 5
+
+    def test_profile_counts_everything(self):
+        net = PDGR(n=100, d=3, seed=4)
+        snap = net.snapshot()
+        profile = age_profile(snap)
+        assert profile.total == snap.num_nodes()
+
+    def test_streaming_profile_in_first_slice(self):
+        """All streaming ages are < n, so slice 0 holds everything."""
+        net = SDG(n=80, d=3, seed=5)
+        net.run_rounds(80)
+        profile = age_profile(net.snapshot(), slice_width=80.0)
+        assert profile.counts[0] == 80
+        assert profile.oldest_nonempty_slice() == 0
+
+    def test_poisson_profile_decays(self):
+        """Exponential lifetimes put geometrically fewer nodes in older
+        slices (the demographics the PDGR proof exploits)."""
+        net = PDGR(n=400, d=3, seed=6, warm_time=4000.0)
+        snap = net.snapshot()
+        profile = age_profile(snap, slice_width=400.0)
+        assert profile.counts[0] > profile.counts[1] > 0
+        rate = geometric_decay_rate(profile)
+        assert 0.0 < rate < 1.0
+
+    def test_mean_age(self):
+        snap = snapshot_from_edges(2, [(0, 1)], time=10.0, birth_times={0: 0.0, 1: 5.0})
+        assert mean_age(snap) == pytest.approx(7.5)
+
+    def test_mean_age_empty_raises(self):
+        snap = snapshot_from_edges(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            mean_age(snap, subset=[])
+
+
+class TestKL:
+    def test_kl_nonnegative_for_distributions(self):
+        p = [0.2, 0.3, 0.5]
+        q = [0.3, 0.3, 0.4]
+        assert kl_divergence(p, q) >= 0.0
+
+    def test_kl_zero_iff_equal(self):
+        p = [0.25, 0.25, 0.5]
+        assert kl_divergence(p, p) == pytest.approx(0.0)
+
+    def test_kl_infinite_when_q_zero(self):
+        assert kl_divergence([1.0], [0.0]) == float("inf")
+
+    def test_kl_negative_for_subdistribution_possible(self):
+        # q sums to 2 > 1 → KL can go negative; the proof's direction.
+        p = [1.0]
+        q = [2.0]
+        assert kl_divergence(p, q) < 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(AnalysisError):
+            kl_divergence([1.0], [0.5, 0.5])
+
+    def test_paper_q_is_subdistribution_in_regime(self):
+        """The proof of Lemma 4.18 needs Σ q_m ≤ 1 for d ≥ 30, k ≤ n/14."""
+        n = 10_000.0
+        length = age_slices(n)
+        for d in [30, 35, 50]:
+            for k in [int(n / math.log(n) ** 2) + 1, int(n / 20), int(n / 14)]:
+                assert profile_distribution_mass(k, n, d, length) <= 1.0
+
+    def test_paper_q_positive(self):
+        q = paper_profile_distribution(k=100, n=1000.0, d=35, num_slices=10)
+        assert all(v > 0 for v in q)
+
+    def test_nonexpansion_exponent_positive_in_regime(self):
+        """Formula (23): the KL bound makes the exponent ≥ 0 (plus the
+        log(10/9) slack) for profiles from the paper's regime."""
+        n = 10_000.0
+        counts = [500, 150, 40, 10, 3, 1] + [0] * 10
+        value = nonexpansion_exponent(counts, n, d=35)
+        assert value > 0.0
+
+
+class TestSpectral:
+    def test_lambda2_complete_graph(self):
+        """λ₂ of normalized Laplacian of K_n is n/(n-1)."""
+        lam2 = normalized_laplacian_lambda2(complete_snapshot(8))
+        assert lam2 == pytest.approx(8 / 7, rel=1e-6)
+
+    def test_lambda2_path_small(self):
+        lam2 = normalized_laplacian_lambda2(path_snapshot(10))
+        assert 0.0 < lam2 < 0.3
+
+    def test_disconnected_uses_giant(self):
+        snap = snapshot_from_edges(7, [(0, 1), (1, 2), (2, 3), (4, 5)])
+        lam2 = normalized_laplacian_lambda2(snap, on_giant=True)
+        assert lam2 > 0.0
+
+    def test_too_small_rejected(self):
+        with pytest.raises(AnalysisError):
+            normalized_laplacian_lambda2(snapshot_from_edges(2, [(0, 1)]))
+
+    def test_cheeger_sandwich(self):
+        bounds = cheeger_bounds(cycle_snapshot(12))
+        assert bounds.conductance_lower <= bounds.conductance_upper
+        assert bounds.vertex_expansion_lower >= 0.0
+
+    def test_expander_has_large_gap(self):
+        snap = static_d_out_snapshot(300, 4, seed=0)
+        lam2 = normalized_laplacian_lambda2(snap)
+        assert lam2 > 0.15
+
+    def test_sparse_path_solver_large(self):
+        """Exercise the sparse eigensolver branch (n > 400)."""
+        snap = static_d_out_snapshot(500, 3, seed=1)
+        lam2 = normalized_laplacian_lambda2(snap)
+        assert lam2 > 0.05

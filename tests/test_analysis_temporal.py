@@ -1,0 +1,112 @@
+"""Tests for the temporal analysis helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.temporal import (
+    edge_lifetime_stats,
+    node_survival_curve,
+    snapshot_jaccard,
+    stationarity_diagnostic,
+    topology_change_rate,
+)
+from repro.errors import AnalysisError
+from repro.models import PDGR, SDG, SDGR
+
+
+class TestEdgeLifetimes:
+    def test_streaming_edge_lifetimes_bounded_by_n(self):
+        net = SDGR(n=60, d=3, seed=0)
+        stats = edge_lifetime_stats(net, rounds=180)
+        assert stats.observed > 0
+        assert 0 < stats.median <= 60
+        assert stats.mean <= 60
+
+    def test_needs_complete_lifetimes(self):
+        net = SDGR(n=50, d=3, seed=1)
+        with pytest.raises(AnalysisError):
+            edge_lifetime_stats(net, rounds=0)
+
+    def test_percentiles_ordered(self):
+        net = PDGR(n=80, d=3, seed=2)
+        stats = edge_lifetime_stats(net, rounds=150)
+        assert stats.median <= stats.p90
+
+
+class TestJaccard:
+    def test_identical_snapshots(self):
+        net = SDGR(n=50, d=3, seed=3)
+        snap = net.snapshot()
+        assert snapshot_jaccard(snap, snap) == 1.0
+
+    def test_decay_over_time(self):
+        """Similarity decreases (weakly) with time lag."""
+        net = SDGR(n=100, d=3, seed=4)
+        base = net.snapshot()
+        net.run_rounds(10)
+        near = snapshot_jaccard(base, net.snapshot())
+        net.run_rounds(90)
+        far = snapshot_jaccard(base, net.snapshot())
+        assert far < near < 1.0
+
+    def test_full_turnover_is_zero(self):
+        """After n rounds every streaming node (hence edge) is new."""
+        net = SDGR(n=40, d=3, seed=5)
+        base = net.snapshot()
+        net.run_rounds(40)
+        assert snapshot_jaccard(base, net.snapshot()) == 0.0
+
+    def test_empty_graphs(self):
+        net = SDG(n=10, d=1, seed=6, warm=False)
+        net.run_rounds(1)
+        snap = net.snapshot()
+        assert snapshot_jaccard(snap, snap) == 1.0
+
+
+class TestSurvivalCurve:
+    def test_streaming_linear_ramp(self):
+        """Streaming cohorts decay linearly: after k rounds, k/n are gone."""
+        net = SDG(n=100, d=2, seed=7)
+        curve = node_survival_curve(net, [25, 50, 100])
+        assert curve[0] == pytest.approx(0.75, abs=0.01)
+        assert curve[1] == pytest.approx(0.50, abs=0.01)
+        assert curve[2] == pytest.approx(0.0, abs=0.01)
+
+    def test_poisson_exponential_decay(self):
+        net = PDGR(n=200, d=2, seed=8)
+        curve = node_survival_curve(net, [100, 200])
+        assert curve[0] == pytest.approx(math.exp(-0.5), abs=0.12)
+        assert curve[1] == pytest.approx(math.exp(-1.0), abs=0.12)
+
+    def test_unsorted_horizons_rejected(self):
+        net = SDG(n=50, d=2, seed=9)
+        with pytest.raises(AnalysisError):
+            node_survival_curve(net, [10, 5])
+
+
+class TestChangeRateAndStationarity:
+    def test_streaming_change_rate(self):
+        """Each SDGR round destroys ~2d edges (the dead node's) and
+        creates ~2d (regeneration + newborn)."""
+        net = SDGR(n=100, d=4, seed=10)
+        rate = topology_change_rate(net, rounds=100)
+        assert 8 <= rate <= 24
+
+    def test_stationarity_of_warm_network(self):
+        net = SDGR(n=100, d=3, seed=11)
+        diagnostic = stationarity_diagnostic(net, probes=6, spacing=10)
+        assert diagnostic["size_drift"] == pytest.approx(0.0, abs=1e-9)
+        assert diagnostic["edge_drift"] < 0.05
+
+    def test_cold_start_shows_drift(self):
+        net = PDGR(n=300, d=3, seed=12, warm_time=0)
+        diagnostic = stationarity_diagnostic(net, probes=6, spacing=30)
+        assert diagnostic["size_drift"] > 0.2  # still filling up
+
+    def test_too_few_probes(self):
+        net = SDGR(n=50, d=2, seed=13)
+        with pytest.raises(AnalysisError):
+            stationarity_diagnostic(net, probes=1, spacing=5)

@@ -1,0 +1,106 @@
+"""Tests for the lifetime distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.churn.lifetime import (
+    ExponentialLifetime,
+    FixedLifetime,
+    ParetoLifetime,
+    WeibullLifetime,
+)
+from repro.errors import ConfigurationError
+from repro.util.rng import make_rng
+
+
+class TestExponential:
+    def test_mean_property(self):
+        assert ExponentialLifetime(100).mean == 100
+
+    def test_sample_mean(self):
+        rng = make_rng(0)
+        dist = ExponentialLifetime(50)
+        samples = dist.sample_many(rng, 20_000)
+        assert np.mean(samples) == pytest.approx(50, rel=0.05)
+
+    def test_invalid_mean(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialLifetime(0)
+
+
+class TestWeibull:
+    def test_mean_normalisation(self):
+        rng = make_rng(1)
+        for shape in [0.5, 1.0, 2.0]:
+            dist = WeibullLifetime(80, shape=shape)
+            samples = dist.sample_many(rng, 30_000)
+            assert np.mean(samples) == pytest.approx(80, rel=0.08)
+
+    def test_shape_one_is_exponential(self):
+        dist = WeibullLifetime(60, shape=1.0)
+        assert dist.scale == pytest.approx(60)
+
+    def test_heavy_tail_median_below_mean(self):
+        """Shape < 1: the median sits well below the mean."""
+        rng = make_rng(2)
+        dist = WeibullLifetime(100, shape=0.5)
+        samples = dist.sample_many(rng, 20_000)
+        assert np.median(samples) < 60
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            WeibullLifetime(10, shape=0)
+        with pytest.raises(ConfigurationError):
+            WeibullLifetime(-1, shape=1)
+
+
+class TestPareto:
+    def test_mean_normalisation(self):
+        rng = make_rng(3)
+        dist = ParetoLifetime(100, alpha=2.5)
+        samples = dist.sample_many(rng, 60_000)
+        assert np.mean(samples) == pytest.approx(100, rel=0.1)
+
+    def test_median_closed_form(self):
+        rng = make_rng(4)
+        dist = ParetoLifetime(100, alpha=1.8)
+        samples = dist.sample_many(rng, 40_000)
+        assert np.median(samples) == pytest.approx(dist.median(), rel=0.07)
+
+    def test_median_far_below_mean_for_small_alpha(self):
+        dist = ParetoLifetime(100, alpha=1.2)
+        assert dist.median() < 0.3 * dist.mean
+
+    def test_alpha_must_exceed_one(self):
+        with pytest.raises(ConfigurationError):
+            ParetoLifetime(10, alpha=1.0)
+
+
+class TestFixed:
+    def test_always_mean(self):
+        dist = FixedLifetime(42)
+        rng = make_rng(5)
+        assert all(s == 42 for s in dist.sample_many(rng, 10))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    mean=st.floats(1.0, 1000.0),
+    seed=st.integers(0, 1000),
+    law=st.sampled_from(["exp", "weibull", "pareto", "fixed"]),
+)
+def test_property_samples_positive_and_mean_reported(mean, seed, law):
+    dist = {
+        "exp": lambda: ExponentialLifetime(mean),
+        "weibull": lambda: WeibullLifetime(mean, shape=0.7),
+        "pareto": lambda: ParetoLifetime(mean, alpha=1.7),
+        "fixed": lambda: FixedLifetime(mean),
+    }[law]()
+    rng = make_rng(seed)
+    assert dist.mean == pytest.approx(mean)
+    for _ in range(20):
+        assert dist.sample(rng) >= 0.0

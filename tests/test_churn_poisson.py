@@ -1,0 +1,115 @@
+"""Tests for the Poisson churn jump chain (Lemmas 4.4, 4.6, 4.7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.churn.poisson import PoissonJumpChain
+from repro.errors import ConfigurationError
+from repro.util.rng import make_rng
+
+
+class TestConstruction:
+    def test_n_shorthand(self):
+        chain = PoissonJumpChain(lam=1.0, n=100)
+        assert chain.mu == pytest.approx(0.01)
+        assert chain.expected_size == pytest.approx(100.0)
+
+    def test_mu_direct(self):
+        chain = PoissonJumpChain(lam=2.0, mu=0.5)
+        assert chain.expected_size == pytest.approx(4.0)
+
+    def test_both_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PoissonJumpChain(lam=1.0, mu=0.1, n=10)
+
+    def test_neither_param_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PoissonJumpChain(lam=1.0)
+
+    def test_nonpositive_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PoissonJumpChain(lam=0.0, n=10)
+        with pytest.raises(ConfigurationError):
+            PoissonJumpChain(lam=1.0, n=-5)
+
+
+class TestProbabilities:
+    """Lemma 4.6's transition probabilities."""
+
+    def test_birth_death_sum_to_one(self):
+        chain = PoissonJumpChain(lam=1.0, n=50)
+        for n_alive in [0, 1, 10, 100]:
+            total = chain.birth_probability(n_alive) + chain.death_probability(n_alive)
+            assert total == pytest.approx(1.0)
+
+    def test_empty_network_always_births(self):
+        chain = PoissonJumpChain(lam=1.0, n=50)
+        assert chain.birth_probability(0) == pytest.approx(1.0)
+
+    def test_lemma_46_death_formula(self):
+        chain = PoissonJumpChain(lam=1.0, n=100)
+        n_alive = 100
+        expected = (n_alive * chain.mu) / (n_alive * chain.mu + chain.lam)
+        assert chain.death_probability(n_alive) == pytest.approx(expected)
+
+    def test_fixed_node_death_probability(self):
+        chain = PoissonJumpChain(lam=1.0, n=100)
+        assert chain.fixed_node_death_probability(
+            100
+        ) == pytest.approx(chain.death_probability(100) / 100)
+
+    def test_fixed_node_death_empty(self):
+        chain = PoissonJumpChain(lam=1.0, n=100)
+        assert chain.fixed_node_death_probability(0) == 0.0
+
+    def test_stationary_probabilities_near_half(self):
+        """Lemma 4.7: at N ≈ n both jump probabilities are in [0.47, 0.53]."""
+        chain = PoissonJumpChain(lam=1.0, n=1000)
+        for n_alive in [900, 1000, 1100]:
+            assert 0.47 <= chain.birth_probability(n_alive) <= 0.53
+            assert 0.47 <= chain.death_probability(n_alive) <= 0.53
+
+    def test_fixed_death_bounds_lemma_47(self):
+        """Lemma 4.7: fixed-node next-round death prob in [1/2.2n, 1/1.8n]."""
+        n = 1000
+        chain = PoissonJumpChain(lam=1.0, n=n)
+        for n_alive in [900, 1000, 1100]:
+            p = chain.fixed_node_death_probability(n_alive)
+            assert 1 / (2.2 * n) <= p <= 1 / (1.8 * n)
+
+
+class TestSampling:
+    def test_next_event_dt_positive(self):
+        chain = PoissonJumpChain(lam=1.0, n=10)
+        rng = make_rng(0)
+        for _ in range(100):
+            event = chain.next_event(5, rng)
+            assert event.dt > 0
+
+    def test_birth_frequency_matches_probability(self):
+        chain = PoissonJumpChain(lam=1.0, n=100)
+        rng = make_rng(1)
+        n_alive = 100
+        births = sum(chain.next_event(n_alive, rng).is_birth for _ in range(20000))
+        assert births / 20000 == pytest.approx(chain.birth_probability(n_alive), abs=0.02)
+
+    def test_mean_waiting_time(self):
+        chain = PoissonJumpChain(lam=1.0, n=100)
+        rng = make_rng(2)
+        n_alive = 100
+        dts = [chain.next_event(n_alive, rng).dt for _ in range(20000)]
+        expected = 1.0 / chain.total_rate(n_alive)
+        assert np.mean(dts) == pytest.approx(expected, rel=0.05)
+
+    def test_negative_alive_rejected(self):
+        chain = PoissonJumpChain(lam=1.0, n=10)
+        with pytest.raises(ValueError):
+            chain.next_event(-1, make_rng(0))
+
+    def test_lifetime_mean(self):
+        chain = PoissonJumpChain(lam=1.0, n=50)
+        rng = make_rng(3)
+        lifetimes = [chain.sample_lifetime(rng) for _ in range(20000)]
+        assert np.mean(lifetimes) == pytest.approx(50.0, rel=0.05)

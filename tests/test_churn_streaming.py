@@ -1,0 +1,67 @@
+"""Tests for the streaming churn schedule (Definition 3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.churn.streaming import StreamingSchedule
+from repro.errors import ConfigurationError
+
+
+class TestSchedule:
+    def test_birth_id_is_round_minus_one(self):
+        s = StreamingSchedule(10)
+        assert s.birth_id(1) == 0
+        assert s.birth_id(17) == 16
+
+    def test_no_death_during_warmup(self):
+        s = StreamingSchedule(10)
+        for r in range(1, 11):
+            assert s.death_id(r) is None
+
+    def test_first_death(self):
+        s = StreamingSchedule(10)
+        assert s.death_id(11) == 0
+
+    def test_lifetime_is_exactly_n(self):
+        s = StreamingSchedule(7)
+        node = 4
+        alive_rounds = [
+            r for r in range(1, 40) if s.alive_at(node, r)
+        ]
+        assert len(alive_rounds) == 7
+        assert alive_rounds[0] == s.birth_round(node)
+        assert alive_rounds[-1] == s.death_round(node) - 1
+
+    def test_age(self):
+        s = StreamingSchedule(10)
+        assert s.age_at(node_id=4, round_number=5) == 0
+        assert s.age_at(node_id=4, round_number=14) == 9
+
+    def test_ages_form_full_range_in_steady_state(self):
+        s = StreamingSchedule(5)
+        round_number = 12
+        alive = [u for u in range(20) if s.alive_at(u, round_number)]
+        ages = sorted(s.age_at(u, round_number) for u in alive)
+        assert ages == [0, 1, 2, 3, 4]
+
+    def test_expected_size(self):
+        s = StreamingSchedule(10)
+        assert s.expected_size(3) == 3
+        assert s.expected_size(10) == 10
+        assert s.expected_size(99) == 10
+
+    def test_invalid_round(self):
+        with pytest.raises(ValueError):
+            StreamingSchedule(5).birth_id(0)
+
+    def test_invalid_n(self):
+        with pytest.raises(ConfigurationError):
+            StreamingSchedule(0)
+
+    def test_death_id_matches_birth_round(self):
+        s = StreamingSchedule(8)
+        for r in range(9, 30):
+            dead = s.death_id(r)
+            assert dead is not None
+            assert s.death_round(dead) == r

@@ -1,0 +1,103 @@
+"""Tests for Snapshot queries (boundaries, components, conversions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import (
+    complete_snapshot,
+    cycle_snapshot,
+    path_snapshot,
+    snapshot_from_edges,
+)
+
+
+class TestBasics:
+    def test_counts(self, path8):
+        assert path8.num_nodes() == 8
+        assert path8.num_edges() == 7
+
+    def test_degrees(self, path8):
+        assert path8.degree(0) == 1
+        assert path8.degree(3) == 2
+
+    def test_degrees_dict(self, cycle10):
+        assert set(cycle10.degrees().values()) == {2}
+
+    def test_ages(self):
+        snap = snapshot_from_edges(
+            2, [(0, 1)], time=10.0, birth_times={0: 3.0, 1: 8.0}
+        )
+        assert snap.age(0) == pytest.approx(7.0)
+        assert snap.ages()[1] == pytest.approx(2.0)
+
+    def test_isolated_nodes(self):
+        snap = snapshot_from_edges(4, [(0, 1)])
+        assert snap.isolated_nodes() == {2, 3}
+
+
+class TestBoundary:
+    """Definition 3.1's outer boundary."""
+
+    def test_path_interior(self, path8):
+        assert path8.outer_boundary({3}) == {2, 4}
+
+    def test_path_end(self, path8):
+        assert path8.outer_boundary({0}) == {1}
+
+    def test_block(self, path8):
+        assert path8.outer_boundary({2, 3, 4}) == {1, 5}
+
+    def test_whole_graph_has_empty_boundary(self, cycle10):
+        assert cycle10.outer_boundary(set(range(10))) == set()
+
+    def test_expansion_of(self, path8):
+        assert path8.expansion_of({3}) == pytest.approx(2.0)
+        assert path8.expansion_of({0, 1, 2, 3}) == pytest.approx(0.25)
+
+    def test_expansion_empty_raises(self, path8):
+        with pytest.raises(ValueError):
+            path8.expansion_of(set())
+
+    def test_complete_graph_expansion(self, complete6):
+        assert complete6.expansion_of({0, 1, 2}) == pytest.approx(1.0)
+
+
+class TestComponents:
+    def test_connected(self, cycle10):
+        comps = cycle10.connected_components()
+        assert len(comps) == 1
+        assert comps[0] == set(range(10))
+
+    def test_two_components_sorted_by_size(self):
+        snap = snapshot_from_edges(6, [(0, 1), (1, 2), (3, 4)])
+        comps = snap.connected_components()
+        assert [len(c) for c in comps] == [3, 2, 1]
+
+    def test_all_isolated(self):
+        snap = snapshot_from_edges(4, [])
+        assert len(snap.connected_components()) == 4
+
+    def test_subgraph_adjacency(self, path8):
+        sub = path8.subgraph_adjacency({2, 3, 5})
+        assert sub == {2: {3}, 3: {2}, 5: set()}
+
+
+class TestNetworkxExport:
+    def test_roundtrip_counts(self, cycle10):
+        g = cycle10.to_networkx()
+        assert g.number_of_nodes() == 10
+        assert g.number_of_edges() == 10
+
+    def test_node_attributes(self):
+        snap = snapshot_from_edges(
+            2, [(0, 1)], time=4.0, birth_times={0: 1.0, 1: 2.0}
+        )
+        g = snap.to_networkx()
+        assert g.nodes[0]["birth_time"] == 1.0
+        assert g.nodes[0]["age"] == pytest.approx(3.0)
+
+    def test_no_duplicate_edges(self):
+        snap = complete_snapshot(5)
+        g = snap.to_networkx()
+        assert g.number_of_edges() == 10

@@ -1,0 +1,137 @@
+"""Tests for the edge policies (topology dynamics of Defs 3.4/3.13 + capped ext)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.edge_policy import (
+    CappedRegenerationPolicy,
+    NoRegenerationPolicy,
+    RegenerationPolicy,
+)
+from repro.core.graph import DynamicGraphState
+from repro.errors import ConfigurationError
+from repro.util.rng import make_rng
+
+
+def seeded_state(policy, num_nodes: int, seed: int = 0) -> DynamicGraphState:
+    state = DynamicGraphState()
+    rng = make_rng(seed)
+    for _ in range(num_nodes):
+        policy.handle_birth(state, state.allocate_id(), 0.0, rng)
+    return state
+
+
+class TestBirth:
+    def test_first_node_has_empty_slots(self):
+        policy = NoRegenerationPolicy(d=4)
+        state = seeded_state(policy, 1)
+        assert state.record(0).out_slots == [None] * 4
+
+    def test_birth_assigns_d_slots(self):
+        policy = NoRegenerationPolicy(d=4)
+        state = seeded_state(policy, 5)
+        for u in range(1, 5):
+            assert state.record(u).out_degree() == 4
+
+    def test_birth_event_record(self):
+        policy = NoRegenerationPolicy(d=3)
+        state = DynamicGraphState()
+        rng = make_rng(1)
+        policy.handle_birth(state, state.allocate_id(), 0.0, rng)
+        record = policy.handle_birth(state, state.allocate_id(), 1.0, rng)
+        assert record.is_birth
+        assert record.node_id == 1
+        assert len(record.edges_created) == 3
+        assert all(e.source == 1 and e.target == 0 for e in record.edges_created)
+
+    def test_invalid_d(self):
+        with pytest.raises(ConfigurationError):
+            NoRegenerationPolicy(d=0)
+
+
+class TestNoRegenerationDeath:
+    def test_orphans_stay_empty(self):
+        policy = NoRegenerationPolicy(d=2)
+        state = seeded_state(policy, 2, seed=3)
+        # node 1's two requests both target node 0.
+        assert state.record(1).out_slots == [0, 0]
+        record = policy.handle_death(state, 0, 5.0, make_rng(0))
+        assert record.is_death
+        assert state.record(1).out_slots == [None, None]
+        assert record.edges_created == []
+        assert len(record.edges_destroyed) == 1  # one distinct undirected edge
+
+    def test_death_destroys_all_incident_edges(self):
+        policy = NoRegenerationPolicy(d=1)
+        state = seeded_state(policy, 6, seed=5)
+        victim = 0  # every later node may point at 0; 0 has no out-edges
+        degree_before = state.degree(victim)
+        record = policy.handle_death(state, victim, 9.0, make_rng(0))
+        assert len(record.edges_destroyed) == degree_before
+        state.check_invariants()
+
+
+class TestRegenerationDeath:
+    def test_orphans_resampled(self):
+        policy = RegenerationPolicy(d=2)
+        state = seeded_state(policy, 5, seed=7)
+        rng = make_rng(11)
+        policy.handle_death(state, 0, 5.0, rng)
+        state.check_invariants()
+        # Every survivor keeps full out-degree: candidates always exist.
+        for u in state.alive_ids():
+            assert state.record(u).out_degree() == 2
+
+    def test_regenerated_edges_reported(self):
+        policy = RegenerationPolicy(d=3)
+        state = seeded_state(policy, 2, seed=1)
+        # node 1 points at node 0 three times; killing 0 regenerates,
+        # but the only candidate is... nobody (only node 1 remains).
+        record = policy.handle_death(state, 0, 2.0, make_rng(2))
+        assert record.edges_created == []
+        assert state.record(1).out_slots == [None, None, None]
+
+    def test_regeneration_with_candidates(self):
+        policy = RegenerationPolicy(d=2)
+        state = seeded_state(policy, 4, seed=9)
+        orphan_count = sum(
+            sum(1 for t in state.record(u).out_slots if t == 0)
+            for u in range(1, 4)
+        )
+        record = policy.handle_death(state, 0, 3.0, make_rng(13))
+        # Every orphaned slot was re-assigned (3 nodes remain, so a
+        # candidate always exists), and each re-assignment was reported.
+        assert len(record.edges_created) == orphan_count
+        for u in state.alive_ids():
+            if u != 0:
+                assert state.record(u).out_degree() == 2
+        state.check_invariants()
+
+
+class TestCappedRegeneration:
+    def test_cap_respected_at_birth(self):
+        policy = CappedRegenerationPolicy(d=3, max_in_degree=2)
+        state = seeded_state(policy, 30, seed=21)
+        for u in state.alive_ids():
+            assert len(state.in_refs[u]) <= 2
+
+    def test_cap_respected_after_deaths(self):
+        policy = CappedRegenerationPolicy(d=3, max_in_degree=2)
+        state = seeded_state(policy, 30, seed=22)
+        rng = make_rng(23)
+        for victim in [0, 1, 2, 3, 4]:
+            policy.handle_death(state, victim, 1.0, rng)
+            state.check_invariants()
+        for u in state.alive_ids():
+            assert len(state.in_refs[u]) <= 2
+
+    def test_invalid_cap(self):
+        with pytest.raises(ConfigurationError):
+            CappedRegenerationPolicy(d=2, max_in_degree=0)
+
+    def test_slot_left_empty_when_all_capped(self):
+        # d=5 into a 2-node network: the single other node caps at 1.
+        policy = CappedRegenerationPolicy(d=5, max_in_degree=1, max_attempts=8)
+        state = seeded_state(policy, 2, seed=24)
+        assert state.record(1).out_degree() <= 1

@@ -1,0 +1,98 @@
+"""Tests for the discretized (Def. 4.3) and asynchronous (Def. 4.2) flooding."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.flooding import flood_asynchronous, flood_discretized
+from repro.models import PDG, PDGR
+
+
+class TestDiscretized:
+    def test_source_defaults_to_youngest(self):
+        net = PDGR(n=50, d=4, seed=0)
+        snap = net.snapshot()
+        youngest = max(snap.nodes, key=lambda u: snap.birth_times[u])
+        result = flood_discretized(net, max_rounds=1)
+        assert result.source == youngest
+
+    def test_dead_source_rejected(self):
+        net = PDGR(n=50, d=4, seed=1)
+        with pytest.raises(ConfigurationError):
+            flood_discretized(net, source=10**9)
+
+    def test_completes_on_pdgr(self):
+        net = PDGR(n=300, d=8, seed=2)
+        result = flood_discretized(net)
+        assert result.completed
+
+    def test_completion_logarithmic_shape(self):
+        """Theorem 4.20: completion within O(log n) unit intervals."""
+        for n in [200, 800]:
+            net = PDGR(n=n, d=10, seed=n)
+            result = flood_discretized(net)
+            assert result.completed
+            assert result.completion_round <= 8 * math.log2(n)
+
+    def test_partial_on_pdg(self):
+        """Theorem 4.13 shape: large informed fraction at moderate d."""
+        net = PDG(n=400, d=12, seed=3)
+        result = flood_discretized(net, max_rounds=40)
+        assert result.fraction_at(40) > 0.85
+
+    def test_trajectory_lengths_match(self):
+        net = PDGR(n=100, d=4, seed=4)
+        result = flood_discretized(net, max_rounds=10, stop_when_extinct=False)
+        assert len(result.informed_sizes) == len(result.network_sizes)
+
+    def test_informer_must_survive_interval(self):
+        """Discretized flooding is a (weak) lower bound on discrete flooding:
+        it can never inform more nodes per round than there are neighbours
+        of surviving informed nodes, so the informed count never exceeds
+        the network size."""
+        net = PDGR(n=80, d=4, seed=5)
+        result = flood_discretized(net, max_rounds=20, stop_when_extinct=False)
+        for informed, alive in zip(result.informed_sizes, result.network_sizes):
+            assert informed <= alive
+
+
+class TestAsynchronous:
+    def test_completes_on_pdgr(self):
+        net = PDGR(n=300, d=8, seed=6)
+        result = flood_asynchronous(net)
+        assert result.completed
+
+    def test_completion_time_reasonable(self):
+        net = PDGR(n=200, d=10, seed=7)
+        result = flood_asynchronous(net)
+        assert result.completed
+        assert result.completion_round <= 8 * math.log2(200)
+
+    def test_async_no_slower_than_discretized(self):
+        """Asynchronous flooding dominates the discretized process (the
+        paper uses the discretized one exactly because it is a worst case).
+        Compare on identical seeds: async should not be slower by more
+        than one round (sampling granularity)."""
+        slow = flood_discretized(PDGR(n=200, d=8, seed=8))
+        fast = flood_asynchronous(PDGR(n=200, d=8, seed=8))
+        assert fast.completed and slow.completed
+        assert fast.completion_round <= slow.completion_round + 1
+
+    def test_dead_source_rejected(self):
+        net = PDGR(n=50, d=3, seed=9)
+        with pytest.raises(ConfigurationError):
+            flood_asynchronous(net, source=10**9)
+
+    def test_max_time_cap(self):
+        net = PDG(n=100, d=1, seed=10)
+        result = flood_asynchronous(net, max_time=5.0)
+        assert result.rounds_run <= 7  # 5 time units + completion slack
+
+    def test_pdg_low_d_does_not_complete_quickly(self):
+        """With d=1 and no regeneration, many nodes are unreachable."""
+        net = PDG(n=300, d=1, seed=11)
+        result = flood_asynchronous(net, max_time=30.0)
+        assert not result.completed

@@ -1,0 +1,66 @@
+"""Tests for the push/pull gossip extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.flooding import gossip_push_pull
+from repro.models import SDGR
+
+
+class TestGossip:
+    def test_push_pull_completes(self):
+        net = SDGR(n=150, d=6, seed=0)
+        net.run_rounds(150)
+        result = gossip_push_pull(net, seed=1)
+        assert result.completed
+
+    def test_push_only_completes(self):
+        net = SDGR(n=100, d=6, seed=1)
+        net.run_rounds(100)
+        result = gossip_push_pull(net, seed=2, pull=False, max_rounds=200)
+        assert result.completed
+
+    def test_pull_only_completes(self):
+        net = SDGR(n=100, d=6, seed=2)
+        net.run_rounds(100)
+        result = gossip_push_pull(net, seed=3, push=False, max_rounds=400)
+        assert result.completed
+
+    def test_neither_rejected(self):
+        net = SDGR(n=50, d=3, seed=3)
+        with pytest.raises(ConfigurationError):
+            gossip_push_pull(net, push=False, pull=False)
+
+    def test_gossip_slower_than_flooding(self):
+        """Gossip contacts one neighbour/round, so it cannot beat flooding."""
+        from repro.flooding import flood_discrete
+
+        flood_net = SDGR(n=150, d=6, seed=4)
+        flood_net.run_rounds(150)
+        flood_result = flood_discrete(flood_net)
+
+        gossip_net = SDGR(n=150, d=6, seed=4)
+        gossip_net.run_rounds(150)
+        gossip_result = gossip_push_pull(gossip_net, seed=5)
+
+        assert gossip_result.completed
+        assert gossip_result.completion_round >= flood_result.completion_round
+
+    def test_growth_bounded_by_doubling_plus_pull(self):
+        """Push adds at most |I| new nodes per round; sanity check."""
+        net = SDGR(n=200, d=5, seed=6)
+        net.run_rounds(200)
+        result = gossip_push_pull(net, seed=7, pull=False)
+        for a, b in zip(result.informed_sizes, result.informed_sizes[1:]):
+            assert b <= 2 * a
+
+    def test_deterministic_given_seeds(self):
+        a_net = SDGR(n=80, d=4, seed=8)
+        a_net.run_rounds(80)
+        a = gossip_push_pull(a_net, seed=9)
+        b_net = SDGR(n=80, d=4, seed=8)
+        b_net.run_rounds(80)
+        b = gossip_push_pull(b_net, seed=9)
+        assert a.informed_sizes == b.informed_sizes

@@ -1,0 +1,72 @@
+"""Tests for flooding with message loss."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.flooding import flood_discrete, flood_lossy
+from repro.models import SDGR
+from repro.util.stats import mean_confidence_interval
+
+
+class TestLossyFlooding:
+    def test_zero_loss_completes_like_discrete(self):
+        net_a = SDGR(n=120, d=6, seed=0)
+        net_a.run_rounds(120)
+        lossless = flood_lossy(net_a, loss=0.0, seed=1)
+        net_b = SDGR(n=120, d=6, seed=0)
+        net_b.run_rounds(120)
+        reference = flood_discrete(net_b)
+        assert lossless.completed and reference.completed
+        assert lossless.completion_round == reference.completion_round
+
+    def test_moderate_loss_still_completes(self):
+        net = SDGR(n=150, d=6, seed=2)
+        net.run_rounds(150)
+        result = flood_lossy(net, loss=0.3, seed=3, max_rounds=200)
+        assert result.completed
+
+    def test_heavy_loss_slows_flooding(self):
+        slow_rounds, fast_rounds = [], []
+        for seed in range(4):
+            net = SDGR(n=150, d=5, seed=seed)
+            net.run_rounds(150)
+            fast = flood_lossy(net, loss=0.0, seed=seed + 50, max_rounds=300)
+            fast_rounds.append(fast.completion_round)
+            net2 = SDGR(n=150, d=5, seed=seed)
+            net2.run_rounds(150)
+            slow = flood_lossy(net2, loss=0.7, seed=seed + 50, max_rounds=300)
+            slow_rounds.append(slow.completion_round)
+        assert all(r is not None for r in slow_rounds)
+        assert (
+            mean_confidence_interval(slow_rounds).mean
+            > mean_confidence_interval(fast_rounds).mean
+        )
+
+    def test_invalid_loss(self):
+        net = SDGR(n=50, d=3, seed=4)
+        with pytest.raises(ConfigurationError):
+            flood_lossy(net, loss=1.0)
+        with pytest.raises(ConfigurationError):
+            flood_lossy(net, loss=-0.1)
+
+    def test_dead_source_rejected(self):
+        net = SDGR(n=50, d=3, seed=5)
+        with pytest.raises(ConfigurationError):
+            flood_lossy(net, loss=0.1, source=10**9)
+
+    def test_deterministic_given_seeds(self):
+        runs = []
+        for _ in range(2):
+            net = SDGR(n=80, d=4, seed=6)
+            net.run_rounds(80)
+            runs.append(flood_lossy(net, loss=0.4, seed=7).informed_sizes)
+        assert runs[0] == runs[1]
+
+    def test_trajectory_invariants(self):
+        net = SDGR(n=100, d=4, seed=8)
+        net.run_rounds(100)
+        result = flood_lossy(net, loss=0.5, seed=9, max_rounds=100)
+        for informed, alive in zip(result.informed_sizes, result.network_sizes):
+            assert informed <= alive

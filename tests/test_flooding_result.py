@@ -1,0 +1,52 @@
+"""Tests for the FloodingResult record."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flooding.result import FloodingResult
+
+
+def make_result(informed: list[int], sizes: list[int]) -> FloodingResult:
+    result = FloodingResult(source=0, start_time=0.0)
+    for i, s in zip(informed, sizes):
+        result.record_round(i, s)
+    return result
+
+
+class TestFloodingResult:
+    def test_rounds_run(self):
+        result = make_result([1, 3, 9], [10, 10, 10])
+        assert result.rounds_run == 2
+
+    def test_empty_result(self):
+        result = FloodingResult(source=0, start_time=0.0)
+        assert result.rounds_run == 0
+        assert result.final_informed == 0
+        assert result.final_fraction == 0.0
+
+    def test_final_values(self):
+        result = make_result([1, 5], [10, 12])
+        assert result.final_informed == 5
+        assert result.final_network_size == 12
+        assert result.final_fraction == pytest.approx(5 / 12)
+
+    def test_max_informed_tracks_peak_not_final(self):
+        result = make_result([1, 8, 3], [10, 10, 10])
+        assert result.max_informed == 8
+
+    def test_fraction_at_clamps(self):
+        result = make_result([1, 5], [10, 10])
+        assert result.fraction_at(99) == pytest.approx(0.5)
+        assert result.fraction_at(0) == pytest.approx(0.1)
+
+    def test_fraction_at_zero_network(self):
+        result = make_result([0], [0])
+        assert result.fraction_at(0) == 0.0
+
+    def test_defaults(self):
+        result = FloodingResult(source=3, start_time=2.0)
+        assert not result.completed
+        assert not result.extinct
+        assert result.completion_round is None
+        assert result.extinction_round is None

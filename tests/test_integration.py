@@ -1,0 +1,114 @@
+"""Cross-module integration tests: full pipelines over several components."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import (
+    PDG,
+    PDGR,
+    SDG,
+    SDGR,
+    flood_asynchronous,
+    flood_discrete,
+    flood_discretized,
+    isolated_fraction,
+)
+from repro.analysis.components import component_summary
+from repro.analysis.expansion import adversarial_expansion_upper_bound
+from repro.theory.isolated import isolated_fraction_prediction_streaming
+
+
+class TestPaperStory:
+    """The paper's four-model narrative, end to end on one seed."""
+
+    def test_regeneration_dichotomy_streaming(self):
+        """Same churn, same d: no-regen leaves unreachable nodes at small
+        d while regen floods everyone."""
+        n, d = 300, 3
+        sdg = SDG(n=n, d=d, seed=11)
+        sdg.run_rounds(n)
+        sdgr = SDGR(n=n, d=d, seed=11)
+        sdgr.run_rounds(n)
+
+        assert isolated_fraction(sdg.snapshot()) > 0
+        assert isolated_fraction(sdgr.snapshot()) == 0
+
+        sdgr_flood = flood_discrete(sdgr, max_rounds=120)
+        assert sdgr_flood.completed
+
+    def test_regeneration_dichotomy_poisson(self):
+        n, d = 300, 3
+        pdg = PDG(n=n, d=d, seed=12)
+        pdgr = PDGR(n=n, d=d, seed=12)
+        assert isolated_fraction(pdg.snapshot()) > 0
+        assert isolated_fraction(pdgr.snapshot()) == 0
+
+    def test_flooding_through_live_churn_keeps_invariants(self):
+        """Flooding mutates the network; state must stay consistent."""
+        net = SDGR(n=120, d=6, seed=13)
+        flood_discrete(net, max_rounds=50)
+        net.state.check_invariants()
+
+        pnet = PDGR(n=120, d=6, seed=14)
+        flood_discretized(pnet, max_rounds=50)
+        pnet.state.check_invariants()
+
+        anet = PDGR(n=120, d=6, seed=15)
+        flood_asynchronous(anet, max_time=50.0)
+        anet.state.check_invariants()
+
+    def test_snapshot_isolated_matches_analysis(self):
+        net = SDG(n=500, d=3, seed=16)
+        net.run_rounds(1000)
+        measured = isolated_fraction(net.snapshot())
+        predicted = isolated_fraction_prediction_streaming(3)
+        assert measured == pytest.approx(predicted, rel=0.6)
+
+    def test_expander_implies_fast_flooding(self):
+        """The paper's causal chain: snapshot expansion (Thm 3.15) ⇒
+        O(log n) flooding (Thm 3.16), checked jointly on one instance."""
+        n = 400
+        net = SDGR(n=n, d=14, seed=17)
+        net.run_rounds(n)
+        probe = adversarial_expansion_upper_bound(net.snapshot(), seed=18)
+        assert probe.min_ratio > 0.1
+        result = flood_discrete(net)
+        assert result.completed
+        assert result.completion_round <= 6 * math.log2(n)
+
+    def test_components_flooding_consistency(self):
+        """Discrete flooding on a static-ish window reaches at least the
+        source's current component."""
+        net = SDG(n=200, d=8, seed=19)
+        net.run_rounds(200)
+        snap = net.snapshot()
+        source = max(snap.nodes, key=lambda u: snap.birth_times[u])
+        component = next(
+            c for c in snap.connected_components() if source in c
+        )
+        result = flood_discrete(net, source=source, max_rounds=60)
+        assert result.max_informed >= 0.8 * len(component)
+
+
+class TestContinuousVsDiscrete:
+    def test_poisson_round_count_consistency(self):
+        """advance_round() applies the same churn distribution as the raw
+        jump chain: sizes agree with Lemma 4.4 under both drivers."""
+        via_rounds = PDG(n=300, d=2, seed=20)
+        via_rounds.run_rounds(100)
+        via_jumps = PDG(n=300, d=2, seed=21)
+        via_jumps.advance_rounds_jump(200)
+        for net in (via_rounds, via_jumps):
+            assert 0.75 * 300 <= net.num_alive() <= 1.25 * 300
+
+    def test_all_models_share_flooding_interface(self):
+        """Every model driver works with every applicable flooding call."""
+        streaming = SDGR(n=80, d=5, seed=22)
+        streaming.run_rounds(80)
+        assert flood_discrete(streaming, max_rounds=40).completed
+
+        poisson = PDGR(n=80, d=5, seed=23)
+        assert flood_discretized(poisson, max_rounds=60).completed

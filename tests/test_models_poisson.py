@@ -1,0 +1,132 @@
+"""Tests for the Poisson drivers (PDG / PDGR)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import PDG, PDGR
+from repro.models.poisson import lifetime_age_bound
+
+
+class TestWarmup:
+    def test_warm_size_near_n(self):
+        """Lemma 4.4: after 3n time, |N_t| ∈ [0.9n, 1.1n] w.h.p."""
+        net = PDG(n=500, d=3, seed=0)
+        assert 0.8 * 500 <= net.num_alive() <= 1.2 * 500
+
+    def test_cold_start_empty(self):
+        net = PDG(n=100, d=3, seed=0, warm_time=0)
+        assert net.num_alive() == 0
+        assert net.now == 0.0
+
+    def test_invalid_n(self):
+        with pytest.raises(ConfigurationError):
+            PDG(n=1, d=3)
+
+
+class TestEventMechanics:
+    def test_first_event_is_birth(self):
+        net = PDG(n=100, d=3, seed=1, warm_time=0)
+        record = net.advance_one_event()
+        assert record.is_birth
+        assert net.num_alive() == 1
+
+    def test_event_count_tracks(self):
+        net = PDG(n=100, d=2, seed=2, warm_time=0)
+        net.advance_rounds_jump(50)
+        assert net.event_count == 50
+
+    def test_advance_to_time_sets_clock(self):
+        net = PDG(n=100, d=2, seed=3, warm_time=0)
+        net.advance_to_time(25.0)
+        assert net.now == pytest.approx(25.0)
+
+    def test_advance_round_is_unit_time(self):
+        net = PDG(n=100, d=2, seed=4)
+        before = net.now
+        report = net.advance_round()
+        assert net.now == pytest.approx(before + 1.0)
+        assert report.end_time - report.start_time == pytest.approx(1.0)
+
+    def test_events_have_increasing_times(self):
+        net = PDG(n=50, d=2, seed=5, warm_time=0)
+        records = net.advance_to_time(100.0)
+        times = [r.time for r in records]
+        assert times == sorted(times)
+
+    def test_event_rate_near_two_lambda(self):
+        """At stationarity events arrive at rate λ + nµ = 2 per time unit."""
+        net = PDG(n=400, d=2, seed=6)
+        start_events, start_time = net.event_count, net.now
+        net.advance_to_time(start_time + 200.0)
+        rate = (net.event_count - start_events) / 200.0
+        assert rate == pytest.approx(2.0, rel=0.2)
+
+
+class TestStationarity:
+    def test_size_concentration(self):
+        """Lemma 4.4's window holds at several probe times."""
+        net = PDG(n=1000, d=2, seed=7)
+        sizes = []
+        for _ in range(20):
+            net.advance_to_time(net.now + 50.0)
+            sizes.append(net.num_alive())
+        assert all(0.85 * 1000 <= s <= 1.15 * 1000 for s in sizes)
+
+    def test_mean_size_near_n(self):
+        net = PDG(n=500, d=2, seed=8)
+        sizes = []
+        for _ in range(40):
+            net.advance_to_time(net.now + 25.0)
+            sizes.append(net.num_alive())
+        assert np.mean(sizes) == pytest.approx(500, rel=0.08)
+
+    def test_no_ancient_nodes(self):
+        """Lemma 4.8: no alive node is older than ~7 n log n rounds
+        (≈ 3.5 n log n time units)."""
+        n = 200
+        net = PDG(n=n, d=2, seed=9, warm_time=10.0 * n)
+        snap = net.snapshot()
+        max_age_time = max(snap.age(u) for u in snap.nodes)
+        assert max_age_time < lifetime_age_bound(n)  # very loose in time units
+
+    def test_invariants_after_long_run(self):
+        net = PDGR(n=150, d=4, seed=10)
+        net.advance_to_time(net.now + 300.0)
+        net.state.check_invariants()
+
+
+class TestPDGRTopology:
+    def test_full_out_degree(self):
+        net = PDGR(n=200, d=5, seed=11)
+        snap = net.snapshot()
+        aged = [u for u in snap.nodes if snap.age(u) > 0]
+        # All but possibly the very earliest nodes keep out-degree d.
+        full = sum(
+            1
+            for u in aged
+            if sum(1 for t in snap.out_slots[u] if t is not None) == 5
+        )
+        assert full / len(aged) > 0.99
+
+    def test_no_isolated_nodes(self):
+        net = PDGR(n=300, d=5, seed=12)
+        snap = net.snapshot()
+        assert len(snap.isolated_nodes()) == 0
+
+
+class TestPDGTopology:
+    def test_isolated_nodes_exist_at_small_d(self):
+        net = PDG(n=800, d=2, seed=13)
+        snap = net.snapshot()
+        assert len(snap.isolated_nodes()) > 0
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces(self):
+        a = PDGR(n=100, d=3, seed=77)
+        b = PDGR(n=100, d=3, seed=77)
+        assert a.snapshot().adjacency == b.snapshot().adjacency
+        assert a.now == b.now

@@ -1,0 +1,80 @@
+"""Tests for the static baselines (Lemma B.1 graph and comparisons)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import (
+    erdos_renyi_snapshot,
+    random_regular_snapshot,
+    static_d_out_snapshot,
+)
+
+
+class TestStaticDOut:
+    def test_node_count(self):
+        snap = static_d_out_snapshot(100, 3, seed=0)
+        assert snap.num_nodes() == 100
+
+    def test_all_out_slots_assigned(self):
+        snap = static_d_out_snapshot(50, 4, seed=1)
+        for u in snap.nodes:
+            assert sum(1 for t in snap.out_slots[u] if t is not None) == 4
+
+    def test_min_degree_at_least_d(self):
+        """Every node has at least its own d requests (minus collisions)."""
+        snap = static_d_out_snapshot(200, 3, seed=2)
+        assert min(len(snap.adjacency[u]) for u in snap.nodes) >= 1
+
+    def test_connected_for_d3(self):
+        """Lemma B.1 graphs at d=3 are connected (w.h.p.; fixed seeds)."""
+        for seed in range(5):
+            snap = static_d_out_snapshot(300, 3, seed=seed)
+            assert len(snap.connected_components()) == 1
+
+    def test_edge_count_bounds(self):
+        snap = static_d_out_snapshot(100, 3, seed=3)
+        # ≤ nd requests; ≥ nd/2 distinct edges (collisions only shrink).
+        assert 150 <= snap.num_edges() <= 300
+
+    def test_no_self_loops(self):
+        snap = static_d_out_snapshot(60, 5, seed=4)
+        for u, slots in snap.out_slots.items():
+            assert u not in slots
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            static_d_out_snapshot(1, 3)
+        with pytest.raises(ConfigurationError):
+            static_d_out_snapshot(10, 0)
+
+    def test_deterministic(self):
+        a = static_d_out_snapshot(40, 3, seed=9)
+        b = static_d_out_snapshot(40, 3, seed=9)
+        assert a.adjacency == b.adjacency
+
+
+class TestErdosRenyi:
+    def test_sizes(self):
+        snap = erdos_renyi_snapshot(100, 0.05, seed=0)
+        assert snap.num_nodes() == 100
+        assert snap.num_edges() > 0
+
+    def test_invalid_p(self):
+        with pytest.raises(ConfigurationError):
+            erdos_renyi_snapshot(10, 1.5)
+
+    def test_empty_graph(self):
+        snap = erdos_renyi_snapshot(20, 0.0, seed=1)
+        assert snap.num_edges() == 0
+
+
+class TestRandomRegular:
+    def test_regular(self):
+        snap = random_regular_snapshot(50, 4, seed=0)
+        assert all(len(snap.adjacency[u]) == 4 for u in snap.nodes)
+
+    def test_parity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_regular_snapshot(9, 3)

@@ -1,0 +1,131 @@
+"""Tests for the streaming drivers (SDG / SDGR)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import SDG, SDGR
+
+
+class TestWarmup:
+    def test_warm_network_is_full(self):
+        net = SDG(n=50, d=3, seed=0)
+        assert net.num_alive() == 50
+        assert net.round_number == 50
+        assert net.now == 50.0
+
+    def test_cold_network_is_empty(self):
+        net = SDG(n=50, d=3, seed=0, warm=False)
+        assert net.num_alive() == 0
+        assert net.round_number == 0
+
+    def test_warmup_ids_sequential(self):
+        net = SDG(n=20, d=2, seed=1)
+        assert sorted(net.state.alive_ids()) == list(range(20))
+
+    def test_invalid_n(self):
+        with pytest.raises(ConfigurationError):
+            SDG(n=1, d=2)
+
+
+class TestSteadyState:
+    def test_size_constant(self):
+        net = SDG(n=30, d=3, seed=2)
+        for _ in range(60):
+            net.advance_round()
+            assert net.num_alive() == 30
+
+    def test_one_birth_one_death_per_round(self):
+        net = SDGR(n=30, d=3, seed=3)
+        report = net.advance_round()
+        assert len(report.births) == 1
+        assert len(report.deaths) == 1
+
+    def test_oldest_dies(self):
+        net = SDG(n=30, d=3, seed=4)
+        report = net.advance_round()  # round 31 kills node 0
+        assert report.deaths == [0]
+        assert report.births == [30]
+
+    def test_ages_form_full_range(self):
+        net = SDG(n=25, d=3, seed=5)
+        net.run_rounds(40)
+        snap = net.snapshot()
+        ages = sorted(int(snap.age(u)) for u in snap.nodes)
+        assert ages == list(range(25))
+
+    def test_newest_and_oldest_ids(self):
+        net = SDG(n=25, d=3, seed=6)
+        net.run_rounds(10)
+        assert net.newest_id() == 34
+        assert net.oldest_id() == 10
+
+    def test_invariants_hold_over_time(self):
+        net = SDGR(n=40, d=4, seed=7)
+        for _ in range(20):
+            net.advance_round()
+        net.state.check_invariants()
+
+
+class TestSDGTopology:
+    def test_out_slots_decay_with_age(self):
+        """In SDG, old nodes have fewer live out-requests (no repair)."""
+        net = SDG(n=200, d=5, seed=8)
+        net.run_rounds(400)
+        snap = net.snapshot()
+        young = [u for u in snap.nodes if snap.age(u) < 20]
+        old = [u for u in snap.nodes if snap.age(u) > 180]
+        live_out = lambda u: sum(1 for t in snap.out_slots[u] if t is not None)
+        mean_young = sum(live_out(u) for u in young) / len(young)
+        mean_old = sum(live_out(u) for u in old) / len(old)
+        assert mean_young > mean_old
+
+    def test_mean_degree_close_to_d(self):
+        """Lemma 6.1: expected degree is d."""
+        net = SDG(n=400, d=6, seed=9)
+        net.run_rounds(800)
+        snap = net.snapshot()
+        mean_degree = 2 * snap.num_edges() / snap.num_nodes()
+        assert mean_degree == pytest.approx(6.0, rel=0.15)
+
+
+class TestSDGRTopology:
+    def test_out_degree_always_full(self):
+        net = SDGR(n=100, d=4, seed=10)
+        net.run_rounds(250)
+        snap = net.snapshot()
+        for u in snap.nodes:
+            assigned = sum(1 for t in snap.out_slots[u] if t is not None)
+            assert assigned == 4
+
+    def test_total_requests_equal_dn(self):
+        net = SDGR(n=100, d=4, seed=11)
+        net.run_rounds(250)
+        snap = net.snapshot()
+        total = sum(
+            sum(1 for t in slots if t is not None)
+            for slots in snap.out_slots.values()
+        )
+        assert total == 4 * 100
+
+    def test_no_isolated_nodes_with_regen(self):
+        net = SDGR(n=200, d=4, seed=12)
+        net.run_rounds(400)
+        assert len(net.snapshot().isolated_nodes()) == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_topology(self):
+        a = SDGR(n=50, d=3, seed=42)
+        b = SDGR(n=50, d=3, seed=42)
+        a.run_rounds(100)
+        b.run_rounds(100)
+        assert a.snapshot().adjacency == b.snapshot().adjacency
+
+    def test_different_seed_different_topology(self):
+        a = SDGR(n=50, d=3, seed=1)
+        b = SDGR(n=50, d=3, seed=2)
+        a.run_rounds(100)
+        b.run_rounds(100)
+        assert a.snapshot().adjacency != b.snapshot().adjacency

@@ -1,0 +1,101 @@
+"""Tests for the onion-skin process simulators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.onion import run_poisson_onion_skin, run_streaming_onion_skin
+from repro.theory.onion import onion_growth_factor_streaming
+
+
+class TestStreamingOnion:
+    def test_reaches_target_at_paper_d(self):
+        result = run_streaming_onion_skin(n=2000, d=200, seed=0)
+        assert result.reached_target
+
+    def test_success_rate_matches_claim_311(self):
+        """Claim 3.11: success probability ≥ 1 − 4e^{−d/100} ≈ 0.73 at d=200."""
+        successes = sum(
+            run_streaming_onion_skin(n=1500, d=200, seed=s).reached_target
+            for s in range(25)
+        )
+        assert successes / 25 >= 0.7
+
+    def test_layer_growth_meets_claim_310(self):
+        """Pre-saturation layers grow by at least ~d/20."""
+        result = run_streaming_onion_skin(n=4000, d=200, seed=1)
+        growth = result.layer_growth_factors()
+        assert growth
+        assert growth[0] >= onion_growth_factor_streaming(200) / 2
+
+    def test_small_d_often_dies(self):
+        """With growth factor d/20 < 1 the process cannot take off."""
+        successes = sum(
+            run_streaming_onion_skin(n=500, d=4, seed=s).reached_target
+            for s in range(20)
+        )
+        assert successes <= 10
+
+    def test_layer_sequence_interleaving(self):
+        result = run_streaming_onion_skin(n=1000, d=60, seed=2)
+        sequence = result.layer_sequence()
+        assert sequence[0] == 1
+        assert len(sequence) >= 2
+
+    def test_totals_consistent(self):
+        result = run_streaming_onion_skin(n=1000, d=60, seed=3)
+        assert result.total_informed == result.total_young + result.total_old
+        assert result.total_young == 1 + sum(result.young_layers)
+
+    def test_odd_d_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_streaming_onion_skin(n=100, d=5)
+
+    def test_tiny_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_streaming_onion_skin(n=10, d=4)
+
+    def test_deterministic(self):
+        a = run_streaming_onion_skin(n=800, d=100, seed=9)
+        b = run_streaming_onion_skin(n=800, d=100, seed=9)
+        assert a.old_layers == b.old_layers
+        assert a.young_layers == b.young_layers
+
+
+class TestPoissonOnion:
+    def test_reaches_target(self):
+        result = run_poisson_onion_skin(n=2000, d=240, seed=0)
+        assert result.reached_target
+
+    def test_death_coin_removes_some_nodes_eventually(self):
+        """With removal probability log n/n per informed node, large runs
+        remove at least one node with overwhelming probability."""
+        removed = sum(
+            run_poisson_onion_skin(n=1000, d=240, seed=s).removed_by_death
+            for s in range(5)
+        )
+        assert removed > 0
+
+    def test_m_defaults_to_n(self):
+        result = run_poisson_onion_skin(n=500, d=48, seed=1)
+        assert result.m == 500
+
+    def test_explicit_m(self):
+        result = run_poisson_onion_skin(n=500, d=48, m=450, seed=2)
+        assert result.m == 450
+
+    def test_small_d_fails(self):
+        """At d=2 the pooled layer growth rate is ≈ d/4 = 0.5 < 1, so the
+        process dies out before reaching the target."""
+        successes = sum(
+            run_poisson_onion_skin(n=500, d=2, seed=s).reached_target
+            for s in range(10)
+        )
+        assert successes <= 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_poisson_onion_skin(n=500, d=7)
+        with pytest.raises(ConfigurationError):
+            run_poisson_onion_skin(n=5, d=8)

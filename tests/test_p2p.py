@@ -1,0 +1,132 @@
+"""Tests for the Bitcoin-like P2P overlay substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.components import component_summary
+from repro.errors import ConfigurationError
+from repro.flooding import flood_discretized
+from repro.p2p import AddressManager, BitcoinLikeNetwork
+from repro.util.rng import make_rng
+
+
+class TestAddressManager:
+    def test_add_and_contains(self):
+        am = AddressManager(owner=0, capacity=4)
+        am.add(1, make_rng(0))
+        assert 1 in am
+        assert len(am) == 1
+
+    def test_never_stores_self(self):
+        am = AddressManager(owner=0)
+        am.add(0, make_rng(0))
+        assert len(am) == 0
+
+    def test_capacity_eviction(self):
+        am = AddressManager(owner=0, capacity=3)
+        rng = make_rng(1)
+        am.add_many([1, 2, 3, 4, 5], rng)
+        assert len(am) == 3
+
+    def test_remove(self):
+        am = AddressManager(owner=0)
+        rng = make_rng(2)
+        am.add(7, rng)
+        am.remove(7)
+        assert 7 not in am
+
+    def test_sample_empty(self):
+        assert AddressManager(owner=0).sample(make_rng(0)) is None
+
+    def test_sample_member(self):
+        am = AddressManager(owner=0)
+        rng = make_rng(3)
+        am.add_many([1, 2, 3], rng)
+        for _ in range(10):
+            assert am.sample(rng) in {1, 2, 3}
+
+    def test_advertise_subset(self):
+        am = AddressManager(owner=0)
+        rng = make_rng(4)
+        am.add_many(list(range(1, 11)), rng)
+        ad = am.advertise(rng, 4)
+        assert len(ad) == 4
+        assert len(set(ad)) == 4
+        assert all(a in am for a in ad)
+
+    def test_advertise_more_than_known(self):
+        am = AddressManager(owner=0)
+        rng = make_rng(5)
+        am.add(1, rng)
+        assert am.advertise(rng, 10) == [1]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            AddressManager(owner=0, capacity=0)
+
+
+class TestBitcoinLikeNetwork:
+    @pytest.fixture(scope="class")
+    def overlay(self):
+        return BitcoinLikeNetwork(n=150, seed=0)
+
+    def test_size_near_n(self, overlay):
+        assert 100 <= overlay.num_alive() <= 200
+
+    def test_invariants(self, overlay):
+        overlay.state.check_invariants()
+
+    def test_connected_no_isolated(self, overlay):
+        summary = component_summary(overlay.snapshot())
+        assert summary.is_connected
+        assert summary.num_isolated == 0
+
+    def test_outbound_target_mostly_met(self, overlay):
+        snap = overlay.snapshot()
+        full = sum(
+            1
+            for u in snap.nodes
+            if sum(1 for t in snap.out_slots[u] if t is not None) == 8
+        )
+        assert full / snap.num_nodes() > 0.9
+
+    def test_inbound_cap_respected(self, overlay):
+        assert all(len(refs) <= 125 for refs in overlay.state.in_refs.values())
+
+    def test_dial_statistics_accumulate(self, overlay):
+        assert overlay.successful_dials > 0
+
+    def test_flooding_completes(self):
+        net = BitcoinLikeNetwork(n=150, seed=1)
+        result = flood_discretized(net, max_rounds=60)
+        assert result.completed
+
+    def test_addrman_stale_fraction_bounded(self):
+        """Stale addresses are evicted on failed dials, so tables settle
+        well short of all-dead (a 256-slot table on a 100-node network
+        inevitably carries a dead majority tail, but bounded)."""
+        net = BitcoinLikeNetwork(n=100, seed=2)
+        net.run_rounds(30)
+        stale_fractions = []
+        for _, am in net.addrmans.items():
+            known = am.known()
+            if known:
+                stale = sum(1 for a in known if not net.state.is_alive(a))
+                stale_fractions.append(stale / len(known))
+        assert sum(stale_fractions) / len(stale_fractions) < 0.8
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BitcoinLikeNetwork(n=1)
+        with pytest.raises(ConfigurationError):
+            BitcoinLikeNetwork(n=50, target_outbound=0)
+
+    def test_small_cap_variant(self):
+        """A tight inbound cap still yields a connected overlay."""
+        net = BitcoinLikeNetwork(
+            n=80, target_outbound=4, max_inbound=8, seed=3, warm_time=160.0
+        )
+        net.state.check_invariants()
+        assert all(len(refs) <= 8 for refs in net.state.in_refs.values())
+        assert component_summary(net.snapshot()).giant_fraction > 0.9

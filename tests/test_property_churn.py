@@ -1,0 +1,86 @@
+"""Hypothesis property tests for the churn processes and drivers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.churn.poisson import PoissonJumpChain
+from repro.churn.streaming import StreamingSchedule
+from repro.models import GDG, PDG, SDG
+from repro.churn.lifetime import ExponentialLifetime
+from repro.util.rng import make_rng
+
+
+@settings(max_examples=60, deadline=None)
+@given(n=st.integers(1, 200), round_number=st.integers(1, 2000))
+def test_property_streaming_schedule_consistency(n, round_number):
+    """Birth/death bookkeeping is internally consistent at every round."""
+    schedule = StreamingSchedule(n)
+    born = schedule.birth_id(round_number)
+    assert schedule.birth_round(born) == round_number
+    assert schedule.alive_at(born, round_number)
+    assert not schedule.alive_at(born, round_number + n)
+    dead = schedule.death_id(round_number)
+    if round_number <= n:
+        assert dead is None
+    else:
+        assert dead is not None
+        assert schedule.death_round(dead) == round_number
+        assert not schedule.alive_at(dead, round_number)
+        assert schedule.alive_at(dead, round_number - 1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    lam=st.floats(0.1, 5.0),
+    n=st.floats(2.0, 10_000.0),
+    alive=st.integers(0, 20_000),
+)
+def test_property_jump_chain_probabilities_normalise(lam, n, alive):
+    chain = PoissonJumpChain(lam=lam, n=n)
+    birth = chain.birth_probability(alive)
+    death = chain.death_probability(alive)
+    assert birth + death == pytest.approx(1.0)
+    assert 0.0 < birth <= 1.0
+    assert 0.0 <= death < 1.0
+    if alive:
+        assert chain.fixed_node_death_probability(alive) == pytest.approx(
+            death / alive
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(10, 60))
+def test_property_streaming_driver_size_and_ages(seed, n):
+    """After warm-up the streaming network always holds exactly n nodes
+    with ages 0 … n−1."""
+    net = SDG(n=n, d=2, seed=seed)
+    net.run_rounds(int(make_rng(seed).integers(0, 3 * n)))
+    assert net.num_alive() == n
+    snap = net.snapshot()
+    assert sorted(int(snap.age(u)) for u in snap.nodes) == list(range(n))
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_poisson_driver_clock_monotone(seed):
+    net = PDG(n=50, d=2, seed=seed, warm_time=0)
+    last = net.now
+    for _ in range(30):
+        net.advance_one_event()
+        assert net.now >= last
+        last = net.now
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_general_driver_matches_alive_count(seed):
+    """The death queue and the alive set agree: every alive node has a
+    pending death event, and counts match."""
+    net = GDG(ExponentialLifetime(40), d=2, seed=seed, warm_time=120)
+    assert len(net.deaths) == net.num_alive()
+    net.run_rounds(10)
+    assert len(net.deaths) == net.num_alive()
+    net.state.check_invariants()

@@ -1,0 +1,103 @@
+"""Hypothesis property tests for the expansion machinery."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.expansion import (
+    adversarial_expansion_upper_bound,
+    vertex_expansion_exact,
+)
+from repro.core.snapshot import Snapshot
+from repro.util.rng import make_rng
+
+
+def random_snapshot(seed: int, n: int, edge_probability: float) -> Snapshot:
+    """An Erdős–Rényi-style snapshot without the networkx detour."""
+    rng = make_rng(seed)
+    adjacency: dict[int, set[int]] = {u: set() for u in range(n)}
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < edge_probability:
+                adjacency[u].add(v)
+                adjacency[v].add(u)
+    return Snapshot(
+        time=0.0,
+        nodes=frozenset(range(n)),
+        adjacency={u: frozenset(nbrs) for u, nbrs in adjacency.items()},
+        birth_times={u: float(-u) for u in range(n)},
+        out_slots={u: () for u in range(n)},
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(4, 12),
+    p=st.floats(0.05, 0.9),
+)
+def test_property_probe_upper_bounds_exact(seed, n, p):
+    """The adversarial probe never reports a value below the true h_out."""
+    snap = random_snapshot(seed, n, p)
+    exact = vertex_expansion_exact(snap)
+    probe = adversarial_expansion_upper_bound(snap, seed=seed, num_random_sets=50)
+    assert probe.min_ratio >= exact.min_ratio - 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(4, 14),
+    p=st.floats(0.05, 0.9),
+)
+def test_property_witness_is_honest(seed, n, p):
+    """Both searches return a set whose expansion equals the reported
+    minimum — every reported number is backed by a concrete witness."""
+    snap = random_snapshot(seed, n, p)
+    for probe in (
+        vertex_expansion_exact(snap),
+        adversarial_expansion_upper_bound(snap, seed=seed, num_random_sets=30),
+    ):
+        assert 1 <= probe.witness_size <= n // 2
+        assert snap.expansion_of(probe.witness) == pytest.approx(probe.min_ratio)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(4, 12))
+def test_property_isolated_node_forces_zero(seed, n):
+    """Adding an isolated node forces h_out to exactly 0, found by both."""
+    snap = random_snapshot(seed, n, 0.6)
+    nodes = set(snap.nodes) | {n}
+    adjacency = dict(snap.adjacency)
+    adjacency[n] = frozenset()
+    bigger = Snapshot(
+        time=0.0,
+        nodes=frozenset(nodes),
+        adjacency=adjacency,
+        birth_times={**dict(snap.birth_times), n: 0.0},
+        out_slots={**dict(snap.out_slots), n: ()},
+    )
+    assert vertex_expansion_exact(bigger).min_ratio == 0.0
+    assert adversarial_expansion_upper_bound(bigger, seed=seed).min_ratio == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(6, 12),
+    p=st.floats(0.1, 0.9),
+)
+def test_property_boundary_definition(seed, n, p):
+    """∂out(S) from the snapshot matches the brute-force definition."""
+    snap = random_snapshot(seed, n, p)
+    rng = make_rng(seed)
+    size = int(rng.integers(1, n // 2 + 1))
+    subset = set(int(x) for x in rng.choice(n, size=size, replace=False))
+    expected = {
+        v
+        for v in snap.nodes
+        if v not in subset and any(v in snap.adjacency[u] for u in subset)
+    }
+    assert snap.outer_boundary(subset) == expected

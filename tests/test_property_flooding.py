@@ -1,0 +1,70 @@
+"""Hypothesis property tests for flooding invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flooding import flood_discrete, flood_discretized
+from repro.models import PDGR, SDG, SDGR
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(20, 80),
+    d=st.integers(1, 6),
+    regen=st.booleans(),
+)
+def test_property_streaming_flooding_invariants(seed, n, d, regen):
+    """Invariants that must hold for every streaming flooding run:
+
+    * informed count never exceeds the network size;
+    * the network size is constant (streaming);
+    * the informed count drops by at most 1 per round (one death);
+    * if completed, the completion round indexes a recorded round.
+    """
+    factory = SDGR if regen else SDG
+    net = factory(n=n, d=d, seed=seed)
+    net.run_rounds(n)
+    result = flood_discrete(net, max_rounds=40, stop_when_extinct=False)
+
+    assert all(
+        informed <= alive
+        for informed, alive in zip(result.informed_sizes, result.network_sizes)
+    )
+    assert all(size == n for size in result.network_sizes)
+    for a, b in zip(result.informed_sizes, result.informed_sizes[1:]):
+        assert b >= a - 1
+    if result.completed:
+        assert result.completion_round is not None
+        assert result.completion_round <= result.rounds_run
+    assert result.max_informed == max(result.informed_sizes)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), d=st.integers(2, 8))
+def test_property_discretized_flooding_bounded_by_topology(seed, d):
+    """Every newly informed node in the discretized process was a
+    neighbour of the informed set at the start of some interval, so the
+    per-round growth is bounded by the maximum possible boundary
+    (max_degree × |I|)."""
+    net = PDGR(n=60, d=d, seed=seed)
+    result = flood_discretized(net, max_rounds=20, stop_when_extinct=False)
+    for before, after in zip(result.informed_sizes, result.informed_sizes[1:]):
+        # Growth cannot exceed |I| × (max conceivable degree << n).
+        assert after <= before * 200 + 200
+        assert after <= max(result.network_sizes)
+    assert result.informed_sizes[0] == 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_flooding_deterministic_per_seed(seed):
+    """Identical seeds give identical trajectories (reproducibility)."""
+    runs = []
+    for _ in range(2):
+        net = SDGR(n=50, d=4, seed=seed)
+        net.run_rounds(50)
+        runs.append(flood_discrete(net, max_rounds=30).informed_sizes)
+    assert runs[0] == runs[1]

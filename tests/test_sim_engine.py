@@ -1,0 +1,112 @@
+"""Tests for the event engine and clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.engine import EventEngine
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance_to(self):
+        c = SimClock()
+        c.advance_to(5.0)
+        assert c.now == 5.0
+
+    def test_advance_by(self):
+        c = SimClock(2.0)
+        c.advance_by(1.5)
+        assert c.now == 3.5
+
+    def test_backwards_rejected(self):
+        c = SimClock(10.0)
+        with pytest.raises(SimulationError):
+            c.advance_to(9.0)
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock().advance_by(-1.0)
+
+
+class TestEventEngine:
+    def test_orders_by_time(self):
+        e = EventEngine()
+        e.schedule(3.0, "c")
+        e.schedule(1.0, "a")
+        e.schedule(2.0, "b")
+        assert [e.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+    def test_fifo_tiebreak(self):
+        e = EventEngine()
+        e.schedule(1.0, "first")
+        e.schedule(1.0, "second")
+        assert e.pop().payload == "first"
+        assert e.pop().payload == "second"
+
+    def test_len_tracks_live_events(self):
+        e = EventEngine()
+        h = e.schedule(1.0, "x")
+        e.schedule(2.0, "y")
+        assert len(e) == 2
+        e.cancel(h)
+        assert len(e) == 1
+
+    def test_cancelled_event_skipped(self):
+        e = EventEngine()
+        h = e.schedule(1.0, "x")
+        e.schedule(2.0, "y")
+        e.cancel(h)
+        assert e.pop().payload == "y"
+
+    def test_double_cancel_is_noop(self):
+        e = EventEngine()
+        h = e.schedule(1.0, "x")
+        e.cancel(h)
+        e.cancel(h)
+        assert len(e) == 0
+
+    def test_peek_time(self):
+        e = EventEngine()
+        assert e.peek_time() is None
+        e.schedule(4.0, "x")
+        assert e.peek_time() == 4.0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventEngine().pop()
+
+    def test_pop_until(self):
+        e = EventEngine()
+        for t in [1.0, 2.0, 3.0, 4.0]:
+            e.schedule(t, t)
+        popped = e.pop_until(2.5)
+        assert [ev.payload for ev in popped] == [1.0, 2.0]
+        assert len(e) == 2
+
+    def test_run_dispatches_in_order(self):
+        e = EventEngine()
+        seen: list[str] = []
+        e.schedule(1.0, "a")
+        e.schedule(2.0, "b")
+        e.schedule(5.0, "late")
+        count = e.run(lambda ev: seen.append(ev.payload), until=3.0)
+        assert seen == ["a", "b"]
+        assert count == 2
+
+    def test_handler_can_schedule_more(self):
+        e = EventEngine()
+        seen: list[float] = []
+
+        def handler(ev):
+            seen.append(ev.time)
+            if ev.time < 3.0:
+                e.schedule(ev.time + 1.0, None)
+
+        e.schedule(1.0, None)
+        e.run(handler, until=10.0)
+        assert seen == [1.0, 2.0, 3.0]

@@ -1,0 +1,93 @@
+"""Tests for snapshot serialization and multi-source flooding."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.snapshot import Snapshot
+from repro.errors import ConfigurationError
+from repro.flooding import flood_discrete, flood_discretized
+from repro.models import PDGR, SDGR
+
+
+class TestSerialization:
+    def test_round_trip_equality(self):
+        net = SDGR(n=60, d=3, seed=0)
+        net.run_rounds(60)
+        snap = net.snapshot()
+        restored = Snapshot.from_dict(snap.to_dict())
+        assert restored.time == snap.time
+        assert restored.nodes == snap.nodes
+        assert restored.adjacency == snap.adjacency
+        assert restored.birth_times == snap.birth_times
+        assert restored.out_slots == snap.out_slots
+
+    def test_json_round_trip(self):
+        net = PDGR(n=50, d=3, seed=1)
+        snap = net.snapshot()
+        payload = json.loads(json.dumps(snap.to_dict()))
+        restored = Snapshot.from_dict(payload)
+        assert restored.adjacency == snap.adjacency
+        assert restored.num_edges() == snap.num_edges()
+
+    def test_none_slots_survive(self):
+        from repro.models import SDG
+
+        net = SDG(n=60, d=3, seed=2)
+        net.run_rounds(120)
+        snap = net.snapshot()
+        has_empty = any(
+            None in slots for slots in snap.out_slots.values()
+        )
+        assert has_empty  # old SDG nodes lose out-slots
+        restored = Snapshot.from_dict(json.loads(json.dumps(snap.to_dict())))
+        assert restored.out_slots == snap.out_slots
+
+    def test_queries_work_after_restore(self):
+        net = SDGR(n=40, d=4, seed=3)
+        net.run_rounds(40)
+        snap = net.snapshot()
+        restored = Snapshot.from_dict(snap.to_dict())
+        subset = list(restored.nodes)[:5]
+        assert restored.outer_boundary(subset) == snap.outer_boundary(subset)
+        assert restored.connected_components() == snap.connected_components()
+
+
+class TestMultiSourceFlooding:
+    def test_multi_source_completes_faster_or_equal(self):
+        single_net = SDGR(n=200, d=5, seed=4)
+        single_net.run_rounds(200)
+        single = flood_discrete(single_net)
+
+        multi_net = SDGR(n=200, d=5, seed=4)
+        multi_net.run_rounds(200)
+        seeds = multi_net.state.alive_ids()[:10]
+        multi = flood_discrete(multi_net, sources=seeds)
+
+        assert multi.completed
+        assert multi.completion_round <= single.completion_round
+
+    def test_initial_size_matches_sources(self):
+        net = SDGR(n=100, d=4, seed=5)
+        net.run_rounds(100)
+        seeds = net.state.alive_ids()[:7]
+        result = flood_discrete(net, sources=seeds, max_rounds=1)
+        assert result.informed_sizes[0] == 7
+
+    def test_discretized_multi_source(self):
+        net = PDGR(n=100, d=5, seed=6)
+        seeds = net.state.alive_ids()[:5]
+        result = flood_discretized(net, sources=seeds)
+        assert result.completed
+
+    def test_empty_sources_rejected(self):
+        net = SDGR(n=50, d=3, seed=7)
+        with pytest.raises(ConfigurationError):
+            flood_discrete(net, sources=[])
+
+    def test_dead_source_in_set_rejected(self):
+        net = SDGR(n=50, d=3, seed=8)
+        with pytest.raises(ConfigurationError):
+            flood_discrete(net, sources=[10**9])

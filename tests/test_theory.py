@@ -1,0 +1,198 @@
+"""Tests for the theory modules (paper constants and predictions)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.theory import (
+    EXPANSION_THRESHOLD,
+    infinite_product_success_probability,
+    informed_fraction_bound_poisson,
+    informed_fraction_bound_streaming,
+    isolated_forever_fraction_prediction_poisson,
+    isolated_forever_fraction_prediction_streaming,
+    isolated_fraction_lower_bound_poisson,
+    isolated_fraction_lower_bound_streaming,
+    isolated_fraction_prediction_poisson,
+    isolated_fraction_prediction_streaming,
+    jump_probability_bounds,
+    large_set_window_poisson,
+    large_set_window_streaming,
+    lifetime_horizon_rounds,
+    min_degree_for_expansion,
+    size_concentration_bounds,
+    stall_probability_bound,
+    static_d_out_expander_min_d,
+    success_probability_poisson,
+    success_probability_streaming,
+)
+from repro.theory.churn import expected_size_at
+from repro.theory.flooding import (
+    complete_flooding_rounds,
+    partial_flooding_rounds,
+    stall_probability_prediction,
+)
+from repro.theory.onion import (
+    claim_311_lower_bound,
+    onion_growth_factor_poisson,
+    onion_growth_factor_streaming,
+    phases_to_reach,
+)
+from repro.theory.static import nonexpansion_union_bound
+
+
+class TestIsolatedTheory:
+    def test_lemma_35_constant(self):
+        assert isolated_fraction_lower_bound_streaming(2) == pytest.approx(
+            math.exp(-4) / 6
+        )
+
+    def test_lemma_410_constant(self):
+        assert isolated_fraction_lower_bound_poisson(2) == pytest.approx(
+            math.exp(-4) / 18
+        )
+
+    def test_prediction_above_bound(self):
+        """The sharp prediction dominates the paper's loose bound."""
+        for d in range(1, 8):
+            assert (
+                isolated_fraction_prediction_streaming(d)
+                > isolated_fraction_lower_bound_streaming(d)
+            )
+            assert (
+                isolated_fraction_prediction_poisson(d)
+                > isolated_fraction_lower_bound_poisson(d)
+            )
+
+    def test_prediction_decreases_in_d(self):
+        values = [isolated_fraction_prediction_streaming(d) for d in range(1, 10)]
+        assert values == sorted(values, reverse=True)
+
+    def test_forever_isolated_closed_form(self):
+        """∫ a^d e^{-da} e^{-d(1-a)} da = e^{-d}/(d+1)."""
+        for d in [1, 3, 5]:
+            assert isolated_forever_fraction_prediction_streaming(
+                d
+            ) == pytest.approx(math.exp(-d) / (d + 1))
+
+    def test_forever_smaller_than_isolated(self):
+        for d in [1, 2, 4]:
+            assert (
+                isolated_forever_fraction_prediction_poisson(d)
+                < isolated_fraction_prediction_poisson(d)
+            )
+
+
+class TestExpansionTheory:
+    def test_threshold(self):
+        assert EXPANSION_THRESHOLD == 0.1
+
+    def test_streaming_window(self):
+        low, high = large_set_window_streaming(1000, 20)
+        assert low == math.ceil(1000 * math.exp(-2))
+        assert high == 500
+
+    def test_poisson_window_wider(self):
+        s_low, _ = large_set_window_streaming(1000, 20)
+        p_low, _ = large_set_window_poisson(1000, 20)
+        assert p_low > s_low  # e^{-d/20} > e^{-d/10}
+
+    def test_min_degrees(self):
+        assert min_degree_for_expansion("sdgr") == 14
+        assert min_degree_for_expansion("pdgr") == 35
+        assert min_degree_for_expansion("static") == 3
+
+    def test_unknown_model(self):
+        with pytest.raises(ConfigurationError):
+            min_degree_for_expansion("nope")
+
+
+class TestFloodingTheory:
+    def test_informed_fraction_bounds(self):
+        assert informed_fraction_bound_streaming(10) == pytest.approx(1 - math.exp(-1))
+        assert informed_fraction_bound_poisson(20) == pytest.approx(1 - math.exp(-1))
+
+    def test_success_probabilities_increase_with_d(self):
+        assert success_probability_streaming(400) > success_probability_streaming(200)
+        assert success_probability_poisson(2000) > success_probability_poisson(1152)
+
+    def test_stall_bound_tiny_but_positive(self):
+        for d in [1, 2, 3]:
+            b = stall_probability_bound(d)
+            assert 0.0 < b < 1.0
+
+    def test_stall_prediction_dominates_bound(self):
+        """The proof's literal constant is much smaller than the
+        first-order prediction of the same event."""
+        for d in [1, 2]:
+            assert stall_probability_prediction(d) > stall_probability_bound(d)
+
+    def test_horizons_grow_logarithmically(self):
+        t1 = partial_flooding_rounds(1000, 8)
+        t2 = partial_flooding_rounds(1_000_000, 8)
+        assert t2 - t1 < t1  # doubling log n far less than doubling rounds
+        assert complete_flooding_rounds(4000) > complete_flooding_rounds(100)
+
+
+class TestChurnTheory:
+    def test_size_concentration_fields(self):
+        c = size_concentration_bounds(400)
+        assert c.low == pytest.approx(360)
+        assert c.high == pytest.approx(440)
+        assert c.min_time == pytest.approx(1200)
+        assert 0 < c.failure_probability < 1
+
+    def test_jump_bounds(self):
+        b = jump_probability_bounds()
+        assert b.event_low == 0.47
+        assert b.event_high == 0.53
+
+    def test_lifetime_horizon(self):
+        assert lifetime_horizon_rounds(100) == pytest.approx(700 * math.log(100))
+
+    def test_expected_size_converges(self):
+        assert expected_size_at(0.0, 100) == 0.0
+        assert expected_size_at(1e9, 100) == pytest.approx(100.0)
+        assert expected_size_at(100.0, 100) == pytest.approx(
+            100 * (1 - math.exp(-1))
+        )
+
+
+class TestOnionTheory:
+    def test_growth_factors(self):
+        assert onion_growth_factor_streaming(200) == 10.0
+        assert onion_growth_factor_poisson(480) == 10.0
+
+    def test_infinite_product_close_to_claim(self):
+        """Claim 3.11: product ≥ 1 − 4e^{−d/100} for d ≥ 200."""
+        for d in [200, 400, 800]:
+            product = infinite_product_success_probability(d)
+            assert product >= claim_311_lower_bound(d)
+            assert product <= 1.0
+
+    def test_product_zero_when_growth_too_small(self):
+        assert infinite_product_success_probability(10) < 0.2
+
+    def test_phases_to_reach(self):
+        assert phases_to_reach(10_000, 200) <= 4
+        with pytest.raises(ValueError):
+            phases_to_reach(100, 10)  # growth 0.5 ≤ 1
+
+
+class TestStaticTheory:
+    def test_min_d(self):
+        assert static_d_out_expander_min_d() == 3
+
+    def test_union_bound_small_for_d3(self):
+        assert nonexpansion_union_bound(500, 3) < 0.5
+
+    def test_union_bound_shrinks_with_d(self):
+        b3 = nonexpansion_union_bound(300, 3)
+        b5 = nonexpansion_union_bound(300, 5)
+        assert b5 < b3
+
+    def test_union_bound_useless_for_d1(self):
+        assert nonexpansion_union_bound(300, 1) > 1.0

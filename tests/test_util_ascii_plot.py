@@ -1,0 +1,77 @@
+"""Tests for the ASCII plotting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.ascii_plot import histogram, line_chart, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_monotone_series_monotone_glyphs(self):
+        line = sparkline(list(range(8)))
+        assert line == "".join(sorted(line))
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_peak_position(self):
+        line = sparkline([0, 10, 0])
+        assert line[1] == "█"
+
+
+class TestLineChart:
+    def test_contains_extremes_as_labels(self):
+        chart = line_chart([0, 5, 10], height=4)
+        assert "10" in chart
+        assert "0" in chart
+
+    def test_title(self):
+        chart = line_chart([1, 2], title="growth")
+        assert chart.splitlines()[0] == "growth"
+
+    def test_height_rows(self):
+        chart = line_chart([1, 2, 3], height=6)
+        # height rows + axis line (+ no title)
+        assert len(chart.splitlines()) == 7
+
+    def test_resampling_width(self):
+        chart = line_chart(list(range(500)), height=4, width=20)
+        plot_rows = [l for l in chart.splitlines() if "|" in l]
+        assert all(len(row.split("|")[1]) <= 20 for row in plot_rows)
+
+    def test_empty(self):
+        assert "empty" in line_chart([])
+
+    def test_invalid_height(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 2], height=1)
+
+
+class TestHistogram:
+    def test_bars_scale(self):
+        out = histogram({1: 10, 2: 5}, max_bar=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_zero_count_no_bar(self):
+        out = histogram({1: 4, 2: 0})
+        assert out.splitlines()[1].count("#") == 0
+
+    def test_counts_displayed(self):
+        out = histogram({"a": 3})
+        assert "3" in out
+
+    def test_empty(self):
+        assert "empty" in histogram({})
+
+    def test_title(self):
+        assert histogram({1: 1}, title="dist").splitlines()[0] == "dist"

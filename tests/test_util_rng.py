@@ -1,0 +1,85 @@
+"""Tests for repro.util.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.rng import (
+    child_seeds,
+    make_rng,
+    sample_indices_with_replacement,
+    spawn_rngs,
+)
+
+
+class TestMakeRng:
+    def test_int_seed_is_deterministic(self):
+        a = make_rng(42).integers(0, 1_000_000, size=10)
+        b = make_rng(42).integers(0, 1_000_000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).integers(0, 1_000_000, size=10)
+        b = make_rng(2).integers(0, 1_000_000, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(7)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(5)
+        rng = make_rng(seq)
+        assert isinstance(rng, np.random.Generator)
+
+
+class TestChildSeeds:
+    def test_count(self):
+        assert len(child_seeds(0, 5)) == 5
+
+    def test_reproducible(self):
+        a = [s.generate_state(1)[0] for s in child_seeds(3, 4)]
+        b = [s.generate_state(1)[0] for s in child_seeds(3, 4)]
+        assert a == b
+
+    def test_children_distinct(self):
+        states = [s.generate_state(1)[0] for s in child_seeds(3, 8)]
+        assert len(set(states)) == 8
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            child_seeds(0, -1)
+
+    def test_generator_seed_advances(self):
+        gen = np.random.default_rng(0)
+        first = [s.generate_state(1)[0] for s in child_seeds(gen, 2)]
+        second = [s.generate_state(1)[0] for s in child_seeds(gen, 2)]
+        assert first != second
+
+
+class TestSpawnRngs:
+    def test_independent_streams(self):
+        rngs = spawn_rngs(9, 3)
+        draws = [r.integers(0, 2**31) for r in rngs]
+        assert len(set(draws)) == 3
+
+    def test_reproducible(self):
+        a = [r.integers(0, 2**31) for r in spawn_rngs(9, 3)]
+        b = [r.integers(0, 2**31) for r in spawn_rngs(9, 3)]
+        assert a == b
+
+
+class TestSampleIndices:
+    def test_range(self):
+        rng = make_rng(0)
+        samples = sample_indices_with_replacement(rng, 10, 100)
+        assert len(samples) == 100
+        assert all(0 <= s < 10 for s in samples)
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            sample_indices_with_replacement(make_rng(0), 0, 1)

@@ -1,0 +1,144 @@
+"""Tests for repro.util.sampling.IndexedSet, including hypothesis properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.rng import make_rng
+from repro.util.sampling import IndexedSet
+
+
+class TestBasicOps:
+    def test_add_and_contains(self):
+        s = IndexedSet()
+        s.add(3)
+        assert 3 in s
+        assert 4 not in s
+
+    def test_len(self):
+        s = IndexedSet([1, 2, 3])
+        assert len(s) == 3
+
+    def test_duplicate_add_is_noop(self):
+        s = IndexedSet()
+        s.add(1)
+        s.add(1)
+        assert len(s) == 1
+
+    def test_discard(self):
+        s = IndexedSet([1, 2, 3])
+        s.discard(2)
+        assert 2 not in s
+        assert len(s) == 2
+
+    def test_discard_absent_is_noop(self):
+        s = IndexedSet([1])
+        s.discard(9)
+        assert len(s) == 1
+
+    def test_remove_raises_on_absent(self):
+        with pytest.raises(KeyError):
+            IndexedSet([1]).remove(2)
+
+    def test_iteration_covers_members(self):
+        s = IndexedSet([5, 6, 7])
+        assert sorted(s) == [5, 6, 7]
+
+    def test_as_list_is_copy(self):
+        s = IndexedSet([1, 2])
+        lst = s.as_list()
+        lst.append(99)
+        assert 99 not in s
+
+
+class TestSampling:
+    def test_sample_from_singleton(self):
+        s = IndexedSet([42])
+        assert s.sample(make_rng(0)) == 42
+
+    def test_sample_empty_raises(self):
+        with pytest.raises(IndexError):
+            IndexedSet().sample(make_rng(0))
+
+    def test_sample_is_member(self):
+        s = IndexedSet(range(100))
+        rng = make_rng(1)
+        for _ in range(50):
+            assert s.sample(rng) in s
+
+    def test_sample_excluding(self):
+        s = IndexedSet([1, 2])
+        rng = make_rng(2)
+        for _ in range(20):
+            assert s.sample_excluding(rng, 1) == 2
+
+    def test_sample_excluding_no_candidate(self):
+        s = IndexedSet([1])
+        with pytest.raises(IndexError):
+            s.sample_excluding(make_rng(0), 1)
+
+    def test_sample_many_counts(self):
+        s = IndexedSet(range(10))
+        out = s.sample_many(make_rng(0), 25)
+        assert len(out) == 25
+
+    def test_sample_many_excludes(self):
+        s = IndexedSet([7, 8])
+        out = s.sample_many(make_rng(0), 50, exclude=7)
+        assert out == [8] * 50
+
+    def test_sample_many_empty(self):
+        assert IndexedSet().sample_many(make_rng(0), 5) == []
+
+    def test_sample_many_only_excluded(self):
+        s = IndexedSet([3])
+        assert s.sample_many(make_rng(0), 5, exclude=3) == []
+
+    def test_sampling_is_roughly_uniform(self):
+        s = IndexedSet(range(4))
+        rng = make_rng(3)
+        counts = {i: 0 for i in range(4)}
+        trials = 8000
+        for _ in range(trials):
+            counts[s.sample(rng)] += 1
+        for c in counts.values():
+            assert abs(c / trials - 0.25) < 0.03
+
+
+class TestSwapPopConsistency:
+    def test_interleaved_ops(self):
+        s = IndexedSet()
+        reference: set[int] = set()
+        rng = np.random.default_rng(5)
+        for _ in range(2000):
+            x = int(rng.integers(0, 50))
+            if rng.random() < 0.5:
+                s.add(x)
+                reference.add(x)
+            else:
+                s.discard(x)
+                reference.discard(x)
+            assert len(s) == len(reference)
+        assert sorted(s) == sorted(reference)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=st.lists(st.tuples(st.booleans(), st.integers(0, 20)), max_size=60))
+def test_property_matches_builtin_set(ops):
+    """IndexedSet behaves exactly like a built-in set under add/discard."""
+    s = IndexedSet()
+    reference: set[int] = set()
+    for is_add, value in ops:
+        if is_add:
+            s.add(value)
+            reference.add(value)
+        else:
+            s.discard(value)
+            reference.discard(value)
+    assert set(s.as_list()) == reference
+    assert len(s) == len(reference)
+    for v in range(21):
+        assert (v in s) == (v in reference)

@@ -1,0 +1,139 @@
+"""Tests for repro.util.stats."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    exponential_decay_fit,
+    fraction_true,
+    geometric_growth_rate,
+    linear_fit,
+    log_scaling_fit,
+    mean_confidence_interval,
+    summarize,
+)
+
+
+class TestConfidenceInterval:
+    def test_mean(self):
+        ci = mean_confidence_interval([1.0, 2.0, 3.0])
+        assert ci.mean == pytest.approx(2.0)
+
+    def test_interval_contains_mean(self):
+        ci = mean_confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert ci.low < ci.mean < ci.high
+
+    def test_single_sample_has_nan_width(self):
+        ci = mean_confidence_interval([5.0])
+        assert math.isnan(ci.half_width)
+
+    def test_zero_variance(self):
+        ci = mean_confidence_interval([2.0] * 10)
+        assert ci.half_width == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+    def test_str_formats(self):
+        assert "±" in str(mean_confidence_interval([1.0, 2.0]))
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        fit = linear_fit([0, 1, 2, 3], [1, 3, 5, 7])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = linear_fit([0, 1], [0, 2])
+        assert fit.predict(3) == pytest.approx(6.0)
+
+    def test_flat_line_r2(self):
+        fit = linear_fit([0, 1, 2], [5, 5, 5])
+        assert fit.slope == pytest.approx(0.0, abs=1e-12)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            linear_fit([1], [1, 2])
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            linear_fit([1], [1])
+
+
+class TestLogScalingFit:
+    def test_recovers_log_law(self):
+        ns = [100, 200, 400, 800, 1600]
+        values = [3.0 * math.log(n) + 1.5 for n in ns]
+        fit = log_scaling_fit(ns, values)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(1.5)
+        assert fit.r_squared > 0.999
+
+
+class TestExponentialDecayFit:
+    def test_recovers_rate(self):
+        ds = [4, 8, 12, 16, 20]
+        residuals = [math.exp(-0.5 * d) for d in ds]
+        fit = exponential_decay_fit(ds, residuals)
+        assert fit.slope == pytest.approx(-0.5)
+
+    def test_zero_residual_clamped(self):
+        fit = exponential_decay_fit([1, 2, 3], [0.1, 0.01, 0.0])
+        assert math.isfinite(fit.slope)
+
+
+class TestGeometricGrowthRate:
+    def test_constant_factor(self):
+        sizes = [1, 3, 9, 27, 81]
+        assert geometric_growth_rate(sizes) == pytest.approx(3.0)
+
+    def test_dead_process_is_nan(self):
+        assert math.isnan(geometric_growth_rate([0, 0, 0]))
+
+    def test_ignores_zero_pairs(self):
+        assert geometric_growth_rate([0, 2, 4]) == pytest.approx(2.0)
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s["min"] == 1.0
+        assert s["max"] == 4.0
+        assert s["mean"] == pytest.approx(2.5)
+        assert s["median"] == pytest.approx(2.5)
+        assert s["count"] == 4
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestFractionTrue:
+    def test_basic(self):
+        assert fraction_true([True, False, True, True]) == pytest.approx(0.75)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            fraction_true([])
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    slope=st.floats(-5, 5),
+    intercept=st.floats(-10, 10),
+    xs=st.lists(st.floats(0, 100), min_size=3, max_size=20, unique=True),
+)
+def test_property_linear_fit_recovers_exact_lines(slope, intercept, xs):
+    ys = [slope * x + intercept for x in xs]
+    fit = linear_fit(xs, ys)
+    assert fit.slope == pytest.approx(slope, abs=1e-6)
+    assert fit.intercept == pytest.approx(intercept, abs=1e-5)

@@ -1,0 +1,71 @@
+"""Tests for repro.util.tables."""
+
+from __future__ import annotations
+
+from repro.util.tables import format_value, render_kv, render_table
+
+
+class TestFormatValue:
+    def test_none(self):
+        assert format_value(None) == "-"
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_float_sig_digits(self):
+        assert format_value(3.14159) == "3.142"
+
+    def test_small_float_scientific(self):
+        assert "e" in format_value(1.23e-7)
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_nan(self):
+        assert format_value(float("nan")) == "nan"
+
+    def test_int_passthrough(self):
+        assert format_value(42) == "42"
+
+    def test_string_passthrough(self):
+        assert format_value("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_contains_headers_and_values(self):
+        out = render_table(["a", "b"], [{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        assert "| a" in out
+        assert "| 1" in out
+        assert "| 4" in out
+
+    def test_missing_cell_is_dash(self):
+        out = render_table(["a", "b"], [{"a": 1}])
+        assert "-" in out.splitlines()[-2]
+
+    def test_title(self):
+        out = render_table(["x"], [{"x": 1}], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        out = render_table(["col"], [])
+        assert "col" in out
+
+    def test_alignment_consistency(self):
+        out = render_table(["col"], [{"col": "longvalue"}])
+        lines = [l for l in out.splitlines() if l.startswith("|")]
+        assert len({len(l) for l in lines}) == 1
+
+
+class TestRenderKv:
+    def test_pairs(self):
+        out = render_kv({"alpha": 1, "b": 2.5})
+        assert "alpha : 1" in out
+        assert "2.5" in out
+
+    def test_title(self):
+        out = render_kv({"k": 1}, title="Verdict")
+        assert out.splitlines()[0] == "Verdict"
+
+    def test_empty(self):
+        assert render_kv({}) == ""
