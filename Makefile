@@ -1,0 +1,33 @@
+# Development targets. The tier-1 gate is `make test`; `make test-backends`
+# runs the same suite once per topology backend (REPRO_BACKEND is consumed
+# by tests/conftest.py and repro.core.backend.create_backend).
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+# bench_*.py files do not match pytest's default test-file pattern, so the
+# benchmark targets enumerate them explicitly.
+BENCH_FILES := $(wildcard benchmarks/bench_*.py)
+
+.PHONY: test test-dict test-array test-backends bench bench-backend experiments
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+test-dict:
+	REPRO_BACKEND=dict $(PYTHON) -m pytest -x -q
+
+test-array:
+	REPRO_BACKEND=array $(PYTHON) -m pytest -x -q
+
+test-backends: test-dict test-array
+
+bench:
+	$(PYTHON) -m pytest $(BENCH_FILES) -q -m "not slow"
+
+# Full dict-vs-array sweep (n up to 1e5); writes BENCH_backend.json.
+bench-backend:
+	$(PYTHON) benchmarks/bench_backend_scaling.py
+
+experiments:
+	$(PYTHON) -m repro.experiments --all

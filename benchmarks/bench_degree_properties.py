@@ -22,14 +22,18 @@ def sdgr_split_kernel(seed: int = 0):
     return in_out_degree_split(net.snapshot())
 
 
-def test_bench_sdg_mean_degree(benchmark):
-    summary = benchmark.pedantic(sdg_degrees_kernel, rounds=3, iterations=1)
+def test_bench_sdg_mean_degree(benchmark, bench_seed):
+    summary = benchmark.pedantic(
+        sdg_degrees_kernel, args=(bench_seed,), rounds=3, iterations=1
+    )
     # Lemma 6.1: expected degree d.
     assert abs(summary.mean_degree - D) < 0.3 * D
     # §5: max degree is Θ(log n) — certainly below a large multiple.
     assert summary.max_degree <= 12 * math.log(N)
 
 
-def test_bench_sdgr_exact_out_requests(benchmark):
-    split = benchmark.pedantic(sdgr_split_kernel, rounds=3, iterations=1)
+def test_bench_sdgr_exact_out_requests(benchmark, bench_seed):
+    split = benchmark.pedantic(
+        sdgr_split_kernel, args=(bench_seed,), rounds=3, iterations=1
+    )
     assert sum(out for out, _ in split.values()) == D * N

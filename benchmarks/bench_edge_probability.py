@@ -15,15 +15,17 @@ def streaming_kernel(seed: int = 0):
     )
 
 
-def test_bench_streaming_slot_frequency(benchmark):
-    freq = benchmark.pedantic(streaming_kernel, rounds=3, iterations=1)
+def test_bench_streaming_slot_frequency(benchmark, bench_seed):
+    freq = benchmark.pedantic(
+        streaming_kernel, args=(bench_seed,), rounds=3, iterations=1
+    )
     assert freq.within_bound
     # Regeneration inflates, but never past the e/(n−1) envelope.
     assert freq.empirical <= 2.72 / 49
 
 
-def test_bench_poisson_slot_frequency(benchmark):
-    net = PDGR(n=300, d=8, seed=1)
+def test_bench_poisson_slot_frequency(benchmark, bench_seed):
+    net = PDGR(n=300, d=8, seed=bench_seed + 1)
     snapshot = net.snapshot()
     buckets = benchmark.pedantic(
         poisson_slot_destination_frequency,

@@ -42,8 +42,10 @@ def hub_removal_no_regen_kernel(seed: int = 0):
     return net
 
 
-def test_bench_capped_regeneration(benchmark):
-    net = benchmark.pedantic(capped_regen_kernel, rounds=2, iterations=1)
+def test_bench_capped_regeneration(benchmark, bench_seed):
+    net = benchmark.pedantic(
+        capped_regen_kernel, args=(bench_seed,), rounds=2, iterations=1
+    )
     snap = net.snapshot()
     # Hard degree bound: cap in-edges + d out-slots.
     assert max(len(snap.adjacency[u]) for u in snap.nodes) <= 3 * D
@@ -53,13 +55,17 @@ def test_bench_capped_regeneration(benchmark):
     assert result.completed
 
 
-def test_bench_adversarial_hub_removal_with_regen(benchmark):
-    net = benchmark.pedantic(hub_removal_regen_kernel, rounds=2, iterations=1)
+def test_bench_adversarial_hub_removal_with_regen(benchmark, bench_seed):
+    net = benchmark.pedantic(
+        hub_removal_regen_kernel, args=(bench_seed,), rounds=2, iterations=1
+    )
     probe = adversarial_expansion_upper_bound(net.snapshot(), seed=2)
     assert probe.min_ratio > 0.1  # the expander survives the adversary
 
 
-def test_bench_adversarial_hub_removal_without_regen(benchmark):
-    net = benchmark.pedantic(hub_removal_no_regen_kernel, rounds=2, iterations=1)
+def test_bench_adversarial_hub_removal_without_regen(benchmark, bench_seed):
+    net = benchmark.pedantic(
+        hub_removal_no_regen_kernel, args=(bench_seed,), rounds=2, iterations=1
+    )
     # The contrast: no regeneration + hub removal shatters the graph.
     assert giant_component_fraction(net.snapshot()) < 0.8

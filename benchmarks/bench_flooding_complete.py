@@ -26,19 +26,25 @@ def pdgr_async_kernel(seed: int = 0):
     return flood_asynchronous(net, max_time=60.0 * math.log2(N))
 
 
-def test_bench_sdgr_complete(benchmark):
-    result = benchmark.pedantic(sdgr_complete_kernel, rounds=3, iterations=1)
+def test_bench_sdgr_complete(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        sdgr_complete_kernel, args=(bench_seed,), rounds=3, iterations=1
+    )
     assert result.completed
     assert result.completion_round <= 6 * math.log2(N)
 
 
-def test_bench_pdgr_discretized_complete(benchmark):
-    result = benchmark.pedantic(pdgr_discretized_kernel, rounds=3, iterations=1)
+def test_bench_pdgr_discretized_complete(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        pdgr_discretized_kernel, args=(bench_seed,), rounds=3, iterations=1
+    )
     assert result.completed
     assert result.completion_round <= 6 * math.log2(N)
 
 
-def test_bench_pdgr_asynchronous_complete(benchmark):
-    result = benchmark.pedantic(pdgr_async_kernel, rounds=3, iterations=1)
+def test_bench_pdgr_asynchronous_complete(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        pdgr_async_kernel, args=(bench_seed,), rounds=3, iterations=1
+    )
     assert result.completed
     assert result.completion_round <= 8 * math.log2(N)

@@ -23,28 +23,32 @@ def stall_probability_kernel(trials: int = 40, seed: int = 0) -> float:
     return stalls / trials
 
 
-def test_bench_single_flood_trial(benchmark):
-    benchmark.pedantic(one_flood_trial, args=(11,), rounds=5, iterations=1)
+def test_bench_single_flood_trial(benchmark, bench_seed):
+    benchmark.pedantic(
+        one_flood_trial, args=(bench_seed + 11,), rounds=5, iterations=1
+    )
 
 
-def test_bench_stall_probability_batch(benchmark):
+def test_bench_stall_probability_batch(benchmark, bench_seed):
     probability = benchmark.pedantic(
-        stall_probability_kernel, rounds=1, iterations=1
+        stall_probability_kernel, args=(40, bench_seed), rounds=1, iterations=1
     )
     # Θ_d(1) stall probability, above the paper's (loose) lower bound.
     assert probability >= stall_probability_bound(D)
     assert probability < 0.8  # and far from certain
 
 
-def test_bench_completion_needs_omega_n(benchmark):
+def test_bench_completion_needs_omega_n(benchmark, bench_seed):
     """Full completion (when it happens) cannot beat Ω(n): isolated nodes
     must die out first."""
 
-    def completion_kernel(seed: int = 3):
+    def completion_kernel(seed: int):
         net = SDG(n=N, d=2, seed=seed)
         net.run_rounds(N)
         return flood_discrete(net, max_rounds=3 * N, stop_when_extinct=False)
 
-    result = benchmark.pedantic(completion_kernel, rounds=3, iterations=1)
+    result = benchmark.pedantic(
+        completion_kernel, args=(bench_seed + 3,), rounds=3, iterations=1
+    )
     if result.completed:
         assert result.completion_round >= 0.3 * N

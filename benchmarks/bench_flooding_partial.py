@@ -28,11 +28,15 @@ def pdg_partial_kernel(seed: int = 0) -> float:
     return result.fraction_at(horizon)
 
 
-def test_bench_sdg_partial_flooding(benchmark):
-    fraction = benchmark.pedantic(sdg_partial_kernel, rounds=3, iterations=1)
+def test_bench_sdg_partial_flooding(benchmark, bench_seed):
+    fraction = benchmark.pedantic(
+        sdg_partial_kernel, args=(bench_seed,), rounds=3, iterations=1
+    )
     assert fraction >= informed_fraction_bound_streaming(D) - 0.02
 
 
-def test_bench_pdg_partial_flooding(benchmark):
-    fraction = benchmark.pedantic(pdg_partial_kernel, rounds=3, iterations=1)
+def test_bench_pdg_partial_flooding(benchmark, bench_seed):
+    fraction = benchmark.pedantic(
+        pdg_partial_kernel, args=(bench_seed,), rounds=3, iterations=1
+    )
     assert fraction >= informed_fraction_bound_poisson(D) - 0.02

@@ -24,13 +24,17 @@ def pdg_isolated_kernel(seed: int = 0) -> float:
     return isolated_fraction(net.snapshot())
 
 
-def test_bench_sdg_isolated_fraction(benchmark):
-    fraction = benchmark.pedantic(sdg_isolated_kernel, rounds=3, iterations=1)
+def test_bench_sdg_isolated_fraction(benchmark, bench_seed):
+    fraction = benchmark.pedantic(
+        sdg_isolated_kernel, args=(bench_seed,), rounds=3, iterations=1
+    )
     assert fraction >= isolated_fraction_lower_bound_streaming(D)
     # The measured point sits near the first-order prediction.
     assert fraction <= 3 * isolated_fraction_prediction_streaming(D)
 
 
-def test_bench_pdg_isolated_fraction(benchmark):
-    fraction = benchmark.pedantic(pdg_isolated_kernel, rounds=3, iterations=1)
+def test_bench_pdg_isolated_fraction(benchmark, bench_seed):
+    fraction = benchmark.pedantic(
+        pdg_isolated_kernel, args=(bench_seed,), rounds=3, iterations=1
+    )
     assert fraction >= isolated_fraction_lower_bound_poisson(D)

@@ -16,36 +16,36 @@ N, D = 300, 20
 
 
 @pytest.fixture(scope="module")
-def sdg_snapshot():
-    net = SDG(n=N, d=D, seed=1)
+def sdg_snapshot(bench_seed):
+    net = SDG(n=N, d=D, seed=bench_seed + 1)
     net.run_rounds(N)
     return net.snapshot()
 
 
 @pytest.fixture(scope="module")
-def pdg_snapshot():
-    return PDG(n=N, d=D, seed=2).snapshot()
+def pdg_snapshot(bench_seed):
+    return PDG(n=N, d=D, seed=bench_seed + 2).snapshot()
 
 
-def test_bench_sdg_large_set_probe(benchmark, sdg_snapshot):
+def test_bench_sdg_large_set_probe(benchmark, sdg_snapshot, bench_seed):
     low, high = large_set_window_streaming(N, D)
     probe = benchmark.pedantic(
         large_set_expansion_probe,
         args=(sdg_snapshot,),
-        kwargs={"min_size": low, "max_size": high, "seed": 3},
+        kwargs={"min_size": low, "max_size": high, "seed": bench_seed + 3},
         rounds=3,
         iterations=1,
     )
     assert probe.min_ratio > EXPANSION_THRESHOLD
 
 
-def test_bench_pdg_large_set_probe(benchmark, pdg_snapshot):
+def test_bench_pdg_large_set_probe(benchmark, pdg_snapshot, bench_seed):
     low, high = large_set_window_poisson(N, D)
     high = min(high, pdg_snapshot.num_nodes() // 2)
     probe = benchmark.pedantic(
         large_set_expansion_probe,
         args=(pdg_snapshot,),
-        kwargs={"min_size": low, "max_size": high, "seed": 4},
+        kwargs={"min_size": low, "max_size": high, "seed": bench_seed + 4},
         rounds=3,
         iterations=1,
     )

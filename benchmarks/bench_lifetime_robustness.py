@@ -19,13 +19,17 @@ def weibull_lossy_kernel(seed: int = 0):
     return flood_lossy(net, loss=0.3, seed=seed, max_rounds=200)
 
 
-def test_bench_pareto_flooding(benchmark):
-    result = benchmark.pedantic(pareto_build_and_flood_kernel, rounds=2, iterations=1)
+def test_bench_pareto_flooding(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        pareto_build_and_flood_kernel, args=(bench_seed,), rounds=2, iterations=1
+    )
     assert result.completed
     assert result.completion_round <= 12
 
 
-def test_bench_weibull_lossy_flooding(benchmark):
-    result = benchmark.pedantic(weibull_lossy_kernel, rounds=2, iterations=1)
+def test_bench_weibull_lossy_flooding(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        weibull_lossy_kernel, args=(bench_seed,), rounds=2, iterations=1
+    )
     assert result.completed
     assert result.completion_round <= 20

@@ -16,14 +16,18 @@ def poisson_onion_kernel(seed: int = 0):
     return run_poisson_onion_skin(n=N, d=240, seed=seed)
 
 
-def test_bench_streaming_onion(benchmark):
-    result = benchmark.pedantic(streaming_onion_kernel, rounds=3, iterations=1)
+def test_bench_streaming_onion(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        streaming_onion_kernel, args=(bench_seed,), rounds=3, iterations=1
+    )
     assert result.reached_target
     growth = result.layer_growth_factors()
     # Claim 3.10: pre-saturation growth of at least d/20 per step.
     assert growth[0] >= onion_growth_factor_streaming(D) / 2
 
 
-def test_bench_poisson_onion(benchmark):
-    result = benchmark.pedantic(poisson_onion_kernel, rounds=3, iterations=1)
+def test_bench_poisson_onion(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        poisson_onion_kernel, args=(bench_seed,), rounds=3, iterations=1
+    )
     assert result.reached_target

@@ -15,8 +15,10 @@ def overlay_build_kernel(seed: int = 0):
     return BitcoinLikeNetwork(n=N, seed=seed)
 
 
-def test_bench_overlay_build_and_flood(benchmark):
-    net = benchmark.pedantic(overlay_build_kernel, rounds=2, iterations=1)
+def test_bench_overlay_build_and_flood(benchmark, bench_seed):
+    net = benchmark.pedantic(
+        overlay_build_kernel, args=(bench_seed,), rounds=2, iterations=1
+    )
     summary = component_summary(net.snapshot())
     assert summary.is_connected
     assert summary.num_isolated == 0
@@ -24,4 +26,6 @@ def test_bench_overlay_build_and_flood(benchmark):
     assert result.completed
     assert result.completion_round <= 6 * math.log2(N)
     # Bitcoin Core's inbound cap is never violated.
-    assert all(len(refs) <= 125 for refs in net.state.in_refs.values())
+    assert all(
+        net.state.in_slot_count(u) <= 125 for u in net.state.alive_ids()
+    )

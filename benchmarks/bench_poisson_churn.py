@@ -22,9 +22,9 @@ def churn_kernel(events: int = 4000, seed: int = 0):
     return births, deaths, exposure, net.num_alive()
 
 
-def test_bench_jump_chain(benchmark):
+def test_bench_jump_chain(benchmark, bench_seed):
     births, deaths, exposure, final_size = benchmark.pedantic(
-        churn_kernel, rounds=3, iterations=1
+        churn_kernel, args=(4000, bench_seed), rounds=3, iterations=1
     )
     events = births + deaths
     bounds = jump_probability_bounds()
@@ -38,9 +38,9 @@ def test_bench_jump_chain(benchmark):
     assert conc.low * 0.95 <= final_size <= conc.high * 1.05
 
 
-def test_bench_warmup_to_stationarity(benchmark):
+def test_bench_warmup_to_stationarity(benchmark, bench_seed):
     net = benchmark.pedantic(
-        lambda: PDG(n=N, d=1, seed=1), rounds=3, iterations=1
+        lambda: PDG(n=N, d=1, seed=bench_seed + 1), rounds=3, iterations=1
     )
     conc = size_concentration_bounds(N)
     assert conc.low * 0.9 <= net.num_alive() <= conc.high * 1.1

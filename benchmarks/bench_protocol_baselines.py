@@ -21,15 +21,19 @@ def token_network_kernel(seed: int = 0):
     return net
 
 
-def test_bench_central_cache(benchmark):
-    net = benchmark.pedantic(central_cache_kernel, rounds=3, iterations=1)
+def test_bench_central_cache(benchmark, bench_seed):
+    net = benchmark.pedantic(
+        central_cache_kernel, args=(bench_seed,), rounds=3, iterations=1
+    )
     summary = component_summary(net.snapshot())
     assert summary.is_connected
     result = flood_discrete(net, max_rounds=100)
     assert result.completed
 
 
-def test_bench_token_network(benchmark):
-    net = benchmark.pedantic(token_network_kernel, rounds=2, iterations=1)
+def test_bench_token_network(benchmark, bench_seed):
+    net = benchmark.pedantic(
+        token_network_kernel, args=(bench_seed,), rounds=2, iterations=1
+    )
     summary = component_summary(net.snapshot())
     assert summary.giant_fraction > 0.95

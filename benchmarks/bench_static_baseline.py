@@ -20,15 +20,21 @@ def dynamic_control_kernel(seed: int = 0) -> int:
     return len(net.snapshot().isolated_nodes())
 
 
-def test_bench_static_d3_expands(benchmark):
-    ratio = benchmark.pedantic(static_expander_kernel, rounds=3, iterations=1)
+def test_bench_static_d3_expands(benchmark, bench_seed):
+    ratio = benchmark.pedantic(
+        static_expander_kernel, args=(bench_seed,), rounds=3, iterations=1
+    )
     assert ratio > EXPANSION_THRESHOLD
 
 
-def test_bench_dynamic_sdg_contrast(benchmark):
+def test_bench_dynamic_sdg_contrast(benchmark, bench_seed):
     """At the same d the dynamic model loses nodes to isolation over
     multiple seeds (single snapshots at d=3 hold ~2-3% isolated)."""
-    isolated = benchmark.pedantic(dynamic_control_kernel, rounds=3, iterations=1)
+    isolated = benchmark.pedantic(
+        dynamic_control_kernel, args=(bench_seed,), rounds=3, iterations=1
+    )
     assert isolated >= 0  # timing kernel; the distributional claim below
-    total = sum(dynamic_control_kernel(seed) for seed in range(5))
+    total = sum(
+        dynamic_control_kernel(bench_seed + seed) for seed in range(5)
+    )
     assert total > 0

@@ -5,11 +5,11 @@ from __future__ import annotations
 from repro.experiments import run_experiment
 
 
-def test_bench_table1_summary(benchmark):
+def test_bench_table1_summary(benchmark, bench_seed):
     result = benchmark.pedantic(
         run_experiment,
         args=("EXP-12",),
-        kwargs={"quick": True, "seed": 0},
+        kwargs={"quick": True, "seed": bench_seed},
         rounds=1,
         iterations=1,
     )

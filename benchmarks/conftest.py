@@ -7,4 +7,32 @@ asserts the paper's qualitative shape on the measured output, so
 check.  Benchmarks use ``benchmark.pedantic`` with few rounds: the kernels
 are stochastic simulations where single-run wall-time, not nanosecond
 jitter, is the quantity of interest.
+
+Reproducibility: every kernel takes its seed from the :func:`bench_seed`
+fixture below, so two benchmark runs simulate the *identical* stochastic
+trajectory and their timings are comparable across PRs.  Override with
+``REPRO_BENCH_SEED=<int>`` to measure a different trajectory.
 """
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers", "slow: long-running benchmark (e.g. the n=1e5 scaling point)"
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    """The explicit master seed threaded through every benchmark kernel.
+
+    Defaults to 0 — the value the kernels historically hard-coded — so
+    benchmark numbers stay comparable with runs from before the fixture
+    existed.
+    """
+    return int(os.environ.get("REPRO_BENCH_SEED", "0"))

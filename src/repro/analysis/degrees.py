@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.backend import GraphBackend
 from repro.core.snapshot import Snapshot
 
 
@@ -44,6 +45,26 @@ def degree_summary(snapshot: Snapshot) -> DegreeSummary:
     return DegreeSummary(
         num_nodes=snapshot.num_nodes(),
         num_edges=snapshot.num_edges(),
+        mean_degree=float(degrees.mean()),
+        max_degree=int(degrees.max()),
+        min_degree=int(degrees.min()),
+        std_degree=float(degrees.std(ddof=1)) if degrees.size > 1 else 0.0,
+    )
+
+
+def live_degree_summary(state: GraphBackend) -> DegreeSummary:
+    """Degree summary straight off a live backend — no snapshot needed.
+
+    Reads the backend's degree vector (one vectorized CSR pass on the
+    array backend) instead of materialising per-node adjacency dicts, so
+    it stays cheap inside hot monitoring loops.
+    """
+    degrees = state.degree_vector().astype(float)
+    if degrees.size == 0:
+        return DegreeSummary(0, 0, 0.0, 0, 0, 0.0)
+    return DegreeSummary(
+        num_nodes=state.num_alive(),
+        num_edges=state.num_edges(),
         mean_degree=float(degrees.mean()),
         max_degree=int(degrees.max()),
         min_degree=int(degrees.min()),

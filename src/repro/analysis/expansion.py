@@ -25,13 +25,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
 from repro.core.snapshot import Snapshot
 from repro.errors import AnalysisError
 from repro.util.rng import SeedLike, make_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.models.base import DynamicNetwork
 
 #: Hard cap for exhaustive enumeration (sum of binomials stays ~ 3M).
 EXACT_ENUMERATION_LIMIT = 22
@@ -93,6 +96,7 @@ def adversarial_expansion_upper_bound(
     greedy_restarts: int = 8,
     min_size: int = 1,
     max_size: int | None = None,
+    degree_order: Sequence[int] | None = None,
 ) -> ExpansionProbe:
     """Adversarial upper bound on ``h_out`` over sizes in [min_size, max_size].
 
@@ -106,6 +110,12 @@ def adversarial_expansion_upper_bound(
        absorb the boundary vertex that minimises the resulting boundary —
        the standard local-search heuristic for sparse cuts;
     4. uniformly random sets of random sizes in the window.
+
+    *degree_order* optionally supplies the nodes in ascending
+    ``(degree, node id)`` order (e.g. computed from a live backend's
+    degree vector, see :func:`probe_network_expansion`), skipping the
+    per-node degree sort.  The id tie-break must match the default
+    path's, or the greedy seed set — and hence the probe — may differ.
     """
     n = snapshot.num_nodes()
     if n < 2:
@@ -141,8 +151,14 @@ def adversarial_expansion_upper_bound(
             if len(ball) <= max_size:
                 tracker.consider(ball)
 
-    # 3. greedy boundary-minimising growth from low-degree seeds.
-    seeds = sorted(nodes, key=snapshot.degree)[:greedy_restarts]
+    # 3. greedy boundary-minimising growth from low-degree seeds.  Ties
+    # break by node id so the seed set is deterministic and matches the
+    # degree_order contract below.
+    if degree_order is None:
+        seeds = sorted(nodes, key=lambda u: (snapshot.degree(u), u))
+        seeds = seeds[:greedy_restarts]
+    else:
+        seeds = list(degree_order)[:greedy_restarts]
     for seed_node in seeds:
         _greedy_grow(snapshot, seed_node, max_size, tracker)
 
@@ -153,6 +169,37 @@ def adversarial_expansion_upper_bound(
         tracker.consider({nodes[i] for i in chosen})
 
     return tracker.result()
+
+
+def probe_network_expansion(
+    network: "DynamicNetwork",
+    seed: SeedLike = None,
+    num_random_sets: int = 200,
+    greedy_restarts: int = 8,
+    min_size: int = 1,
+    max_size: int | None = None,
+) -> ExpansionProbe:
+    """Adversarial expansion probe of a live network.
+
+    Snapshots the network once, but reads the ascending-degree node order
+    straight from the topology backend's degree vector (a single
+    vectorized CSR pass on the array backend) instead of sorting through
+    per-node snapshot lookups.  Ties break by node id, exactly like the
+    snapshot path, so both paths probe the identical candidate portfolio.
+    """
+    state = network.state
+    ids = np.asarray(state.alive_ids(), dtype=np.int64)
+    degrees = state.degree_vector()
+    order = ids[np.lexsort((ids, degrees))]
+    return adversarial_expansion_upper_bound(
+        network.snapshot(),
+        seed=seed,
+        num_random_sets=num_random_sets,
+        greedy_restarts=greedy_restarts,
+        min_size=min_size,
+        max_size=max_size,
+        degree_order=[int(u) for u in order],
+    )
 
 
 def large_set_expansion_probe(

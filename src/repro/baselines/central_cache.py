@@ -19,6 +19,7 @@ which has isolated nodes at the same ``d``.
 
 from __future__ import annotations
 
+from repro.core.backend import GraphBackend
 from repro.core.edge_policy import NoRegenerationPolicy
 from repro.errors import ConfigurationError
 from repro.models.base import RoundReport
@@ -44,6 +45,7 @@ class CentralCacheNetwork(StreamingNetwork):
         cache_size: int | None = None,
         rotation: int = 2,
         seed: SeedLike = None,
+        backend: str | GraphBackend | None = None,
     ) -> None:
         if cache_size is None:
             cache_size = max(4, 4 * d)
@@ -54,7 +56,9 @@ class CentralCacheNetwork(StreamingNetwork):
         self.cache: list[int] = []
         # The policy's handle_birth is overridden below; NoRegeneration
         # supplies death handling (edges die with their endpoints).
-        super().__init__(n, NoRegenerationPolicy(d), seed=seed, warm=False)
+        super().__init__(
+            n, NoRegenerationPolicy(d), seed=seed, warm=False, backend=backend
+        )
         self._warm(n)
 
     def _warm(self, rounds: int) -> None:
@@ -88,8 +92,7 @@ class CentralCacheNetwork(StreamingNetwork):
         from repro.sim.events import EdgeCreated
 
         for node_id in self.state.alive_ids():
-            record = self.state.records[node_id]
-            for slot_index, current in enumerate(record.out_slots):
+            for slot_index, current in enumerate(self.state.out_slots_of(node_id)):
                 if current is not None:
                     continue
                 candidates = [
@@ -130,7 +133,7 @@ class CentralCacheNetwork(StreamingNetwork):
                 in_cache.discard(self.cache[victim])
                 self.cache.pop(victim)
         while len(self.cache) < self.cache_size and self.state.num_alive() > len(in_cache):
-            candidate = self.state.alive.sample(self.rng)
+            candidate = self.state.sample_alive(self.rng)
             if candidate not in in_cache:
                 self.cache.append(candidate)
                 in_cache.add(candidate)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.backend import GraphBackend
 from repro.core.edge_policy import NoRegenerationPolicy
 from repro.errors import ConfigurationError
 from repro.models.base import RoundReport
@@ -50,6 +51,7 @@ class TokenNetwork(StreamingNetwork):
         tokens_per_node: int | None = None,
         mixing_steps: int = 10,
         seed: SeedLike = None,
+        backend: str | GraphBackend | None = None,
     ) -> None:
         if tokens_per_node is None:
             tokens_per_node = 2 * d
@@ -58,7 +60,9 @@ class TokenNetwork(StreamingNetwork):
         self.tokens_per_node = tokens_per_node
         self.mixing_steps = mixing_steps
         self.tokens: list[_Token] = []
-        super().__init__(n, NoRegenerationPolicy(d), seed=seed, warm=False)
+        super().__init__(
+            n, NoRegenerationPolicy(d), seed=seed, warm=False, backend=backend
+        )
         self._warm(n)
 
     def _warm(self, rounds: int) -> None:
@@ -107,10 +111,9 @@ class TokenNetwork(StreamingNetwork):
 
     def _walk_tokens(self) -> None:
         for token in self.tokens:
-            neighbors = self.state.adj.get(token.carrier)
-            if neighbors:
-                keys = list(neighbors)
-                token.carrier = keys[int(self.rng.integers(0, len(keys)))]
+            step = self.state.random_neighbor(token.carrier, self.rng)
+            if step is not None:
+                token.carrier = step
                 token.age += 1
 
     def _birth_via_tokens(self, node_id: int):
@@ -139,7 +142,7 @@ class TokenNetwork(StreamingNetwork):
         # Fallback: too few mature tokens (early warm-up) → uniform picks,
         # exactly like the paper's bootstrap assumption.
         while len(targets) < self.policy.d and self.state.num_alive() > len(targets) + 1:
-            candidate = self.state.alive.sample(self.rng)
+            candidate = self.state.sample_alive(self.rng)
             if candidate != node_id and candidate not in targets:
                 targets.append(candidate)
         for slot_index, target in enumerate(targets):

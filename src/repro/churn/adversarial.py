@@ -20,31 +20,31 @@ from typing import Callable
 
 import numpy as np
 
-from repro.core.graph import DynamicGraphState
+from repro.core.backend import GraphBackend
 from repro.errors import ConfigurationError
 
 #: A victim strategy maps (state, rng) -> node id to kill.
-VictimStrategy = Callable[[DynamicGraphState, np.random.Generator], int]
+VictimStrategy = Callable[[GraphBackend, np.random.Generator], int]
 
 
-def oldest_victim(state: DynamicGraphState, rng: np.random.Generator) -> int:
+def oldest_victim(state: GraphBackend, rng: np.random.Generator) -> int:
     """The paper's streaming rule: smallest id = earliest birth."""
     del rng
     return min(state.alive_ids())
 
 
-def random_victim(state: DynamicGraphState, rng: np.random.Generator) -> int:
+def random_victim(state: GraphBackend, rng: np.random.Generator) -> int:
     """Uniformly random victim (the Poisson model's rule)."""
-    return state.alive.sample(rng)
+    return state.sample_alive(rng)
 
 
-def max_degree_victim(state: DynamicGraphState, rng: np.random.Generator) -> int:
+def max_degree_victim(state: GraphBackend, rng: np.random.Generator) -> int:
     """Hub removal: kill a maximum-degree node (ties broken by age)."""
     del rng
     return max(state.alive_ids(), key=lambda u: (state.degree(u), -u))
 
 
-def min_degree_victim(state: DynamicGraphState, rng: np.random.Generator) -> int:
+def min_degree_victim(state: GraphBackend, rng: np.random.Generator) -> int:
     """Fringe removal: kill a minimum-degree node (ties broken by age)."""
     del rng
     return min(state.alive_ids(), key=lambda u: (state.degree(u), u))

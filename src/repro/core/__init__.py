@@ -1,21 +1,42 @@
-"""Dynamic-graph core: node registry, slot-based topology, snapshots, policies."""
+"""Dynamic-graph core: node registry, slot-based topology, snapshots, policies.
 
+Topology storage is pluggable (see :mod:`repro.core.backend`): the
+dict-based reference backend and the vectorized array backend implement the
+same :class:`GraphBackend` interface and produce bit-identical seeded
+trajectories on the per-event path.
+"""
+
+from repro.core.array_backend import ArraySlotBackend
+from repro.core.backend import (
+    BACKEND_NAMES,
+    GraphBackend,
+    create_backend,
+    default_backend_name,
+    use_backend,
+)
 from repro.core.edge_policy import (
     CappedRegenerationPolicy,
     EdgePolicy,
     NoRegenerationPolicy,
     RegenerationPolicy,
 )
-from repro.core.graph import DynamicGraphState
+from repro.core.graph import DictBackend, DynamicGraphState
 from repro.core.node import NodeRecord
 from repro.core.snapshot import Snapshot
 
 __all__ = [
+    "ArraySlotBackend",
+    "BACKEND_NAMES",
     "CappedRegenerationPolicy",
+    "DictBackend",
     "DynamicGraphState",
     "EdgePolicy",
+    "GraphBackend",
     "NodeRecord",
     "NoRegenerationPolicy",
     "RegenerationPolicy",
     "Snapshot",
+    "create_backend",
+    "default_backend_name",
+    "use_backend",
 ]

@@ -1,0 +1,518 @@
+"""Dense array-backed topology backend.
+
+:class:`ArraySlotBackend` stores the out-request slots of all nodes in one
+``(capacity, d)`` NumPy array of *row* indices (-1 = empty slot), with:
+
+* **free-list row recycling** — dead nodes return their row to a free
+  list, so memory stays O(alive nodes) even though ids grow forever;
+* **alive-mask bookkeeping** — a boolean row mask plus the same
+  :class:`~repro.util.sampling.IndexedSet` alive set the dict backend
+  uses, so uniform sampling consumes the RNG identically (seeded
+  trajectories are bit-identical across backends on the per-event path);
+* **a lazily rebuilt CSR adjacency** — distinct-neighbour queries
+  (snapshots, degree vectors, edge counts) rebuild a CSR structure at
+  most once per topology version, entirely in vectorized NumPy;
+* **batched births** — :meth:`apply_births` applies thousands of births
+  in a handful of array operations (same distribution as the sequential
+  path, different RNG stream consumption).
+
+The slot matrix stores row indices rather than node ids so that every
+vectorized pass (frontier expansion, CSR rebuild) indexes arrays directly.
+An assigned slot always points at an alive row: when a node dies all slots
+pointing at it are cleared (they are the returned orphans), so no stale
+row reference can survive recycling.
+
+This backend is the fast path behind ``backend="array"``; the dict backend
+remains the readable reference implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.backend import GraphBackend
+from repro.core.node import NodeRecord
+from repro.core.snapshot import Snapshot
+from repro.errors import SimulationError
+
+
+class ArraySlotBackend(GraphBackend):
+    """Vectorized slot store with free-list node recycling."""
+
+    supports_vectorized_frontier = True
+
+    def __init__(self, initial_capacity: int = 1024, slot_width: int = 4) -> None:
+        super().__init__()
+        self._cap = max(int(initial_capacity), 1)
+        self._width = max(int(slot_width), 1)
+        self._slots = np.full((self._cap, self._width), -1, dtype=np.int64)
+        self._num_slots = np.zeros(self._cap, dtype=np.int32)
+        self._birth = np.zeros(self._cap, dtype=np.float64)
+        self._id_of = np.full(self._cap, -1, dtype=np.int64)
+        self._alive_rows = np.zeros(self._cap, dtype=bool)
+        self._in_refs: list[set[tuple[int, int]]] = [set() for _ in range(self._cap)]
+        self._row_of: dict[int, int] = {}
+        self._free: list[int] = []
+        self._high = 0  # rows [0, _high) have been used at least once
+        self._version = 0
+        self._csr_version = -1
+        self._csr_indptr: np.ndarray | None = None
+        self._csr_indices: np.ndarray | None = None
+        self._csr_edge_count = 0
+
+    # ------------------------------------------------------------------
+    # row bookkeeping
+    # ------------------------------------------------------------------
+
+    def row_capacity(self) -> int:
+        """Current length of the row arrays (masks must match this)."""
+        return self._cap
+
+    def row_for(self, node_id: int) -> int:
+        """Array row of an alive node."""
+        return self._row_of[node_id]
+
+    def row_if_alive(self, node_id: int) -> int | None:
+        """Array row of *node_id*, or None when it is not alive."""
+        return self._row_of.get(node_id)
+
+    def rows_for(self, node_ids: Iterable[int]) -> np.ndarray:
+        """Array rows of alive nodes (order preserved)."""
+        row_of = self._row_of
+        return np.fromiter(
+            (row_of[u] for u in node_ids), dtype=np.int64
+        )
+
+    def ids_for_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Node ids occupying *rows*."""
+        return self._id_of[rows]
+
+    def slot_matrix(self) -> np.ndarray:
+        """The ``(capacity, d)`` slot store of target rows (read-only view)."""
+        return self._slots
+
+    def alive_row_mask(self) -> np.ndarray:
+        """Boolean mask over rows of currently-alive nodes (read-only view)."""
+        return self._alive_rows
+
+    def _take_row(self) -> int:
+        if self._free:
+            return self._free.pop()
+        if self._high == self._cap:
+            self._grow_rows(self._cap * 2)
+        row = self._high
+        self._high += 1
+        return row
+
+    def _grow_rows(self, new_cap: int) -> None:
+        old_cap = self._cap
+        self._cap = new_cap
+        grown = np.full((new_cap, self._width), -1, dtype=np.int64)
+        grown[:old_cap] = self._slots
+        self._slots = grown
+        num_slots_grown = np.zeros(new_cap, dtype=np.int32)
+        num_slots_grown[:old_cap] = self._num_slots
+        self._num_slots = num_slots_grown
+        birth_grown = np.zeros(new_cap, dtype=np.float64)
+        birth_grown[:old_cap] = self._birth
+        self._birth = birth_grown
+        id_grown = np.full(new_cap, -1, dtype=np.int64)
+        id_grown[:old_cap] = self._id_of
+        self._id_of = id_grown
+        alive_grown = np.zeros(new_cap, dtype=bool)
+        alive_grown[:old_cap] = self._alive_rows
+        self._alive_rows = alive_grown
+        self._in_refs.extend(set() for _ in range(new_cap - old_cap))
+
+    def _grow_cols(self, new_width: int) -> None:
+        extra = np.full((self._cap, new_width - self._width), -1, dtype=np.int64)
+        self._slots = np.hstack([self._slots, extra])
+        self._width = new_width
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+
+    def neighbors(self, node_id: int) -> set[int]:
+        """Current undirected neighbours of *node_id* (distinct ids)."""
+        row = self._row_of[node_id]
+        out = self._slots[row, : self._num_slots[row]]
+        result = {int(self._id_of[t]) for t in out if t >= 0}
+        result.update(source for source, _ in self._in_refs[row])
+        return result
+
+    def degree(self, node_id: int) -> int:
+        return len(self.neighbors(node_id))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        urow = self._row_of.get(u)
+        vrow = self._row_of.get(v)
+        if urow is None or vrow is None:
+            return False
+        if np.any(self._slots[urow, : self._num_slots[urow]] == vrow):
+            return True
+        return bool(np.any(self._slots[vrow, : self._num_slots[vrow]] == urow))
+
+    def random_neighbor(
+        self, node_id: int, rng: np.random.Generator
+    ) -> int | None:
+        keys = sorted(self.neighbors(node_id))
+        if not keys:
+            return None
+        return keys[int(rng.integers(0, len(keys)))]
+
+    def num_edges(self) -> int:
+        """Number of distinct undirected edges (from the lazy CSR)."""
+        self._ensure_csr()
+        return self._csr_edge_count
+
+    def record(self, node_id: int) -> NodeRecord:
+        """Synthesized record of an *alive* node (dead rows are recycled)."""
+        row = self._row_of.get(node_id)
+        if row is None:
+            raise SimulationError(
+                f"node {node_id} is not alive (array backend recycles dead rows)"
+            )
+        return NodeRecord(
+            node_id=node_id,
+            birth_time=float(self._birth[row]),
+            out_slots=self.out_slots_of(node_id),
+        )
+
+    def birth_time(self, node_id: int) -> float:
+        return float(self._birth[self._row_of[node_id]])
+
+    def out_slots_of(self, node_id: int) -> list[int | None]:
+        row = self._row_of[node_id]
+        return [
+            int(self._id_of[t]) if t >= 0 else None
+            for t in self._slots[row, : self._num_slots[row]]
+        ]
+
+    def in_slot_count(self, node_id: int) -> int:
+        return len(self._in_refs[self._row_of[node_id]])
+
+    # ------------------------------------------------------------------
+    # topology mutation
+    # ------------------------------------------------------------------
+
+    def add_node(self, node_id: int, birth_time: float, num_slots: int) -> NodeRecord:
+        if node_id in self._row_of:
+            raise SimulationError(f"node id {node_id} already exists")
+        if num_slots > self._width:
+            self._grow_cols(num_slots)
+        row = self._take_row()
+        self._slots[row, :] = -1
+        self._num_slots[row] = num_slots
+        self._birth[row] = birth_time
+        self._id_of[row] = node_id
+        self._alive_rows[row] = True
+        self._in_refs[row] = set()
+        self._row_of[node_id] = row
+        self.alive.add(node_id)
+        self._version += 1
+        return NodeRecord(
+            node_id=node_id, birth_time=birth_time, out_slots=[None] * num_slots
+        )
+
+    def assign_slot(self, source: int, slot_index: int, target: int) -> None:
+        srow = self._row_of[source]
+        if not 0 <= slot_index < self._num_slots[srow]:
+            # Matches the dict backend's list IndexError; without this the
+            # write would land in a padding column, visible to the CSR but
+            # not to neighbors()/out_slots_of().
+            raise IndexError(
+                f"slot index {slot_index} out of range for node {source}"
+            )
+        if self._slots[srow, slot_index] >= 0:
+            raise SimulationError(
+                f"slot {slot_index} of node {source} is already assigned"
+            )
+        if target == source:
+            raise SimulationError(f"self-loop requested by node {source}")
+        trow = self._row_of.get(target)
+        if trow is None:
+            raise SimulationError(f"slot target {target} is not alive")
+        self._slots[srow, slot_index] = trow
+        self._in_refs[trow].add((source, slot_index))
+        self._version += 1
+
+    def clear_slot(self, source: int, slot_index: int) -> int | None:
+        srow = self._row_of[source]
+        if not 0 <= slot_index < self._num_slots[srow]:
+            raise IndexError(
+                f"slot index {slot_index} out of range for node {source}"
+            )
+        trow = self._slots[srow, slot_index]
+        if trow < 0:
+            return None
+        self._slots[srow, slot_index] = -1
+        self._in_refs[trow].discard((source, slot_index))
+        self._version += 1
+        return int(self._id_of[trow])
+
+    def remove_node(self, node_id: int, death_time: float) -> list[tuple[int, int]]:
+        """Kill *node_id*; its row returns to the free list for recycling."""
+        del death_time  # recycled rows keep no tombstone
+        if node_id not in self.alive:
+            raise SimulationError(f"cannot remove node {node_id}: not alive")
+        row = self._row_of[node_id]
+        self.alive.discard(node_id)
+        self._alive_rows[row] = False
+
+        # Drop the dying node's own requests.
+        for slot_index in range(int(self._num_slots[row])):
+            trow = self._slots[row, slot_index]
+            if trow >= 0:
+                self._in_refs[trow].discard((node_id, slot_index))
+        self._slots[row, :] = -1
+
+        # Orphan the requests of others pointing here (sorted, matching the
+        # dict backend so regeneration repairs in the same RNG order).
+        orphaned = sorted(self._in_refs[row])
+        for source, slot_index in orphaned:
+            self._slots[self._row_of[source], slot_index] = -1
+        self._in_refs[row] = set()
+
+        del self._row_of[node_id]
+        self._id_of[row] = -1
+        self._num_slots[row] = 0
+        self._birth[row] = 0.0
+        self._free.append(row)
+        self._version += 1
+        return orphaned
+
+    # ------------------------------------------------------------------
+    # batched churn
+    # ------------------------------------------------------------------
+
+    def apply_births(
+        self,
+        node_ids: Sequence[int],
+        times: Sequence[float] | float,
+        num_slots: int,
+        rng: np.random.Generator,
+    ) -> None:
+        """Vectorized pure-birth batch.
+
+        Newborn ``k`` draws its ``num_slots`` targets uniformly (with
+        replacement) from the ``m0 + k`` nodes present when it joins —
+        the same law as the sequential path, sampled in one
+        ``rng.integers`` call for the whole batch.
+        """
+        count = len(node_ids)
+        if count == 0:
+            return
+        if len(set(node_ids)) != count:
+            raise SimulationError("duplicate node ids in birth batch")
+        clash = next((i for i in node_ids if i in self._row_of), None)
+        if clash is not None:
+            raise SimulationError(f"node id {clash} already exists")
+        times_list = self.birth_times_list(node_ids, times)
+        if num_slots > self._width:
+            self._grow_cols(num_slots)
+
+        # Existing alive rows in IndexedSet order, then the new rows: the
+        # first m0 + k entries are exactly newborn k's candidate pool.
+        m0 = self.num_alive()
+        existing_ids = self.alive.as_list()
+        rows = np.fromiter(
+            (self._take_row() for _ in range(count)), dtype=np.int64, count=count
+        )
+        pool_rows = np.empty(m0 + count, dtype=np.int64)
+        if m0:
+            pool_rows[:m0] = self.rows_for(existing_ids)
+        pool_rows[m0:] = rows
+
+        ids = np.asarray(node_ids, dtype=np.int64)
+        self._slots[rows, :] = -1
+        self._num_slots[rows] = num_slots
+        self._birth[rows] = np.asarray(times_list, dtype=np.float64)
+        self._id_of[rows] = ids
+        self._alive_rows[rows] = True
+        for row in rows:
+            self._in_refs[row] = set()
+
+        highs = np.repeat(m0 + np.arange(count, dtype=np.int64), num_slots)
+        valid = highs > 0
+        draws = rng.integers(0, np.where(valid, highs, 1))
+        target_rows = pool_rows[draws[valid]]
+
+        flat = np.full(count * num_slots, -1, dtype=np.int64)
+        flat[valid] = target_rows
+        self._slots[np.repeat(rows, num_slots), np.tile(np.arange(num_slots), count)] = flat
+
+        source_ids = np.repeat(ids, num_slots)[valid]
+        slot_indices = np.tile(np.arange(num_slots), count)[valid]
+        in_refs = self._in_refs
+        for source, slot_index, trow in zip(
+            source_ids.tolist(), slot_indices.tolist(), target_rows.tolist()
+        ):
+            in_refs[trow].add((source, slot_index))
+
+        row_of = self._row_of
+        for node_id, row in zip(ids.tolist(), rows.tolist()):
+            row_of[node_id] = row
+            self.alive.add(node_id)
+        self._version += 1
+
+    # ------------------------------------------------------------------
+    # vectorized reads: CSR adjacency, degree vectors, frontier boundary
+    # ------------------------------------------------------------------
+
+    def _ensure_csr(self) -> None:
+        if self._csr_version == self._version:
+            return
+        cap = self._cap
+        mask = self._slots >= 0
+        src = np.nonzero(mask)[0]
+        tgt = self._slots[mask]
+        u = np.concatenate([src, tgt])
+        v = np.concatenate([tgt, src])
+        keys = np.unique(u * np.int64(cap) + v)
+        uu = keys // cap
+        vv = keys % cap
+        counts = np.bincount(uu, minlength=cap)
+        indptr = np.zeros(cap + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        self._csr_indptr = indptr
+        self._csr_indices = vv
+        self._csr_edge_count = len(keys) // 2
+        self._csr_version = self._version
+
+    def adjacency_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(indptr, indices)`` of the distinct-neighbour adjacency over
+        rows, rebuilt lazily (at most once per topology version)."""
+        self._ensure_csr()
+        assert self._csr_indptr is not None and self._csr_indices is not None
+        return self._csr_indptr, self._csr_indices
+
+    def degree_vector(self) -> np.ndarray:
+        """Distinct-neighbour degrees aligned with :meth:`alive_ids` order."""
+        ids = self.alive_ids()
+        if not ids:
+            return np.zeros(0, dtype=np.int64)
+        indptr, _ = self.adjacency_csr()
+        rows = self.rows_for(ids)
+        return indptr[rows + 1] - indptr[rows]
+
+    def boundary_rows(self, informed_mask: np.ndarray) -> np.ndarray:
+        """Rows adjacent to (but outside) the informed row mask.
+
+        This is the vectorized Definition 3.1 outer boundary: the targets
+        of informed rows' slots, plus every row owning a slot that points
+        into the informed mask — no CSR rebuild, no Python-level loop.
+        """
+        slots = self._slots
+        boundary = np.zeros(self._cap, dtype=bool)
+        informed_rows = np.nonzero(informed_mask)[0]
+        if informed_rows.size:
+            out = slots[informed_rows]
+            out = out[out >= 0]
+            boundary[out] = True
+        valid = slots >= 0
+        hits = valid & informed_mask[np.where(valid, slots, 0)]
+        boundary |= hits.any(axis=1)
+        boundary &= ~informed_mask
+        boundary &= self._alive_rows
+        return boundary
+
+    def boundary_of(self, nodes: Iterable[int]) -> set[int]:
+        """``∂out(S)`` as a set of node ids (vectorized internally)."""
+        mask = np.zeros(self._cap, dtype=bool)
+        rows = self.rows_for(nodes)
+        if rows.size == 0:
+            return set()
+        mask[rows] = True
+        boundary = self.boundary_rows(mask)
+        return {int(i) for i in self._id_of[np.nonzero(boundary)[0]]}
+
+    # ------------------------------------------------------------------
+    # snapshot / verification
+    # ------------------------------------------------------------------
+
+    def snapshot(self, time: float) -> Snapshot:
+        """Freeze the current topology (CSR is rebuilt lazily here)."""
+        nodes = self.alive.as_list()
+        indptr, indices = self.adjacency_csr()
+        id_of = self._id_of
+        row_of = self._row_of
+        adjacency: dict[int, frozenset[int]] = {}
+        birth_times: dict[int, float] = {}
+        out_slots: dict[int, tuple[int | None, ...]] = {}
+        for u in nodes:
+            row = row_of[u]
+            nbr_rows = indices[indptr[row] : indptr[row + 1]]
+            adjacency[u] = frozenset(int(i) for i in id_of[nbr_rows])
+            birth_times[u] = float(self._birth[row])
+            out_slots[u] = tuple(self.out_slots_of(u))
+        return Snapshot(
+            time=time,
+            nodes=frozenset(nodes),
+            adjacency=adjacency,
+            birth_times=birth_times,
+            out_slots=out_slots,
+        )
+
+    def check_invariants(self) -> None:
+        """Raise :class:`SimulationError` if internal indices disagree.
+
+        Checked invariants:
+          * id/row maps are mutually consistent with the alive structures;
+          * every assigned slot points at an alive row and is registered
+            in the target's reverse index;
+          * every reverse-index entry corresponds to a real assignment;
+          * free rows are fully cleared (no stale slots or reverse refs);
+          * CSR degrees and the cached edge count match a recount.
+        """
+        for node_id, row in self._row_of.items():
+            if self._id_of[row] != node_id:
+                raise SimulationError(f"row map corrupt for node {node_id}")
+            if not self._alive_rows[row] or node_id not in self.alive:
+                raise SimulationError(f"alive bookkeeping corrupt for {node_id}")
+        if len(self._row_of) != self.num_alive():
+            raise SimulationError("row map and alive set sizes disagree")
+
+        pairs: set[tuple[int, int]] = set()
+        for node_id, row in self._row_of.items():
+            for slot_index in range(int(self._num_slots[row])):
+                trow = self._slots[row, slot_index]
+                if trow < 0:
+                    continue
+                if not self._alive_rows[trow]:
+                    raise SimulationError(
+                        f"slot ({node_id},{slot_index}) points at dead row {trow}"
+                    )
+                if (node_id, slot_index) not in self._in_refs[trow]:
+                    raise SimulationError(
+                        f"slot ({node_id},{slot_index}) missing from in_refs"
+                    )
+                target = int(self._id_of[trow])
+                pairs.add((min(node_id, target), max(node_id, target)))
+        for row in range(self._high):
+            for source, slot_index in self._in_refs[row]:
+                srow = self._row_of.get(source)
+                if srow is None or self._slots[srow, slot_index] != row:
+                    raise SimulationError(
+                        f"stale in_ref ({source},{slot_index}) -> row {row}"
+                    )
+        for row in self._free:
+            if (
+                self._id_of[row] != -1
+                or self._alive_rows[row]
+                or self._in_refs[row]
+                or np.any(self._slots[row] >= 0)
+            ):
+                raise SimulationError(f"free row {row} is not fully cleared")
+
+        if self.num_edges() != len(pairs):
+            raise SimulationError(
+                f"CSR edge count {self.num_edges()} != recount {len(pairs)}"
+            )
+        for node_id in self.alive_ids():
+            indptr, _ = self.adjacency_csr()
+            row = self._row_of[node_id]
+            if indptr[row + 1] - indptr[row] != len(self.neighbors(node_id)):
+                raise SimulationError(f"CSR degree mismatch for node {node_id}")

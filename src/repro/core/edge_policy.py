@@ -21,7 +21,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-from repro.core.graph import DynamicGraphState
+from repro.core.backend import GraphBackend
 from repro.errors import ConfigurationError
 from repro.sim.events import (
     EdgeCreated,
@@ -29,6 +29,7 @@ from repro.sim.events import (
     EventRecord,
     NodeBorn,
     NodeDied,
+    NodesDied,
 )
 
 
@@ -42,7 +43,7 @@ class EdgePolicy(ABC):
 
     def handle_birth(
         self,
-        state: DynamicGraphState,
+        state: GraphBackend,
         node_id: int,
         time: float,
         rng: np.random.Generator,
@@ -58,7 +59,7 @@ class EdgePolicy(ABC):
 
     def handle_death(
         self,
-        state: DynamicGraphState,
+        state: GraphBackend,
         node_id: int,
         time: float,
         rng: np.random.Generator,
@@ -77,7 +78,7 @@ class EdgePolicy(ABC):
     @abstractmethod
     def repair_orphans(
         self,
-        state: DynamicGraphState,
+        state: GraphBackend,
         orphaned: list[tuple[int, int]],
         time: float,
         rng: np.random.Generator,
@@ -85,13 +86,79 @@ class EdgePolicy(ABC):
     ) -> None:
         """Handle slots whose destination just died."""
 
+    # ------------------------------------------------------------------
+    # batched churn
+    # ------------------------------------------------------------------
+
+    @property
+    def supports_batch_birth(self) -> bool:
+        """Whether births may be applied through the backend's batch path.
+
+        True exactly when the policy uses the base uniform birth rule —
+        a subclass that overrides :meth:`handle_birth` (e.g. the capped
+        policy's filtered sampling) must go through the per-node path.
+        """
+        return type(self).handle_birth is EdgePolicy.handle_birth
+
+    def handle_births(
+        self,
+        state: GraphBackend,
+        node_ids: list[int],
+        times: list[float] | float,
+        rng: np.random.Generator,
+    ) -> None:
+        """Apply a pure-birth batch without per-event records.
+
+        Dispatches to the backend's (possibly vectorized)
+        :meth:`~repro.core.backend.GraphBackend.apply_births` when the
+        policy uses the base birth rule; otherwise falls back to the
+        per-node :meth:`handle_birth` loop so policy overrides apply.
+        """
+        if self.supports_batch_birth:
+            state.apply_births(node_ids, times, self.d, rng)
+            return
+        times_list = state.birth_times_list(node_ids, times)
+        for node_id, time in zip(node_ids, times_list):
+            self.handle_birth(state, node_id, time, rng)
+
+    def handle_deaths(
+        self,
+        state: GraphBackend,
+        node_ids: list[int],
+        time: float,
+        rng: np.random.Generator,
+    ) -> EventRecord:
+        """Apply a batch of deaths, then repair the surviving orphans once.
+
+        The backend removes every listed node before any repair happens,
+        so regenerated requests can never target a node dying in the same
+        batch — the semantics of "these nodes left simultaneously".
+        Returns one aggregate :class:`NodesDied` record: ``edges_destroyed``
+        holds every edge incident to a victim (victim–victim edges once),
+        ``edges_created`` every regenerated replacement edge.
+        """
+        record = EventRecord(time=time, kind=NodesDied(node_ids=tuple(node_ids)))
+        seen: set[tuple[int, int]] = set()
+        for node_id in node_ids:
+            for neighbor in list(state.neighbors(node_id)):
+                key = (min(node_id, neighbor), max(node_id, neighbor))
+                if key in seen:
+                    continue
+                seen.add(key)
+                record.edges_destroyed.append(
+                    EdgeDestroyed(source=node_id, target=neighbor)
+                )
+        orphaned = state.apply_deaths(node_ids, death_time=time)
+        self.repair_orphans(state, orphaned, time, rng, record)
+        return record
+
 
 class NoRegenerationPolicy(EdgePolicy):
     """Lost requests stay lost (SDG / PDG)."""
 
     def repair_orphans(
         self,
-        state: DynamicGraphState,
+        state: GraphBackend,
         orphaned: list[tuple[int, int]],
         time: float,
         rng: np.random.Generator,
@@ -107,7 +174,7 @@ class RegenerationPolicy(EdgePolicy):
 
     def repair_orphans(
         self,
-        state: DynamicGraphState,
+        state: GraphBackend,
         orphaned: list[tuple[int, int]],
         time: float,
         rng: np.random.Generator,
@@ -141,20 +208,20 @@ class CappedRegenerationPolicy(EdgePolicy):
         self.max_attempts = max_attempts
 
     def _pick_capped_target(
-        self, state: DynamicGraphState, source: int, rng: np.random.Generator
+        self, state: GraphBackend, source: int, rng: np.random.Generator
     ) -> int | None:
         for _ in range(self.max_attempts):
             targets = state.sample_targets(rng, 1, exclude=source)
             if not targets:
                 return None
             target = targets[0]
-            if len(state.in_refs[target]) < self.max_in_degree:
+            if state.in_slot_count(target) < self.max_in_degree:
                 return target
         return None
 
     def handle_birth(
         self,
-        state: DynamicGraphState,
+        state: GraphBackend,
         node_id: int,
         time: float,
         rng: np.random.Generator,
@@ -171,7 +238,7 @@ class CappedRegenerationPolicy(EdgePolicy):
 
     def repair_orphans(
         self,
-        state: DynamicGraphState,
+        state: GraphBackend,
         orphaned: list[tuple[int, int]],
         time: float,
         rng: np.random.Generator,

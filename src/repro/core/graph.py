@@ -1,6 +1,9 @@
-"""Mutable dynamic-graph state shared by all four models.
+"""Dict-based reference topology backend.
 
-The state tracks, incrementally and in O(1) amortised per operation:
+The original mutable dynamic-graph state shared by all four models, now one
+of two :class:`~repro.core.backend.GraphBackend` implementations (the other
+is :class:`~repro.core.array_backend.ArraySlotBackend`).  It tracks,
+incrementally and in O(1) amortised per operation:
 
 * the set of alive nodes (with O(1) uniform sampling, via
   :class:`~repro.util.sampling.IndexedSet`);
@@ -10,11 +13,14 @@ The state tracks, incrementally and in O(1) amortised per operation:
   makes deaths O(degree): a dying node knows exactly which slots it orphans;
 * the undirected adjacency with multiplicities, because two slots may
   connect the same pair (the d choices are independent, with replacement)
-  and an undirected edge disappears only when its last supporting slot does.
+  and an undirected edge disappears only when its last supporting slot does;
+* the distinct undirected edge count, maintained incrementally so
+  :meth:`DictBackend.num_edges` is O(1) instead of re-summing all rows.
 
 The state is policy-agnostic: birth/death/regeneration *decisions* live in
 :mod:`repro.core.edge_policy`; this module only applies topology deltas and
-maintains invariants (checkable via :meth:`DynamicGraphState.check_invariants`).
+maintains invariants (checkable via :meth:`DictBackend.check_invariants`).
+``DynamicGraphState`` remains as a backward-compatible alias.
 """
 
 from __future__ import annotations
@@ -23,35 +29,25 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.core.backend import GraphBackend
 from repro.core.node import NodeRecord
 from repro.core.snapshot import Snapshot
 from repro.errors import SimulationError
-from repro.util.sampling import IndexedSet
 
 
-class DynamicGraphState:
+class DictBackend(GraphBackend):
     """Nodes + slot-based topology of a dynamic network at one instant."""
 
     def __init__(self) -> None:
+        super().__init__()
         self.records: dict[int, NodeRecord] = {}
-        self.alive = IndexedSet()
         self.in_refs: dict[int, set[tuple[int, int]]] = {}
         self.adj: dict[int, dict[int, int]] = {}
-        self._next_id = 0
+        self._edge_count = 0
 
     # ------------------------------------------------------------------
     # basic queries
     # ------------------------------------------------------------------
-
-    def num_alive(self) -> int:
-        return len(self.alive)
-
-    def alive_ids(self) -> list[int]:
-        """Snapshot list of alive node ids (internal order)."""
-        return self.alive.as_list()
-
-    def is_alive(self, node_id: int) -> bool:
-        return node_id in self.alive
 
     def neighbors(self, node_id: int) -> Iterable[int]:
         """Current undirected neighbours of *node_id*."""
@@ -62,21 +58,47 @@ class DynamicGraphState:
         return len(self.adj.get(node_id, {}))
 
     def num_edges(self) -> int:
-        """Number of distinct undirected edges."""
-        return sum(len(nbrs) for nbrs in self.adj.values()) // 2
+        """Number of distinct undirected edges (O(1), cached)."""
+        return self._edge_count
 
     def record(self, node_id: int) -> NodeRecord:
         return self.records[node_id]
 
+    def birth_time(self, node_id: int) -> float:
+        return self.records[node_id].birth_time
+
+    def out_slots_of(self, node_id: int) -> list[int | None]:
+        # A copy, matching the array backend: the interface is read-only.
+        return list(self.records[node_id].out_slots)
+
+    def in_slot_count(self, node_id: int) -> int:
+        return len(self.in_refs[node_id])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self.adj.get(u, {})
+
+    def random_neighbor(
+        self, node_id: int, rng: np.random.Generator
+    ) -> int | None:
+        """Uniformly random current neighbour, or None if isolated.
+
+        Preserves the adjacency-row insertion order when listing
+        candidates, so seeded trajectories match the pre-backend code.
+        """
+        neighbors = self.adj.get(node_id)
+        if not neighbors:
+            return None
+        keys = list(neighbors)
+        return keys[int(rng.integers(0, len(keys)))]
+
+    def degree_vector(self) -> np.ndarray:
+        return np.array(
+            [len(self.adj[u]) for u in self.alive_ids()], dtype=np.int64
+        )
+
     # ------------------------------------------------------------------
     # topology mutation (used by edge policies and network drivers)
     # ------------------------------------------------------------------
-
-    def allocate_id(self) -> int:
-        """Reserve the next node id (birth order)."""
-        node_id = self._next_id
-        self._next_id += 1
-        return node_id
 
     def add_node(self, node_id: int, birth_time: float, num_slots: int) -> NodeRecord:
         """Register a newborn with *num_slots* empty out-slots."""
@@ -159,21 +181,6 @@ class DynamicGraphState:
         return orphaned
 
     # ------------------------------------------------------------------
-    # sampling
-    # ------------------------------------------------------------------
-
-    def sample_targets(
-        self, rng: np.random.Generator, k: int, exclude: int
-    ) -> list[int]:
-        """Sample *k* destinations uniformly (with replacement), never *exclude*.
-
-        Mirrors the paper's edge-creation rule: each of the ``d`` requests
-        independently picks a uniformly random node of the current network.
-        Returns fewer than *k* ids (possibly none) when no candidate exists.
-        """
-        return self.alive.sample_many(rng, k, exclude=exclude)
-
-    # ------------------------------------------------------------------
     # snapshot / verification
     # ------------------------------------------------------------------
 
@@ -199,7 +206,8 @@ class DynamicGraphState:
           * every assigned slot points at an alive node and is registered
             in the target's ``in_refs``;
           * every ``in_refs`` entry corresponds to a real slot assignment;
-          * adjacency multiplicity equals the number of supporting slots.
+          * adjacency multiplicity equals the number of supporting slots;
+          * the cached undirected edge count matches a full recount.
         """
         multiplicity: dict[tuple[int, int], int] = {}
         for node_id in self.alive:
@@ -233,12 +241,19 @@ class DynamicGraphState:
             raise SimulationError(
                 "adjacency multiplicities disagree with slot assignments"
             )
+        recount = sum(len(nbrs) for nbrs in self.adj.values()) // 2
+        if recount != self._edge_count:
+            raise SimulationError(
+                f"cached edge count {self._edge_count} != recount {recount}"
+            )
 
     # ------------------------------------------------------------------
     # internal adjacency maintenance
     # ------------------------------------------------------------------
 
     def _adj_increment(self, u: int, v: int) -> None:
+        if v not in self.adj[u]:
+            self._edge_count += 1
         self.adj[u][v] = self.adj[u].get(v, 0) + 1
         self.adj[v][u] = self.adj[v].get(u, 0) + 1
 
@@ -250,3 +265,9 @@ class DynamicGraphState:
             row[b] -= 1
             if row[b] == 0:
                 del row[b]
+                if a == u:
+                    self._edge_count -= 1
+
+
+#: Backward-compatible name for the reference backend.
+DynamicGraphState = DictBackend

@@ -5,6 +5,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.core.backend import BACKEND_NAMES
 from repro.experiments.registry import all_experiments, run_experiment
 
 
@@ -26,6 +27,13 @@ def main(argv: list[str] | None = None) -> int:
         help="use the full (EXPERIMENTS.md) parameters instead of quick mode",
     )
     parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default=None,
+        help="topology backend for every simulated network "
+        "(default: REPRO_BACKEND env var, else dict)",
+    )
     parser.add_argument(
         "--csv",
         metavar="DIR",
@@ -49,7 +57,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     failures = 0
     for experiment_id in ids:
-        result = run_experiment(experiment_id, quick=not args.full, seed=args.seed)
+        result = run_experiment(
+            experiment_id,
+            quick=not args.full,
+            seed=args.seed,
+            backend=args.backend,
+        )
         print(result.to_text())
         if args.csv:
             path = result.write_csv(args.csv)

@@ -61,9 +61,13 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
                     connected_flags.append(summary.is_connected)
                     degree_means.append(degree_summary(snap).mean_degree)
                     in_maxes.append(
-                        max(len(refs) for refs in net.state.in_refs.values())
-                        if net.state.in_refs
-                        else 0
+                        max(
+                            (
+                                net.state.in_slot_count(u)
+                                for u in net.state.alive_ids()
+                            ),
+                            default=0,
+                        )
                     )
                     res = flood_discretized(
                         net, max_rounds=40 * int(math.log2(n))

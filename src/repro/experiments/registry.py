@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Protocol
 
+from repro.core.backend import use_backend
 from repro.errors import ExperimentError
 from repro.experiments.common import ExperimentResult
 
@@ -71,10 +72,19 @@ def all_experiments() -> list[Experiment]:
 
 
 def run_experiment(
-    experiment_id: str, quick: bool = True, seed: int = 0
+    experiment_id: str,
+    quick: bool = True,
+    seed: int = 0,
+    backend: str | None = None,
 ) -> ExperimentResult:
-    """Run one experiment by id."""
-    return get_experiment(experiment_id).runner(quick=quick, seed=seed)
+    """Run one experiment by id.
+
+    *backend* overrides the topology backend for every network the runner
+    builds (via :func:`repro.core.backend.use_backend`, so experiment
+    signatures stay unchanged); ``None`` keeps the process default.
+    """
+    with use_backend(backend):
+        return get_experiment(experiment_id).runner(quick=quick, seed=seed)
 
 
 def _ensure_loaded() -> None:

@@ -53,10 +53,7 @@ def flood_asynchronous(
     """
     state = network.state
     if source is None:
-        alive = state.alive_ids()
-        if not alive:
-            raise ConfigurationError("network has no alive nodes")
-        source = max(alive, key=lambda u: state.records[u].birth_time)
+        source = state.youngest_alive()
     if not state.is_alive(source):
         raise ConfigurationError(f"source node {source} is not alive")
 
@@ -102,7 +99,7 @@ def flood_asynchronous(
                 message.target not in informed
                 and state.is_alive(message.sender)
                 and state.is_alive(message.target)
-                and message.target in state.adj[message.sender]
+                and state.has_edge(message.sender, message.target)
             ):
                 inform(message.target, event.time)
                 if alive_informed == state.num_alive():
@@ -114,8 +111,10 @@ def flood_asynchronous(
         else:
             network.clock.advance_to(jump_time)
             record = network.apply_churn(jump.is_birth)
-            if record.is_death and record.node_id in informed:
-                alive_informed -= 1
+            if record.is_death:
+                alive_informed -= sum(
+                    1 for nid in record.node_ids if nid in informed
+                )
             for edge in record.edges_created:
                 u, v = edge.endpoints()
                 if (u in informed) != (v in informed):

@@ -9,6 +9,11 @@ This is the process analysed for the streaming models (Theorems 3.7, 3.8,
 3.16); it also runs on Poisson drivers (where one round = one unit of
 continuous time), but for those the paper's Definition 4.3 semantics are
 implemented separately in :mod:`repro.flooding.discretized`.
+
+The informed set is tracked through a :mod:`repro.flooding.frontier`
+strategy: a set of ids on the dict backend, a row mask with vectorized
+boundary expansion on the array backend.  Both compute the same informed
+set each round, so trajectories are backend-independent.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.errors import ConfigurationError
+from repro.flooding.frontier import make_frontier
 from repro.flooding.result import FloodingResult
 from repro.models.base import DynamicNetwork
 
@@ -46,21 +52,22 @@ def flood_discrete(
     """
     state = network.state
     if sources is not None:
-        informed = set(sources)
-        if not informed:
+        initial = set(sources)
+        if not initial:
             raise ConfigurationError("sources must be non-empty when given")
-        for node in informed:
+        for node in initial:
             if not state.is_alive(node):
                 raise ConfigurationError(f"source node {node} is not alive")
-        source = min(informed)
+        source = min(initial)
     else:
         if source is None:
-            source = _youngest_alive(network)
+            source = state.youngest_alive()
         if not state.is_alive(source):
             raise ConfigurationError(f"source node {source} is not alive")
-        informed = {source}
+        initial = {source}
+    frontier = make_frontier(state, initial)
     result = FloodingResult(source=source, start_time=network.now)
-    result.record_round(len(informed), state.num_alive())
+    result.record_round(frontier.count(), state.num_alive())
     if state.num_alive() == 1:
         result.completed = True
         result.completion_round = 0
@@ -68,40 +75,29 @@ def flood_discrete(
 
     for round_index in range(1, max_rounds + 1):
         # Outer boundary in the current snapshot G_{t-1}.
-        boundary: set[int] = set()
-        for u in informed:
-            boundary.update(state.neighbors(u))
-        boundary -= informed
+        boundary = frontier.boundary()
 
         report = network.advance_round()
 
-        informed |= boundary
-        informed = {u for u in informed if state.is_alive(u)}
-        result.record_round(len(informed), state.num_alive())
+        frontier.absorb(boundary, report)
+        informed_count = frontier.count()
+        result.record_round(informed_count, state.num_alive())
 
         # Completion criterion of Definition 3.3: I_t ⊇ N_{t-1} ∩ N_t,
         # i.e. every uninformed alive node was born this very round.
-        uninformed_count = state.num_alive() - len(informed)
+        uninformed_count = state.num_alive() - informed_count
         fresh_uninformed = sum(
             1
             for b in report.births
-            if state.is_alive(b) and b not in informed
+            if state.is_alive(b) and not frontier.contains(b)
         )
-        if informed and uninformed_count == fresh_uninformed:
+        if informed_count and uninformed_count == fresh_uninformed:
             result.completed = True
             result.completion_round = round_index
             return result
-        if not informed:
+        if not informed_count:
             result.extinct = True
             result.extinction_round = round_index
             if stop_when_extinct:
                 return result
     return result
-
-
-def _youngest_alive(network: DynamicNetwork) -> int:
-    state = network.state
-    alive = state.alive_ids()
-    if not alive:
-        raise ConfigurationError("network has no alive nodes")
-    return max(alive, key=lambda u: state.records[u].birth_time)

@@ -50,7 +50,7 @@ def flood_discretized(
         source = min(informed)
     else:
         if source is None:
-            source = _youngest_alive(network)
+            source = network.state.youngest_alive()
         if not state.is_alive(source):
             raise ConfigurationError(f"source node {source} is not alive")
         informed = {source}
@@ -92,10 +92,3 @@ def flood_discretized(
                 return result
     return result
 
-
-def _youngest_alive(network: DynamicNetwork) -> int:
-    state = network.state
-    alive = state.alive_ids()
-    if not alive:
-        raise ConfigurationError("network has no alive nodes")
-    return max(alive, key=lambda u: state.records[u].birth_time)

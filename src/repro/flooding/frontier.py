@@ -1,0 +1,124 @@
+"""Frontier strategies for synchronous flooding.
+
+:func:`repro.flooding.discrete.flood_discrete` tracks the informed set
+through one of two interchangeable strategies:
+
+* :class:`SetFrontier` — the reference implementation: a Python set of
+  node ids, boundary via per-node neighbour unions.  Works on every
+  backend.
+* :class:`MaskFrontier` — a boolean mask over the array backend's rows;
+  boundary expansion is ``informed-mask × slot-matrix`` in NumPy
+  (see :meth:`~repro.core.array_backend.ArraySlotBackend.boundary_rows`).
+  Requires ``supports_vectorized_frontier``.
+
+Both strategies compute the identical informed set each round — only the
+representation differs — so seeded flooding trajectories match across
+backends (the cross-backend parity tests assert exactly this).
+
+The round protocol (Definition 3.3's ``I_t = (I_{t−1} ∪ ∂out(I_{t−1})) ∩
+N_t``) is split in two because churn happens between the boundary read and
+the update: call :meth:`boundary` on the *pre-churn* topology, advance the
+network, then :meth:`absorb` the boundary, discarding members that died.
+The mask variant must additionally scrub rows recycled by same-round
+births: a newborn can reuse the row of a dead informed node, and without
+the scrub it would inherit the stale informed bit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol
+
+import numpy as np
+
+from repro.core.backend import GraphBackend
+from repro.models.base import RoundReport
+
+
+class Frontier(Protocol):
+    """The informed-set operations flood_discrete needs."""
+
+    def count(self) -> int: ...
+
+    def contains(self, node_id: int) -> bool: ...
+
+    def boundary(self) -> object: ...
+
+    def absorb(self, boundary: object, report: RoundReport) -> None: ...
+
+
+class SetFrontier:
+    """Informed set as a plain set of node ids (any backend)."""
+
+    def __init__(self, state: GraphBackend, informed: Iterable[int]) -> None:
+        self.state = state
+        self.informed = set(informed)
+
+    def count(self) -> int:
+        return len(self.informed)
+
+    def contains(self, node_id: int) -> bool:
+        return node_id in self.informed
+
+    def boundary(self) -> set[int]:
+        """``∂out(I)`` in the current (pre-churn) topology."""
+        return self.state.boundary_of(self.informed)
+
+    def absorb(self, boundary: set[int], report: RoundReport) -> None:
+        """``I ← (I ∪ boundary) ∩ alive`` after the churn."""
+        del report  # newborn ids are fresh, so they can never be in I
+        self.informed |= boundary
+        state = self.state
+        self.informed = {u for u in self.informed if state.is_alive(u)}
+
+
+class MaskFrontier:
+    """Informed set as a boolean mask over array-backend rows."""
+
+    def __init__(self, state: GraphBackend, informed: Iterable[int]) -> None:
+        self.state = state
+        self.mask = np.zeros(state.row_capacity(), dtype=bool)
+        rows = state.rows_for(informed)
+        if rows.size:
+            self.mask[rows] = True
+
+    def count(self) -> int:
+        return int(self.mask.sum())
+
+    def contains(self, node_id: int) -> bool:
+        row = self.state.row_if_alive(node_id)
+        return row is not None and bool(self.mask[row])
+
+    def _padded(self, mask: np.ndarray) -> np.ndarray:
+        """Grow *mask* to the backend's current row capacity (births may
+        have resized the row arrays since the mask was made)."""
+        cap = self.state.row_capacity()
+        if len(mask) == cap:
+            return mask
+        grown = np.zeros(cap, dtype=bool)
+        grown[: len(mask)] = mask
+        return grown
+
+    def boundary(self) -> np.ndarray:
+        """Vectorized ``∂out(I)`` as a row mask (pre-churn topology)."""
+        self.mask = self._padded(self.mask)
+        return self.state.boundary_rows(self.mask)
+
+    def absorb(self, boundary: np.ndarray, report: RoundReport) -> None:
+        state = self.state
+        mask = self._padded(self.mask) | self._padded(boundary)
+        # Scrub rows recycled by this round's births: the previous occupant
+        # died mid-round, and its informed/boundary bit must not leak onto
+        # the newborn (the id-set semantics: newborn ids are never informed).
+        for born in report.births:
+            row = state.row_if_alive(born)
+            if row is not None:
+                mask[row] = False
+        mask &= state.alive_row_mask()
+        self.mask = mask
+
+
+def make_frontier(state: GraphBackend, informed: Iterable[int]) -> SetFrontier | MaskFrontier:
+    """Pick the fastest frontier representation the backend supports."""
+    if getattr(state, "supports_vectorized_frontier", False):
+        return MaskFrontier(state, informed)
+    return SetFrontier(state, informed)

@@ -46,10 +46,7 @@ def gossip_push_pull(
     state = network.state
     rng: np.random.Generator = make_rng(seed)
     if source is None:
-        alive = state.alive_ids()
-        if not alive:
-            raise ConfigurationError("network has no alive nodes")
-        source = max(alive, key=lambda u: state.records[u].birth_time)
+        source = state.youngest_alive()
     if not state.is_alive(source):
         raise ConfigurationError(f"source node {source} is not alive")
 
@@ -61,14 +58,14 @@ def gossip_push_pull(
         newly: set[int] = set()
         if push:
             for u in informed:
-                neighbor = _random_neighbor(state, u, rng)
+                neighbor = state.random_neighbor(u, rng)
                 if neighbor is not None and neighbor not in informed:
                     newly.add(neighbor)
         if pull:
             for u in state.alive_ids():
                 if u in informed or u in newly:
                     continue
-                neighbor = _random_neighbor(state, u, rng)
+                neighbor = state.random_neighbor(u, rng)
                 if neighbor is not None and neighbor in informed:
                     newly.add(u)
 
@@ -92,11 +89,3 @@ def gossip_push_pull(
             return result
     return result
 
-
-def _random_neighbor(state, node: int, rng: np.random.Generator) -> int | None:
-    """Uniformly random current neighbour of *node*, or None if isolated."""
-    neighbors = state.adj.get(node)
-    if not neighbors:
-        return None
-    keys = list(neighbors)
-    return keys[int(rng.integers(0, len(keys)))]

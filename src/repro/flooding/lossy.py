@@ -42,10 +42,7 @@ def flood_lossy(
     state = network.state
     rng: np.random.Generator = make_rng(seed)
     if source is None:
-        alive = state.alive_ids()
-        if not alive:
-            raise ConfigurationError("network has no alive nodes")
-        source = max(alive, key=lambda u: state.records[u].birth_time)
+        source = state.youngest_alive()
     if not state.is_alive(source):
         raise ConfigurationError(f"source node {source} is not alive")
 

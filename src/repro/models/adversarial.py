@@ -14,6 +14,7 @@ comparison of interest.
 from __future__ import annotations
 
 from repro.churn.adversarial import VictimStrategy, get_strategy
+from repro.core.backend import GraphBackend
 from repro.core.edge_policy import EdgePolicy
 from repro.errors import ConfigurationError
 from repro.models.base import DynamicNetwork, RoundReport
@@ -39,10 +40,11 @@ class AdversarialStreamingNetwork(DynamicNetwork):
         strategy: str | VictimStrategy = "max_degree",
         seed: SeedLike = None,
         warm: bool = True,
+        backend: str | GraphBackend | None = None,
     ) -> None:
         if n < 2:
             raise ConfigurationError(f"need n >= 2, got {n}")
-        super().__init__(policy, seed)
+        super().__init__(policy, seed, backend=backend)
         self.n = n
         self.round_number = 0
         self.victim_strategy: VictimStrategy = (

@@ -19,8 +19,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.backend import GraphBackend, create_backend
 from repro.core.edge_policy import EdgePolicy
-from repro.core.graph import DynamicGraphState
 from repro.core.snapshot import Snapshot
 from repro.sim.clock import SimClock
 from repro.sim.events import EventRecord
@@ -41,14 +41,29 @@ class RoundReport:
 
     @property
     def deaths(self) -> list[int]:
-        return [e.node_id for e in self.events if e.is_death]
+        # Flattened so batched NodesDied records report every victim.
+        return [nid for e in self.events if e.is_death for nid in e.node_ids]
 
 
 class DynamicNetwork(ABC):
-    """Base class for the streaming and Poisson network drivers."""
+    """Base class for the streaming and Poisson network drivers.
 
-    def __init__(self, policy: EdgePolicy, seed: SeedLike = None) -> None:
-        self.state = DynamicGraphState()
+    Args:
+        policy: edge policy deciding birth/death edge consequences.
+        seed: RNG seed.
+        backend: topology backend — a name from
+            :data:`repro.core.backend.BACKEND_NAMES`, a ready-made
+            :class:`~repro.core.backend.GraphBackend` instance, or
+            ``None`` for the process default (``REPRO_BACKEND``).
+    """
+
+    def __init__(
+        self,
+        policy: EdgePolicy,
+        seed: SeedLike = None,
+        backend: str | GraphBackend | None = None,
+    ) -> None:
+        self.state: GraphBackend = create_backend(backend)
         self.policy = policy
         self.rng: np.random.Generator = make_rng(seed)
         self.clock = SimClock()

@@ -15,6 +15,7 @@ EXP-17 uses this to stress-test the paper's dichotomy under heavy-tailed
 from __future__ import annotations
 
 from repro.churn.lifetime import ExponentialLifetime, LifetimeDistribution
+from repro.core.backend import GraphBackend
 from repro.core.edge_policy import (
     EdgePolicy,
     NoRegenerationPolicy,
@@ -47,10 +48,11 @@ class GeneralChurnNetwork(DynamicNetwork):
         lam: float = 1.0,
         seed: SeedLike = None,
         warm_time: float | None = None,
+        backend: str | GraphBackend | None = None,
     ) -> None:
         if lam <= 0:
             raise ConfigurationError(f"lam must be positive, got {lam}")
-        super().__init__(policy, seed)
+        super().__init__(policy, seed, backend=backend)
         self.lifetime = lifetime
         self.lam = float(lam)
         self.deaths = EventEngine()
@@ -122,10 +124,12 @@ def GDG(
     lam: float = 1.0,
     seed: SeedLike = None,
     warm_time: float | None = None,
+    backend: str | GraphBackend | None = None,
 ) -> GeneralChurnNetwork:
     """Generalized dynamic graph without edge regeneration."""
     return GeneralChurnNetwork(
-        lifetime, NoRegenerationPolicy(d), lam=lam, seed=seed, warm_time=warm_time
+        lifetime, NoRegenerationPolicy(d), lam=lam, seed=seed,
+        warm_time=warm_time, backend=backend,
     )
 
 
@@ -135,14 +139,21 @@ def GDGR(
     lam: float = 1.0,
     seed: SeedLike = None,
     warm_time: float | None = None,
+    backend: str | GraphBackend | None = None,
 ) -> GeneralChurnNetwork:
     """Generalized dynamic graph with edge regeneration."""
     return GeneralChurnNetwork(
-        lifetime, RegenerationPolicy(d), lam=lam, seed=seed, warm_time=warm_time
+        lifetime, RegenerationPolicy(d), lam=lam, seed=seed,
+        warm_time=warm_time, backend=backend,
     )
 
 
-def exponential_reference(n: float, d: int, seed: SeedLike = None) -> GeneralChurnNetwork:
+def exponential_reference(
+    n: float,
+    d: int,
+    seed: SeedLike = None,
+    backend: str | GraphBackend | None = None,
+) -> GeneralChurnNetwork:
     """The paper's PDGR expressed in the generalized driver (for testing
     that the two drivers agree statistically)."""
-    return GDGR(ExponentialLifetime(n), d=d, seed=seed)
+    return GDGR(ExponentialLifetime(n), d=d, seed=seed, backend=backend)

@@ -15,6 +15,7 @@ from __future__ import annotations
 import math
 
 from repro.churn.poisson import PoissonJumpChain
+from repro.core.backend import GraphBackend
 from repro.core.edge_policy import (
     EdgePolicy,
     NoRegenerationPolicy,
@@ -47,10 +48,11 @@ class PoissonNetwork(DynamicNetwork):
         lam: float = 1.0,
         seed: SeedLike = None,
         warm_time: float | None = None,
+        backend: str | GraphBackend | None = None,
     ) -> None:
         if n < 2:
             raise ConfigurationError(f"Poisson model needs n >= 2, got {n}")
-        super().__init__(policy, seed)
+        super().__init__(policy, seed, backend=backend)
         self.n = float(n)
         self.chain = PoissonJumpChain(lam=lam, n=n)
         self.event_count = 0  # the jump-chain round index r of Definition 4.5
@@ -106,7 +108,7 @@ class PoissonNetwork(DynamicNetwork):
             # (death rate 0); the guard keeps the driver robust anyway.
             node_id = self.state.allocate_id()
             return self.policy.handle_birth(self.state, node_id, self.now, self.rng)
-        victim = self.state.alive.sample(self.rng)
+        victim = self.state.sample_alive(self.rng)
         return self.policy.handle_death(self.state, victim, self.now, self.rng)
 
 
@@ -116,9 +118,13 @@ def PDG(
     seed: SeedLike = None,
     lam: float = 1.0,
     warm_time: float | None = None,
+    backend: str | GraphBackend | None = None,
 ) -> PoissonNetwork:
     """Poisson Dynamic Graph without edge regeneration (Definition 4.9)."""
-    return PoissonNetwork(n, NoRegenerationPolicy(d), lam=lam, seed=seed, warm_time=warm_time)
+    return PoissonNetwork(
+        n, NoRegenerationPolicy(d), lam=lam, seed=seed, warm_time=warm_time,
+        backend=backend,
+    )
 
 
 def PDGR(
@@ -127,9 +133,13 @@ def PDGR(
     seed: SeedLike = None,
     lam: float = 1.0,
     warm_time: float | None = None,
+    backend: str | GraphBackend | None = None,
 ) -> PoissonNetwork:
     """Poisson Dynamic Graph with edge regeneration (Definition 4.14)."""
-    return PoissonNetwork(n, RegenerationPolicy(d), lam=lam, seed=seed, warm_time=warm_time)
+    return PoissonNetwork(
+        n, RegenerationPolicy(d), lam=lam, seed=seed, warm_time=warm_time,
+        backend=backend,
+    )
 
 
 def lifetime_age_bound(n: float) -> float:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import networkx as nx
 
-from repro.core.graph import DynamicGraphState
+from repro.core.backend import create_backend
 from repro.core.snapshot import Snapshot
 from repro.errors import ConfigurationError
 from repro.util.rng import SeedLike, make_rng
@@ -29,7 +29,7 @@ def static_d_out_snapshot(n: int, d: int, seed: SeedLike = None) -> Snapshot:
     if d < 1:
         raise ConfigurationError(f"need d >= 1, got {d}")
     rng = make_rng(seed)
-    state = DynamicGraphState()
+    state = create_backend()
     for _ in range(n):
         state.add_node(state.allocate_id(), birth_time=0.0, num_slots=d)
     for u in range(n):

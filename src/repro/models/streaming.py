@@ -16,7 +16,10 @@ used by Lemma 3.14 (see DESIGN.md §2.2).  During the first ``n`` rounds
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.churn.streaming import StreamingSchedule
+from repro.core.backend import GraphBackend
 from repro.core.edge_policy import (
     EdgePolicy,
     NoRegenerationPolicy,
@@ -36,6 +39,12 @@ class StreamingNetwork(DynamicNetwork):
         seed: RNG seed.
         warm: when true (default), immediately run the first ``n`` birth
             rounds so the network starts full, at round ``n``.
+        backend: topology backend name/instance (None = process default).
+        fast_warm: apply the ``n`` warm-up births through the backend's
+            batched path (one vectorized draw on the array backend).  Same
+            distribution as the per-round warm-up, but a *different seeded
+            trajectory* — leave False when bit-identical trajectories
+            against a per-round run matter (e.g. cross-backend parity).
     """
 
     def __init__(
@@ -44,15 +53,31 @@ class StreamingNetwork(DynamicNetwork):
         policy: EdgePolicy,
         seed: SeedLike = None,
         warm: bool = True,
+        backend: str | GraphBackend | None = None,
+        fast_warm: bool = False,
     ) -> None:
         if n < 2:
             raise ConfigurationError(f"streaming model needs n >= 2, got {n}")
-        super().__init__(policy, seed)
+        super().__init__(policy, seed, backend=backend)
         self.n = n
         self.schedule = StreamingSchedule(n)
         self.round_number = 0
         if warm:
-            self.run_rounds(n)
+            if fast_warm:
+                self._warm_batch()
+            else:
+                self.run_rounds(n)
+
+    def _warm_batch(self) -> None:
+        """Warm-up as one batched pure-birth pass (Definition 3.2 rounds
+        1..n have no deaths, so the whole prefix is a single batch)."""
+        node_ids = self.state.allocate_ids(self.n)
+        if node_ids[0] != self.schedule.birth_id(1):
+            raise SimulationError("batched warm-up must start from round 0")
+        times = np.arange(1, self.n + 1, dtype=np.float64)
+        self.policy.handle_births(self.state, node_ids, times, self.rng)
+        self.round_number = self.n
+        self.clock.advance_to(float(self.n))
 
     def advance_round(self) -> RoundReport:
         """Apply one streaming round: death (if any), regeneration, birth."""
@@ -89,11 +114,31 @@ class StreamingNetwork(DynamicNetwork):
         return max(0, self.round_number - self.n)
 
 
-def SDG(n: int, d: int, seed: SeedLike = None, warm: bool = True) -> StreamingNetwork:
+def SDG(
+    n: int,
+    d: int,
+    seed: SeedLike = None,
+    warm: bool = True,
+    backend: str | GraphBackend | None = None,
+    fast_warm: bool = False,
+) -> StreamingNetwork:
     """Streaming Dynamic Graph without edge regeneration (Definition 3.4)."""
-    return StreamingNetwork(n, NoRegenerationPolicy(d), seed=seed, warm=warm)
+    return StreamingNetwork(
+        n, NoRegenerationPolicy(d), seed=seed, warm=warm, backend=backend,
+        fast_warm=fast_warm,
+    )
 
 
-def SDGR(n: int, d: int, seed: SeedLike = None, warm: bool = True) -> StreamingNetwork:
+def SDGR(
+    n: int,
+    d: int,
+    seed: SeedLike = None,
+    warm: bool = True,
+    backend: str | GraphBackend | None = None,
+    fast_warm: bool = False,
+) -> StreamingNetwork:
     """Streaming Dynamic Graph with edge regeneration (Definition 3.13)."""
-    return StreamingNetwork(n, RegenerationPolicy(d), seed=seed, warm=warm)
+    return StreamingNetwork(
+        n, RegenerationPolicy(d), seed=seed, warm=warm, backend=backend,
+        fast_warm=fast_warm,
+    )

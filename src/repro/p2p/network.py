@@ -21,6 +21,7 @@ EXP-14 checks this engineered overlay matches PDGR's qualitative claims.
 from __future__ import annotations
 
 from repro.churn.poisson import PoissonJumpChain
+from repro.core.backend import GraphBackend
 from repro.core.edge_policy import EdgePolicy
 from repro.errors import ConfigurationError
 from repro.models.base import DynamicNetwork, RoundReport
@@ -62,12 +63,13 @@ class BitcoinLikeNetwork(DynamicNetwork):
         dial_attempts: int = 4,
         seed: SeedLike = None,
         warm_time: float | None = None,
+        backend: str | GraphBackend | None = None,
     ) -> None:
         if n < 2:
             raise ConfigurationError(f"need n >= 2, got {n}")
         if target_outbound < 1:
             raise ConfigurationError("target_outbound must be >= 1")
-        super().__init__(_ManualPolicy(target_outbound), seed)
+        super().__init__(_ManualPolicy(target_outbound), seed, backend=backend)
         self.n = float(n)
         self.chain = PoissonJumpChain(lam=1.0, n=n)
         self.max_inbound = max_inbound
@@ -113,7 +115,7 @@ class BitcoinLikeNetwork(DynamicNetwork):
         self.event_count += 1
         if is_birth or self.num_alive() == 0:
             return self._handle_join()
-        victim = self.state.alive.sample(self.rng)
+        victim = self.state.sample_alive(self.rng)
         return self._handle_leave(victim)
 
     def _handle_join(self) -> EventRecord:
@@ -151,7 +153,7 @@ class BitcoinLikeNetwork(DynamicNetwork):
 
     def _dial_missing_slots(self, node_id: int, record: EventRecord) -> None:
         addrman = self.addrmans[node_id]
-        slots = self.state.records[node_id].out_slots
+        slots = self.state.out_slots_of(node_id)
         for slot_index, current in enumerate(slots):
             if current is not None:
                 continue
@@ -165,7 +167,7 @@ class BitcoinLikeNetwork(DynamicNetwork):
                     continue
                 if address == node_id:
                     continue
-                if len(self.state.in_refs[address]) >= self.max_inbound:
+                if self.state.in_slot_count(address) >= self.max_inbound:
                     self.failed_dials += 1
                     continue  # peer is full
                 self.state.assign_slot(node_id, slot_index, address)
@@ -178,11 +180,9 @@ class BitcoinLikeNetwork(DynamicNetwork):
     def _gossip_addresses(self) -> None:
         """Each node pushes a few known addresses to one random neighbour."""
         for node_id in self.state.alive_ids():
-            neighbors = self.state.adj.get(node_id)
-            if not neighbors:
+            peer = self.state.random_neighbor(node_id, self.rng)
+            if peer is None:
                 continue
-            keys = list(neighbors)
-            peer = keys[int(self.rng.integers(0, len(keys)))]
             payload = self.addrmans[node_id].advertise(self.rng, self.gossip_fanout)
             payload.append(node_id)  # self-advertisement, as in Bitcoin
             peer_addrman = self.addrmans.get(peer)

@@ -47,13 +47,21 @@ class NodeDied:
     node_id: int
 
 
+@dataclass(frozen=True)
+class NodesDied:
+    """A batch of nodes left the network simultaneously (batched churn)."""
+
+    node_ids: tuple[int, ...]
+
+
 @dataclass
 class EventRecord:
     """One churn event and the topology delta it caused.
 
     Attributes:
         time: simulation time at which the event occurred.
-        kind: either a :class:`NodeBorn` or a :class:`NodeDied` marker.
+        kind: a :class:`NodeBorn` / :class:`NodeDied` marker, or a
+            :class:`NodesDied` marker for one batched-death application.
         edges_created: edges that appeared as a consequence (the newborn's
             requests, or regenerated replacement edges after a death).
         edges_destroyed: edges that disappeared (all edges incident to a
@@ -61,7 +69,7 @@ class EventRecord:
     """
 
     time: float
-    kind: NodeBorn | NodeDied
+    kind: NodeBorn | NodeDied | NodesDied
     edges_created: list[EdgeCreated] = field(default_factory=list)
     edges_destroyed: list[EdgeDestroyed] = field(default_factory=list)
 
@@ -71,8 +79,17 @@ class EventRecord:
 
     @property
     def is_death(self) -> bool:
-        return isinstance(self.kind, NodeDied)
+        return isinstance(self.kind, (NodeDied, NodesDied))
 
     @property
     def node_id(self) -> int:
+        if isinstance(self.kind, NodesDied):
+            raise ValueError("batched record has no single node_id; use node_ids")
         return self.kind.node_id
+
+    @property
+    def node_ids(self) -> tuple[int, ...]:
+        """The affected node ids (one entry for single-node kinds)."""
+        if isinstance(self.kind, NodesDied):
+            return self.kind.node_ids
+        return (self.kind.node_id,)

@@ -71,14 +71,26 @@ def mean_confidence_interval(
 
 
 def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
-    """Ordinary least squares fit of ``ys`` against ``xs``."""
+    """Ordinary least squares fit of ``ys`` against ``xs``.
+
+    Uses the closed-form centered OLS solution rather than a generic
+    least-squares solver: it is exact for a 1-D fit and, unlike
+    ``np.polyfit``'s SVD, cannot fail to converge on ill-scaled
+    (e.g. subnormal) inputs.  Degenerate xs (zero spread at float
+    resolution, where no slope is identifiable) raise ``ValueError``.
+    """
     x = np.asarray(list(xs), dtype=float)
     y = np.asarray(list(ys), dtype=float)
     if x.size != y.size:
         raise ValueError("xs and ys must have the same length")
     if x.size < 2:
         raise ValueError("need at least two points for a linear fit")
-    slope, intercept = np.polyfit(x, y, deg=1)
+    x_centered = x - x.mean()
+    ss_x = float(np.sum(x_centered**2))
+    if ss_x == 0.0 or not math.isfinite(ss_x):
+        raise ValueError("xs have no usable spread; slope is unidentifiable")
+    slope = float(np.sum(x_centered * (y - y.mean()))) / ss_x
+    intercept = float(y.mean() - slope * x.mean())
     predicted = slope * x + intercept
     ss_res = float(np.sum((y - predicted) ** 2))
     ss_tot = float(np.sum((y - y.mean()) ** 2))

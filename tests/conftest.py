@@ -1,10 +1,45 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
+
+The whole suite runs against whichever topology backend the
+``REPRO_BACKEND`` environment variable selects (``dict`` by default,
+``array`` for the vectorized backend) — every driver resolves its default
+backend through :func:`repro.core.backend.create_backend`, so no test
+needs to thread the choice explicitly.  CI runs the suite once per
+backend; seeded churn trajectories (and flood_discrete/discretized)
+are bit-identical across the two runs, while neighbour-order-sensitive
+processes (gossip, lossy flooding) agree only in distribution.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
+from repro.core.backend import BACKEND_NAMES, default_backend_name
 from repro.core.snapshot import Snapshot
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers", "slow: long-running test (full experiment configurations)"
+    )
+    name = os.environ.get("REPRO_BACKEND")
+    if name and name not in BACKEND_NAMES:
+        raise pytest.UsageError(
+            f"REPRO_BACKEND={name!r} is not one of {BACKEND_NAMES}"
+        )
+
+
+def pytest_report_header(config: pytest.Config) -> str:
+    del config
+    return f"repro topology backend: {default_backend_name()}"
+
+
+@pytest.fixture(params=list(BACKEND_NAMES))
+def backend_name(request: pytest.FixtureRequest) -> str:
+    """Parametrized backend name, for tests that must cover both."""
+    return request.param
 
 
 def snapshot_from_edges(

@@ -35,7 +35,9 @@ class TestPolicyDriverCombinations:
         )
         net.run_rounds(100)
         net.state.check_invariants()
-        assert all(len(refs) <= 8 for refs in net.state.in_refs.values())
+        assert all(
+            net.state.in_slot_count(u) <= 8 for u in net.state.alive_ids()
+        )
 
     def test_capped_policy_in_general_model(self):
         net = GDGR(WeibullLifetime(100, shape=0.6), d=4, seed=5, warm_time=400)

@@ -92,7 +92,10 @@ class TestBitcoinLikeNetwork:
         assert full / snap.num_nodes() > 0.9
 
     def test_inbound_cap_respected(self, overlay):
-        assert all(len(refs) <= 125 for refs in overlay.state.in_refs.values())
+        assert all(
+            overlay.state.in_slot_count(u) <= 125
+            for u in overlay.state.alive_ids()
+        )
 
     def test_dial_statistics_accumulate(self, overlay):
         assert overlay.successful_dials > 0
@@ -128,5 +131,7 @@ class TestBitcoinLikeNetwork:
             n=80, target_outbound=4, max_inbound=8, seed=3, warm_time=160.0
         )
         net.state.check_invariants()
-        assert all(len(refs) <= 8 for refs in net.state.in_refs.values())
+        assert all(
+            net.state.in_slot_count(u) <= 8 for u in net.state.alive_ids()
+        )
         assert component_summary(net.snapshot()).giant_fraction > 0.9

@@ -130,7 +130,12 @@ class TestFractionTrue:
 @given(
     slope=st.floats(-5, 5),
     intercept=st.floats(-10, 10),
-    xs=st.lists(st.floats(0, 100), min_size=3, max_size=20, unique=True),
+    xs=st.lists(st.floats(0, 100), min_size=3, max_size=20, unique=True).filter(
+        # Exact recovery needs identifiable data: with all xs within a
+        # hair of each other, slope*x underflows below float resolution
+        # and no fitter can tell the line's slope from the samples.
+        lambda xs: max(xs) - min(xs) >= 1e-3
+    ),
 )
 def test_property_linear_fit_recovers_exact_lines(slope, intercept, xs):
     ys = [slope * x + intercept for x in xs]
