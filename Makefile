@@ -9,7 +9,8 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # benchmark targets enumerate them explicitly.
 BENCH_FILES := $(wildcard benchmarks/bench_*.py)
 
-.PHONY: test test-dict test-array test-backends bench bench-backend experiments
+.PHONY: test test-dict test-array test-backends bench bench-backend \
+	bench-check experiments scenario-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -28,6 +29,16 @@ bench:
 # Full dict-vs-array sweep (n up to 1e5); writes BENCH_backend.json.
 bench-backend:
 	$(PYTHON) benchmarks/bench_backend_scaling.py
+
+# Fresh sweep compared against the committed BENCH_backend.json baseline.
+bench-check:
+	$(PYTHON) benchmarks/bench_backend_scaling.py --output /tmp/bench_current.json
+	$(PYTHON) benchmarks/check_bench_regression.py --current /tmp/bench_current.json
+
+# Every registered protocol x both backends through the scenario layer.
+scenario-smoke:
+	$(PYTHON) -m pytest tests/test_scenario_smoke.py -q
+	$(PYTHON) -m repro.experiments --scenario examples/adversarial_gossip.json
 
 experiments:
 	$(PYTHON) -m repro.experiments --all

@@ -128,6 +128,8 @@ def main(argv: list[str] | None = None) -> int:
         "--sizes", type=int, nargs="*", default=list(SCRIPT_SIZES)
     )
     args = parser.parse_args(argv)
+    if not args.sizes:
+        parser.error("--sizes needs at least one value")
 
     results = []
     for n in args.sizes:

@@ -1,0 +1,88 @@
+"""Compare a fresh backend-scaling run against the committed baseline.
+
+CI runs ``bench_backend_scaling.py`` to a scratch file, then this script
+compares its array/dict speedups (and the array backend's absolute
+rounds/sec) against the repository's ``BENCH_backend.json``.  Shared
+runners are noisy, so the default tolerance is generous: a regression is
+flagged when the measured speedup falls below ``tolerance`` × baseline at
+any size.
+
+    PYTHONPATH=src python benchmarks/bench_backend_scaling.py --output /tmp/bench.json
+    PYTHONPATH=src python benchmarks/check_bench_regression.py --current /tmp/bench.json
+
+Exit status 1 on regression (CI converts it into a warning, matching the
+informational stance of the benchmark job).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_backend.json"
+
+
+def _by_size(payload: dict) -> dict[int, dict]:
+    return {row["n"]: row for row in payload["results"]}
+
+
+def compare(
+    baseline: dict, current: dict, tolerance: float
+) -> list[str]:
+    """Return a list of regression messages (empty = healthy)."""
+    problems: list[str] = []
+    base_rows = _by_size(baseline)
+    current_rows = _by_size(current)
+    shared_sizes = sorted(set(base_rows) & set(current_rows))
+    if not shared_sizes:
+        return ["no overlapping sizes between baseline and current run"]
+    for n in shared_sizes:
+        base_speedup = base_rows[n]["speedup"]
+        speedup = current_rows[n]["speedup"]
+        floor = tolerance * base_speedup
+        status = "ok" if speedup >= floor else "REGRESSION"
+        print(
+            f"n={n:>7}: speedup {speedup:5.2f}x vs baseline "
+            f"{base_speedup:5.2f}x (floor {floor:4.2f}x) [{status}]"
+        )
+        if speedup < floor:
+            problems.append(
+                f"speedup at n={n} fell to {speedup}x "
+                f"(< {tolerance} x baseline {base_speedup}x)"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help="committed reference results (default: repo BENCH_backend.json)",
+    )
+    parser.add_argument(
+        "--current", type=Path, required=True,
+        help="freshly produced bench_backend_scaling.py output",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.4,
+        help="minimum acceptable fraction of the baseline speedup "
+        "(default 0.4 — generous, shared runners are noisy)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    current = json.loads(args.current.read_text())
+    problems = compare(baseline, current, args.tolerance)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        return 1
+    print("backend scaling is within tolerance of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,10 +20,21 @@ The four models of the paper:
 * :func:`PDG` / :func:`PDGR` — Poisson churn (births at rate λ, Exp(µ)
   lifetimes) without / with edge regeneration.
 
+Scenarios — churn × policy × protocol × observers as one declarative
+object (JSON-round-trippable, runnable from the CLI via
+``python -m repro.experiments --scenario file.json``)::
+
+    from repro import ScenarioSpec, simulate
+
+    spec = ScenarioSpec(churn="streaming", policy="regen", n=1000, d=8,
+                        horizon=1000, protocol="discrete")
+    result = simulate(spec, seed=0).flood()
+
 Sub-packages: ``core`` (graph state), ``churn``, ``models``, ``flooding``,
 ``analysis``, ``theory`` (the paper's bounds), ``onion`` (the proofs'
 constructive processes), ``baselines`` (related-work protocols), ``p2p``
-(a Bitcoin-like overlay), ``experiments`` (table/figure reproduction).
+(a Bitcoin-like overlay), ``scenario`` (declarative sessions),
+``experiments`` (table/figure reproduction).
 """
 
 from repro.analysis import (
@@ -58,8 +69,9 @@ from repro.models import (
     random_regular_snapshot,
     static_d_out_snapshot,
 )
+from repro.scenario import ScenarioSpec, Simulation, simulate
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "PDG",
@@ -72,10 +84,13 @@ __all__ = [
     "FloodingResult",
     "PoissonNetwork",
     "ReproError",
+    "ScenarioSpec",
+    "Simulation",
     "SimulationError",
     "Snapshot",
     "StreamingNetwork",
     "__version__",
+    "simulate",
     "adversarial_expansion_upper_bound",
     "count_isolated",
     "erdos_renyi_snapshot",

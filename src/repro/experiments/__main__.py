@@ -1,8 +1,14 @@
-"""CLI for the experiment harness: ``python -m repro.experiments``."""
+"""CLI for the experiment harness: ``python -m repro.experiments``.
+
+Besides the registered experiments, ``--scenario file.json`` runs a
+scenario defined purely in JSON through the declarative
+:mod:`repro.scenario` layer (churn × policy × protocol × observers).
+"""
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.core.backend import BACKEND_NAMES
@@ -40,7 +46,24 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also write each experiment's rows to DIR/<EXP-ID>.csv",
     )
+    parser.add_argument(
+        "--scenario",
+        metavar="FILE",
+        default=None,
+        help="run a JSON-defined scenario (see repro.scenario) instead of "
+        "a registered experiment",
+    )
     args = parser.parse_args(argv)
+
+    if args.scenario is not None:
+        if args.experiment_ids or args.all or args.full or args.csv:
+            parser.error(
+                "--scenario cannot be combined with experiment ids, "
+                "--all, --full, or --csv"
+            )
+        return run_scenario_file(
+            args.scenario, seed=args.seed, backend=args.backend
+        )
 
     if args.list or (not args.experiment_ids and not args.all):
         for experiment in all_experiments():
@@ -73,6 +96,51 @@ def main(argv: list[str] | None = None) -> int:
     if failures:
         print(f"{failures} experiment(s) had failing verdict entries")
     return 1 if failures else 0
+
+
+def run_scenario_file(
+    path: str, seed: int | None = None, backend: str | None = None
+) -> int:
+    """Run one JSON scenario document and print its report."""
+    from repro.scenario import Simulation, load_scenario_document
+
+    document = load_scenario_document(path)
+    spec = document.spec
+    if backend is not None:
+        spec = spec.with_(backend=backend)
+    # The file's own seed wins; the CLI seed fills in when absent.
+    if spec.seed is None and seed is not None:
+        spec = spec.with_(seed=seed)
+
+    print(f"scenario: {path}")
+    print(spec.to_json())
+    simulation = Simulation(spec, observers=document.observers)
+    simulation.run()
+    flood_failed = False
+    if document.should_flood:
+        result = simulation.flood()
+        status = (
+            f"completed in {result.completion_round} rounds"
+            if result.completed
+            else ("extinct" if result.extinct else "incomplete")
+        )
+        flood_failed = not result.completed
+        print(
+            f"flooding [{spec.protocol}]: {status}; "
+            f"informed {result.final_informed}/{result.final_network_size} "
+            f"(peak {result.max_informed})"
+        )
+    observations = simulation.results()
+    if observations:
+        print("observers:")
+        print(json.dumps(observations, indent=2, sort_keys=True, default=str))
+    print(
+        f"network: {simulation.network.num_alive()} alive at "
+        f"t={simulation.network.now:g} ({simulation.rounds_completed} rounds run)"
+    )
+    # Mirror the experiment runner's contract: exit 1 when the scenario's
+    # broadcast did not complete, so CI can gate on JSON scenarios.
+    return 1 if flood_failed else 0
 
 
 if __name__ == "__main__":

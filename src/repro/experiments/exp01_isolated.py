@@ -13,7 +13,7 @@ from __future__ import annotations
 from repro.analysis.isolated import isolated_fraction, lifetime_isolated_census
 from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
 from repro.experiments.registry import register
-from repro.models import PDG, SDG
+from repro.scenario import ScenarioSpec, simulate
 from repro.theory.isolated import (
     isolated_fraction_lower_bound_poisson,
     isolated_fraction_lower_bound_streaming,
@@ -31,6 +31,11 @@ COLUMNS = [
     "paper_bound",
     "above_bound",
 ]
+
+# SDG reaches age-stationarity after n post-warm-up rounds; PDG's 3n warm
+# time (the spec default) is already stationary at hand-over.
+SDG_SPEC = ScenarioSpec(churn="streaming", policy="none")
+PDG_SPEC = ScenarioSpec(churn="poisson", policy="none")
 
 
 @register(
@@ -51,9 +56,8 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         for d in ds:
             samples = []
             for child in trial_seeds(seed, trials):
-                net = SDG(n=n, d=d, seed=child)
-                net.run_rounds(n)  # reach age-stationary topology
-                samples.append(isolated_fraction(net.snapshot()))
+                sim = simulate(SDG_SPEC.with_(n=n, d=d, horizon=n), seed=child)
+                samples.append(isolated_fraction(sim.snapshot()))
             ci = mean_confidence_interval(samples)
             sdg_fractions[d] = ci.mean
             rows.append(
@@ -71,8 +75,8 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         for d in ds:
             samples = []
             for child in trial_seeds(seed + 1, trials):
-                net = PDG(n=n, d=d, seed=child)
-                samples.append(isolated_fraction(net.snapshot()))
+                sim = simulate(PDG_SPEC.with_(n=n, d=d), seed=child)
+                samples.append(isolated_fraction(sim.snapshot()))
             ci = mean_confidence_interval(samples)
             pdg_fractions[d] = ci.mean
             rows.append(
@@ -89,8 +93,9 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
             )
 
         # Lemma 3.5's second claim: isolated nodes stay isolated for life.
-        census_net = SDG(n=n, d=2, seed=seed + 2)
-        census_net.run_rounds(n)
+        census_net = simulate(
+            SDG_SPEC.with_(n=n, d=2, horizon=n), seed=seed + 2
+        ).network
         census = lifetime_isolated_census(census_net, max_rounds=n)
 
         sdg_fit = exponential_decay_fit(ds, [sdg_fractions[d] for d in ds])

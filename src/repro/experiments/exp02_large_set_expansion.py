@@ -13,7 +13,7 @@ from __future__ import annotations
 from repro.analysis.expansion import large_set_expansion_probe
 from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
 from repro.experiments.registry import register
-from repro.models import PDG, SDG
+from repro.scenario import ScenarioSpec, simulate
 from repro.theory.expansion import (
     EXPANSION_THRESHOLD,
     large_set_window_poisson,
@@ -30,6 +30,11 @@ COLUMNS = [
     "worst_size",
     "above_0.1",
 ]
+
+SPECS = {
+    "SDG": ScenarioSpec(churn="streaming", policy="none"),
+    "PDG": ScenarioSpec(churn="poisson", policy="none"),
+}
 
 
 @register(
@@ -50,13 +55,14 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
                 worst = None
                 for child in trial_seeds(seed, trials):
                     if model_name == "SDG":
-                        net = SDG(n=n, d=d, seed=child)
-                        net.run_rounds(n)
+                        sim = simulate(
+                            SPECS["SDG"].with_(n=n, d=d, horizon=n), seed=child
+                        )
                         low, high = large_set_window_streaming(n, d)
                     else:
-                        net = PDG(n=n, d=d, seed=child)
+                        sim = simulate(SPECS["PDG"].with_(n=n, d=d), seed=child)
                         low, high = large_set_window_poisson(n, d)
-                    snap = net.snapshot()
+                    snap = sim.snapshot()
                     high = min(high, snap.num_nodes() // 2)
                     probe = large_set_expansion_probe(
                         snap, min_size=low, max_size=high, seed=child

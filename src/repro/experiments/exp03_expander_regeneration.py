@@ -22,7 +22,8 @@ from repro.analysis.expansion import (
 from repro.analysis.spectral import normalized_laplacian_lambda2
 from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
 from repro.experiments.registry import register
-from repro.models import PDGR, SDG, SDGR
+from repro.scenario import ScenarioSpec, simulate
+
 from repro.theory.expansion import EXPANSION_THRESHOLD
 
 COLUMNS = [
@@ -33,6 +34,10 @@ COLUMNS = [
     "expansion_measure",
     "above_0.1",
 ]
+
+SDGR_SPEC = ScenarioSpec(churn="streaming", policy="regen")
+PDGR_SPEC = ScenarioSpec(churn="poisson", policy="regen")
+SDG_SPEC = ScenarioSpec(churn="streaming", policy="none")
 
 
 @register(
@@ -51,9 +56,8 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         # 1. Exact expansion at tiny n (d scaled to keep the graph sparse
         #    relative to n — at n=16, d=14 would be near-complete).
         for child in trial_seeds(seed, exact_trials):
-            net = SDGR(n=16, d=5, seed=child)
-            net.run_rounds(32)
-            probe = vertex_expansion_exact(net.snapshot())
+            sim = simulate(SDGR_SPEC.with_(n=16, d=5, horizon=32), seed=child)
+            probe = vertex_expansion_exact(sim.snapshot())
             rows.append(
                 {
                     "model": "SDGR",
@@ -70,14 +74,16 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
             worst = None
             for child in trial_seeds(seed + 1, trials):
                 if model_name == "SDGR":
-                    net = SDGR(n=probe_n, d=d, seed=child)
-                    net.run_rounds(probe_n)
+                    sim = simulate(
+                        SDGR_SPEC.with_(n=probe_n, d=d, horizon=probe_n),
+                        seed=child,
+                    )
                 else:
-                    net = PDGR(n=probe_n, d=d, seed=child)
+                    sim = simulate(PDGR_SPEC.with_(n=probe_n, d=d), seed=child)
                 # Live-network probe: greedy seeds come from the
                 # backend's degree vector (vectorized on the array
                 # backend), same candidate portfolio as the snapshot path.
-                probe = probe_network_expansion(net, seed=child)
+                probe = probe_network_expansion(sim.network, seed=child)
                 if worst is None or probe.min_ratio < worst.min_ratio:
                     worst = probe
             assert worst is not None
@@ -93,9 +99,10 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
             )
 
         # 3. Spectral gap evidence.
-        net = SDGR(n=probe_n, d=14, seed=seed + 7)
-        net.run_rounds(probe_n)
-        lam2 = normalized_laplacian_lambda2(net.snapshot())
+        sim = simulate(
+            SDGR_SPEC.with_(n=probe_n, d=14, horizon=probe_n), seed=seed + 7
+        )
+        lam2 = normalized_laplacian_lambda2(sim.snapshot())
         rows.append(
             {
                 "model": "SDGR",
@@ -110,8 +117,9 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         # 4. Control: no regeneration at the same degree has zero
         #    expansion as soon as one isolated node exists (larger d
         #    merely makes that event rarer — use small d to show it).
-        control = SDG(n=probe_n, d=2, seed=seed + 8)
-        control.run_rounds(probe_n)
+        control = simulate(
+            SDG_SPEC.with_(n=probe_n, d=2, horizon=probe_n), seed=seed + 8
+        ).network
         control_probe = probe_network_expansion(control, seed=seed + 9)
         rows.append(
             {

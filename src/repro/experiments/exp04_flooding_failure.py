@@ -13,8 +13,7 @@ from __future__ import annotations
 
 from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
 from repro.experiments.registry import register
-from repro.flooding import flood_asynchronous, flood_discrete
-from repro.models import PDG, SDG
+from repro.scenario import ScenarioSpec, simulate
 from repro.theory.flooding import (
     stall_probability_bound,
     stall_probability_prediction,
@@ -31,6 +30,9 @@ COLUMNS = [
     "paper_lower_bound",
     "above_paper_bound",
 ]
+
+SDG_SPEC = ScenarioSpec(churn="streaming", policy="none", protocol="discrete")
+PDG_SPEC = ScenarioSpec(churn="poisson", policy="none", protocol="asynchronous")
 
 
 @register(
@@ -50,11 +52,19 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         for d in ds:
             stalls = []
             for child in trial_seeds(seed, trials):
-                net = SDG(n=n, d=d, seed=child)
-                net.run_rounds(n)
-                result = flood_discrete(
-                    net, max_rounds=2 * n, stop_when_extinct=False
+                sim = simulate(
+                    SDG_SPEC.with_(
+                        n=n,
+                        d=d,
+                        horizon=n,
+                        protocol_params={
+                            "max_rounds": 2 * n,
+                            "stop_when_extinct": False,
+                        },
+                    ),
+                    seed=child,
                 )
+                result = sim.flood()
                 stalls.append(result.max_informed <= d + 1)
                 if result.completed and result.completion_round is not None:
                     completion_rounds.append(result.completion_round)
@@ -82,8 +92,13 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         for d in ds:
             stalls = []
             for child in trial_seeds(seed + 1, pdg_trials):
-                net = PDG(n=n, d=d, seed=child)
-                result = flood_asynchronous(net, max_time=float(2 * n))
+                sim = simulate(
+                    PDG_SPEC.with_(
+                        n=n, d=d, protocol_params={"max_time": float(2 * n)}
+                    ),
+                    seed=child,
+                )
+                result = sim.flood()
                 stalls.append(result.max_informed <= d + 1)
             probability = fraction_true(stalls)
             rows.append(

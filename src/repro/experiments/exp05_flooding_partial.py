@@ -16,8 +16,7 @@ import math
 
 from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
 from repro.experiments.registry import register
-from repro.flooding import flood_discrete, flood_discretized
-from repro.models import PDG, SDG
+from repro.scenario import ScenarioSpec, simulate
 from repro.theory.flooding import (
     informed_fraction_bound_poisson,
     informed_fraction_bound_streaming,
@@ -48,6 +47,28 @@ def _rounds_to_fraction(result, fraction: float) -> int | None:
     return None
 
 
+SDG_SPEC = ScenarioSpec(churn="streaming", policy="none", protocol="discrete")
+PDG_SPEC = ScenarioSpec(churn="poisson", policy="none", protocol="discretized")
+
+
+def _sdg_flood(n: int, d: int, child, max_rounds: int):
+    sim = simulate(
+        SDG_SPEC.with_(
+            n=n, d=d, horizon=n, protocol_params={"max_rounds": max_rounds}
+        ),
+        seed=child,
+    )
+    return sim.flood()
+
+
+def _pdg_flood(n: int, d: int, child, max_rounds: int):
+    sim = simulate(
+        PDG_SPEC.with_(n=n, d=d, protocol_params={"max_rounds": max_rounds}),
+        seed=child,
+    )
+    return sim.flood()
+
+
 @register(
     "EXP-05",
     "Flooding informs 1−exp(−Ω(d)) of nodes in O(log n) rounds",
@@ -75,9 +96,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
             horizon = partial_flooding_rounds(n_fixed, d)
             fractions = []
             for child in trial_seeds(seed, trials):
-                net = SDG(n=n_fixed, d=d, seed=child)
-                net.run_rounds(n_fixed)
-                res = flood_discrete(net, max_rounds=horizon)
+                res = _sdg_flood(n_fixed, d, child, max_rounds=horizon)
                 fractions.append(res.fraction_at(horizon))
             ci = mean_confidence_interval(fractions)
             guarantee = informed_fraction_bound_streaming(d)
@@ -97,8 +116,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
             horizon = partial_flooding_rounds(n_fixed, d)
             fractions = []
             for child in trial_seeds(seed + 1, trials):
-                net = PDG(n=n_fixed, d=d, seed=child)
-                res = flood_discretized(net, max_rounds=horizon)
+                res = _pdg_flood(n_fixed, d, child, max_rounds=horizon)
                 fractions.append(res.fraction_at(horizon))
             ci = mean_confidence_interval(fractions)
             guarantee = informed_fraction_bound_poisson(d)
@@ -125,15 +143,12 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
             horizon = partial_flooding_rounds(n_fixed, d)
             per_model: dict[str, list[float]] = {"SDG": [], "PDG": []}
             for child in trial_seeds(seed + 2, decay_trials):
-                net = SDG(n=n_fixed, d=d, seed=child)
-                net.run_rounds(n_fixed)
-                res = flood_discrete(net, max_rounds=horizon)
+                res = _sdg_flood(n_fixed, d, child, max_rounds=horizon)
                 backlog_free = max(
                     0, res.final_network_size - res.final_informed - 2
                 )
                 per_model["SDG"].append(backlog_free / res.final_network_size)
-                pnet = PDG(n=n_fixed, d=d, seed=child)
-                pres = flood_discretized(pnet, max_rounds=horizon)
+                pres = _pdg_flood(n_fixed, d, child, max_rounds=horizon)
                 backlog_free = max(
                     0, pres.final_network_size - pres.final_informed - 2
                 )
@@ -160,9 +175,10 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         for n in n_sweep:
             times = []
             for child in trial_seeds(seed + 2, trials):
-                net = SDG(n=n, d=d_fixed, seed=child)
-                net.run_rounds(n)
-                res = flood_discrete(net, max_rounds=6 * partial_flooding_rounds(n, d_fixed))
+                res = _sdg_flood(
+                    n, d_fixed, child,
+                    max_rounds=6 * partial_flooding_rounds(n, d_fixed),
+                )
                 reach = _rounds_to_fraction(res, 0.9)
                 if reach is not None:
                     times.append(reach)

@@ -12,8 +12,7 @@ import math
 
 from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
 from repro.experiments.registry import register
-from repro.flooding import flood_asynchronous, flood_discrete, flood_discretized
-from repro.models import PDGR, SDGR
+from repro.scenario import ScenarioSpec, simulate
 from repro.util.stats import log_scaling_fit, mean_confidence_interval
 
 COLUMNS = [
@@ -25,6 +24,9 @@ COLUMNS = [
     "mean_completion_round",
     "rounds_over_log2_n",
 ]
+
+SDGR_SPEC = ScenarioSpec(churn="streaming", policy="regen")
+PDGR_SPEC = ScenarioSpec(churn="poisson", policy="regen")
 
 
 @register(
@@ -54,19 +56,32 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
                 all_completed = True
                 for child in trial_seeds(seed, trials):
                     if model_name == "SDGR":
-                        net = SDGR(n=n, d=d_sdgr, seed=child)
-                        net.run_rounds(n)
-                        res = flood_discrete(net, max_rounds=60 * int(math.log2(n)))
+                        spec = SDGR_SPEC.with_(
+                            n=n,
+                            d=d_sdgr,
+                            horizon=n,
+                            protocol="discrete",
+                            protocol_params={
+                                "max_rounds": 60 * int(math.log2(n))
+                            },
+                        )
+                    elif process_name == "discretized":
+                        spec = PDGR_SPEC.with_(
+                            n=n,
+                            d=d_pdgr,
+                            protocol="discretized",
+                            protocol_params={
+                                "max_rounds": 60 * int(math.log2(n))
+                            },
+                        )
                     else:
-                        net = PDGR(n=n, d=d_pdgr, seed=child)
-                        if process_name == "discretized":
-                            res = flood_discretized(
-                                net, max_rounds=60 * int(math.log2(n))
-                            )
-                        else:
-                            res = flood_asynchronous(
-                                net, max_time=60.0 * math.log2(n)
-                            )
+                        spec = PDGR_SPEC.with_(
+                            n=n,
+                            d=d_pdgr,
+                            protocol="asynchronous",
+                            protocol_params={"max_time": 60.0 * math.log2(n)},
+                        )
+                    res = simulate(spec, seed=child).flood()
                     if res.completed and res.completion_round is not None:
                         completions.append(res.completion_round)
                     else:

@@ -10,10 +10,10 @@ from __future__ import annotations
 
 import math
 
-from repro.analysis.degrees import degree_summary, in_out_degree_split
+from repro.analysis.degrees import in_out_degree_split
 from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
 from repro.experiments.registry import register
-from repro.models import PDGR, SDG, SDGR
+from repro.scenario import DegreeStatsObserver, ScenarioSpec, simulate
 from repro.util.stats import log_scaling_fit, mean_confidence_interval
 
 COLUMNS = [
@@ -25,6 +25,10 @@ COLUMNS = [
     "max_degree",
     "max_over_log_n",
 ]
+
+SDG_SPEC = ScenarioSpec(churn="streaming", policy="none")
+SDGR_SPEC = ScenarioSpec(churn="streaming", policy="regen")
+PDGR_SPEC = ScenarioSpec(churn="poisson", policy="regen")
 
 
 @register(
@@ -45,11 +49,14 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         for n in n_sweep:
             means, maxes = [], []
             for child in trial_seeds(seed, trials):
-                net = SDG(n=n, d=d, seed=child)
-                net.run_rounds(n)
-                summary = degree_summary(net.snapshot())
-                means.append(summary.mean_degree)
-                maxes.append(summary.max_degree)
+                sim = simulate(
+                    SDG_SPEC.with_(n=n, d=d, horizon=n),
+                    seed=child,
+                    observers=[DegreeStatsObserver()],
+                )
+                summary = sim.results()["degrees"]["final"]
+                means.append(summary["mean_degree"])
+                maxes.append(summary["max_degree"])
             mean_ci = mean_confidence_interval(means)
             max_mean = mean_confidence_interval(maxes).mean
             max_degrees.append(max_mean)
@@ -70,9 +77,11 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         # SDGR: exactly d·n live requests at every snapshot.
         exact_ok = True
         for child in trial_seeds(seed + 1, trials):
-            net = SDGR(n=n_sweep[0], d=d, seed=child)
-            net.run_rounds(n_sweep[0])
-            split = in_out_degree_split(net.snapshot())
+            sim = simulate(
+                SDGR_SPEC.with_(n=n_sweep[0], d=d, horizon=n_sweep[0]),
+                seed=child,
+            )
+            split = in_out_degree_split(sim.snapshot())
             total_out = sum(o for o, _ in split.values())
             if total_out != d * n_sweep[0]:
                 exact_ok = False
@@ -89,17 +98,21 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         )
 
         # PDGR mean degree sanity.
-        net = PDGR(n=n_sweep[0], d=d, seed=seed + 2)
-        pdgr_summary = degree_summary(net.snapshot())
+        sim = simulate(
+            PDGR_SPEC.with_(n=n_sweep[0], d=d),
+            seed=seed + 2,
+            observers=[DegreeStatsObserver()],
+        )
+        pdgr_summary = sim.results()["degrees"]["final"]
         rows.append(
             {
                 "model": "PDGR",
                 "n": n_sweep[0],
                 "d": d,
-                "mean_degree": pdgr_summary.mean_degree,
+                "mean_degree": pdgr_summary["mean_degree"],
                 "expected": 2.0 * d,
-                "max_degree": pdgr_summary.max_degree,
-                "max_over_log_n": pdgr_summary.max_degree
+                "max_degree": pdgr_summary["max_degree"],
+                "max_over_log_n": pdgr_summary["max_degree"]
                 / math.log(n_sweep[0]),
             }
         )

@@ -16,7 +16,7 @@ import math
 
 from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
 from repro.experiments.registry import register
-from repro.models import PDG
+from repro.scenario import ScenarioSpec, simulate
 from repro.theory.churn import (
     expected_size_at,
     jump_probability_bounds,
@@ -26,6 +26,16 @@ from repro.theory.churn import (
 from repro.util.stats import fraction_true
 
 COLUMNS = ["property", "n", "measured", "paper_low", "paper_high", "within"]
+
+PDG_SPEC = ScenarioSpec(churn="poisson", policy="none", d=1)
+
+
+def _pdg(n: int, child, warm_time: float | None = None):
+    """A scenario-built PDG driver (the lemmas probe it event by event)."""
+    spec = PDG_SPEC.with_(n=n)
+    if warm_time is not None:
+        spec = spec.with_(churn_params={"warm_time": warm_time})
+    return simulate(spec, seed=child).network
 
 
 @register(
@@ -45,7 +55,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         in_window_flags: list[bool] = []
         conc = size_concentration_bounds(n)
         for child in trial_seeds(seed, trials):
-            net = PDG(n=n, d=1, seed=child)
+            net = _pdg(n, child)
             for _ in range(probes):
                 net.advance_to_time(net.now + n / 10.0)
                 in_window_flags.append(conc.low <= net.num_alive() <= conc.high)
@@ -63,7 +73,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
 
         # --- Lemma 4.7: empirical jump probabilities at stationarity.
         bounds = jump_probability_bounds()
-        net = PDG(n=n, d=1, seed=seed + 1)
+        net = _pdg(n, seed + 1)
         births = 0
         events = 4000 if quick else 20000
         for record in net.advance_rounds_jump(events):
@@ -83,7 +93,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         # --- Lemma 4.7: fixed-node death probability per round.  Unbiased
         # estimator: deaths divided by exposure (alive-node-rounds) —
         # measuring realised lifetimes instead would be censoring-biased.
-        net = PDG(n=n, d=1, seed=seed + 2)
+        net = _pdg(n, seed + 2)
         deaths = 0
         exposure = 0
         for _ in range(events):
@@ -105,7 +115,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         )
 
         # --- Lemma 4.8: oldest node age (in rounds ≈ 2 × time units).
-        net = PDG(n=n, d=1, seed=seed + 3, warm_time=8.0 * n)
+        net = _pdg(n, seed + 3, warm_time=8.0 * n)
         snap = net.snapshot()
         oldest_rounds = 2.0 * max(snap.age(u) for u in snap.nodes)
         horizon = lifetime_horizon_rounds(n)
@@ -122,7 +132,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
 
         # --- cold-start growth curve vs the exact mean.
         curve_ok = True
-        net = PDG(n=n, d=1, seed=seed + 4, warm_time=0)
+        net = _pdg(n, seed + 4, warm_time=0)
         for t in [n / 4, n / 2, n, 2 * n]:
             net.advance_to_time(t)
             expected = expected_size_at(t, n)

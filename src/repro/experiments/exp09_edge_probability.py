@@ -15,7 +15,11 @@ from repro.analysis.edge_prob import (
 )
 from repro.experiments.common import ExperimentResult, Stopwatch
 from repro.experiments.registry import register
-from repro.models import PDGR
+from repro.scenario import ScenarioSpec, simulate
+
+# The streaming rows use the exact standalone request simulator (no
+# driver); only the PDGR snapshot rows build a network.
+PDGR_SPEC = ScenarioSpec(churn="poisson", policy="regen", d=8)
 
 COLUMNS = [
     "model",
@@ -66,8 +70,8 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
                 }
             )
 
-        net = PDGR(n=pdgr_n, d=8, seed=seed + 1)
-        buckets = poisson_slot_destination_frequency(net.snapshot(), n=float(pdgr_n))
+        sim = simulate(PDGR_SPEC.with_(n=pdgr_n), seed=seed + 1)
+        buckets = poisson_slot_destination_frequency(sim.snapshot(), n=float(pdgr_n))
         for bucket in buckets:
             if bucket.num_owners < 5:
                 continue

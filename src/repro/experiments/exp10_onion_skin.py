@@ -5,6 +5,11 @@ Reproduces Claims 3.10/3.11 and Lemma 3.9 (streaming) plus Lemma 7.8
 factor ≥ d/20 (streaming) / d/48 (Poisson) per step, reaches a constant
 fraction of the network in O(log n / log d) phases, and succeeds with
 probability ≥ 1 − 4e^{−d/100} (resp. 1 − 2e^{−d/576}).
+
+This is the one experiment that builds no dynamic network: the onion-skin
+processes are standalone proof artifacts (see :mod:`repro.onion`), so
+there is nothing for a :class:`~repro.scenario.spec.ScenarioSpec` to
+declare — every driver-based experiment goes through the scenario layer.
 """
 
 from __future__ import annotations

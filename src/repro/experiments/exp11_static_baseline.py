@@ -13,9 +13,12 @@ from repro.analysis.expansion import adversarial_expansion_upper_bound
 from repro.analysis.isolated import isolated_fraction
 from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
 from repro.experiments.registry import register
-from repro.models import SDG, static_d_out_snapshot
+from repro.models import static_d_out_snapshot
+from repro.scenario import ScenarioSpec, simulate
 from repro.theory.static import nonexpansion_union_bound
 from repro.util.stats import mean_confidence_interval
+
+SDG_SPEC = ScenarioSpec(churn="streaming", policy="none")
 
 COLUMNS = [
     "graph",
@@ -61,9 +64,8 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
 
             fractions = []
             for child in trial_seeds(seed + 1, trials):
-                net = SDG(n=n, d=d, seed=child)
-                net.run_rounds(n)
-                fractions.append(isolated_fraction(net.snapshot()))
+                sim = simulate(SDG_SPEC.with_(n=n, d=d, horizon=n), seed=child)
+                fractions.append(isolated_fraction(sim.snapshot()))
             iso = mean_confidence_interval(fractions).mean
             rows.append(
                 {

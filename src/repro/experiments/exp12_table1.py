@@ -16,8 +16,7 @@ from repro.analysis.expansion import (
 from repro.analysis.isolated import isolated_fraction
 from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
 from repro.experiments.registry import register
-from repro.flooding import flood_discrete, flood_discretized
-from repro.models import PDG, PDGR, SDG, SDGR
+from repro.scenario import ScenarioSpec, simulate
 from repro.theory.expansion import (
     large_set_window_poisson,
     large_set_window_streaming,
@@ -26,6 +25,23 @@ from repro.theory.flooding import partial_flooding_rounds
 from repro.util.stats import fraction_true, mean_confidence_interval
 
 COLUMNS = ["cell", "model", "paper_claim", "measured", "agrees"]
+
+# The four Table-1 models as scenario templates; every cell below is one
+# of these at a cell-specific (d, horizon, protocol).
+SPECS = {
+    "SDG": ScenarioSpec(churn="streaming", policy="none"),
+    "SDGR": ScenarioSpec(churn="streaming", policy="regen"),
+    "PDG": ScenarioSpec(churn="poisson", policy="none"),
+    "PDGR": ScenarioSpec(churn="poisson", policy="regen"),
+}
+
+
+def _warm_sim(name: str, n: int, d: int, child, **spec_changes):
+    """One warm Table-1 network (streaming models run n extra rounds)."""
+    spec = SPECS[name].with_(n=n, d=d, **spec_changes)
+    if name.startswith("S"):
+        spec = spec.with_(horizon=n)
+    return simulate(spec, seed=child)
 
 
 @register(
@@ -43,15 +59,11 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     rows: list[dict] = []
     with Stopwatch() as watch:
         # --- Expansion negative: isolated nodes without regeneration.
-        for name, factory in [("SDG", SDG), ("PDG", PDG)]:
+        for name in ["SDG", "PDG"]:
             fractions = []
             for child in trial_seeds(seed, trials):
-                if name == "SDG":
-                    net = factory(n=n, d=2, seed=child)
-                    net.run_rounds(n)
-                else:
-                    net = factory(n=n, d=2, seed=child)
-                fractions.append(isolated_fraction(net.snapshot()))
+                sim = _warm_sim(name, n, 2, child)
+                fractions.append(isolated_fraction(sim.snapshot()))
             mean_fraction = mean_confidence_interval(fractions).mean
             rows.append(
                 {
@@ -68,13 +80,10 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
             worst = float("inf")
             for child in trial_seeds(seed + 1, trials):
                 if name == "SDG":
-                    net = SDG(n=n, d=d_noregen, seed=child)
-                    net.run_rounds(n)
                     low, high = large_set_window_streaming(n, d_noregen)
                 else:
-                    net = PDG(n=n, d=d_noregen, seed=child)
                     low, high = large_set_window_poisson(n, d_noregen)
-                snap = net.snapshot()
+                snap = _warm_sim(name, n, d_noregen, child).snapshot()
                 probe = large_set_expansion_probe(
                     snap,
                     min_size=low,
@@ -96,14 +105,8 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         for name, d_use in [("SDGR", 14), ("PDGR", d_pdgr)]:
             worst = float("inf")
             for child in trial_seeds(seed + 2, trials):
-                if name == "SDGR":
-                    net = SDGR(n=n, d=d_use, seed=child)
-                    net.run_rounds(n)
-                else:
-                    net = PDGR(n=n, d=d_use, seed=child)
-                probe = adversarial_expansion_upper_bound(
-                    net.snapshot(), seed=child
-                )
+                snap = _warm_sim(name, n, d_use, child).snapshot()
+                probe = adversarial_expansion_upper_bound(snap, seed=child)
                 worst = min(worst, probe.min_ratio)
             rows.append(
                 {
@@ -118,9 +121,12 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         # --- Flooding negative: stall probability at d=1.
         stalls = []
         for child in trial_seeds(seed + 3, max(20, trials * 10)):
-            net = SDG(n=n, d=1, seed=child)
-            net.run_rounds(n)
-            res = flood_discrete(net, max_rounds=n, stop_when_extinct=False)
+            sim = _warm_sim(
+                "SDG", n, 1, child,
+                protocol="discrete",
+                protocol_params={"max_rounds": n, "stop_when_extinct": False},
+            )
+            res = sim.flood()
             stalls.append(res.max_informed <= 2)
         stall_probability = fraction_true(stalls)
         rows.append(
@@ -138,14 +144,12 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
             fractions = []
             horizon = partial_flooding_rounds(n, 12)
             for child in trial_seeds(seed + 4, trials):
-                if name == "SDG":
-                    net = SDG(n=n, d=12, seed=child)
-                    net.run_rounds(n)
-                    res = flood_discrete(net, max_rounds=horizon)
-                else:
-                    net = PDG(n=n, d=12, seed=child)
-                    res = flood_discretized(net, max_rounds=horizon)
-                fractions.append(res.fraction_at(horizon))
+                sim = _warm_sim(
+                    name, n, 12, child,
+                    protocol="discrete" if name == "SDG" else "discretized",
+                    protocol_params={"max_rounds": horizon},
+                )
+                fractions.append(sim.flood().fraction_at(horizon))
             mean_fraction = mean_confidence_interval(fractions).mean
             rows.append(
                 {
@@ -161,13 +165,12 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         for name, d_use in [("SDGR", d_regen), ("PDGR", d_pdgr)]:
             completions = []
             for child in trial_seeds(seed + 5, trials):
-                if name == "SDGR":
-                    net = SDGR(n=n, d=d_use, seed=child)
-                    net.run_rounds(n)
-                    res = flood_discrete(net, max_rounds=40 * int(math.log2(n)))
-                else:
-                    net = PDGR(n=n, d=d_use, seed=child)
-                    res = flood_discretized(net, max_rounds=40 * int(math.log2(n)))
+                sim = _warm_sim(
+                    name, n, d_use, child,
+                    protocol="discrete" if name == "SDGR" else "discretized",
+                    protocol_params={"max_rounds": 40 * int(math.log2(n))},
+                )
+                res = sim.flood()
                 completions.append(
                     res.completion_round if res.completed else math.inf
                 )

@@ -12,11 +12,9 @@ from __future__ import annotations
 import math
 
 from repro.analysis.components import component_summary
-from repro.baselines import CentralCacheNetwork, TokenNetwork
 from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
 from repro.experiments.registry import register
-from repro.flooding import flood_discrete
-from repro.models import SDG, SDGR
+from repro.scenario import ScenarioSpec, simulate
 from repro.util.stats import mean_confidence_interval
 
 COLUMNS = [
@@ -41,27 +39,30 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     else:
         n, d, trials = 1000, 4, 5
 
-    builders = {
-        "SDG (paper, no regen)": lambda child: _warm(SDG(n=n, d=d, seed=child), n),
-        "SDGR (paper, regen)": lambda child: _warm(SDGR(n=n, d=d, seed=child), n),
-        "central cache [23]": lambda child: _warm(
-            CentralCacheNetwork(n=n, d=d, seed=child), n
-        ),
-        "random-walk tokens [8]": lambda child: _warm(
-            TokenNetwork(n=n, d=d, seed=child), n
-        ),
+    base = ScenarioSpec(
+        n=n,
+        d=d,
+        horizon=n,
+        protocol="discrete",
+        protocol_params={"max_rounds": 30 * int(math.log2(n))},
+    )
+    scenarios = {
+        "SDG (paper, no regen)": base.with_(churn="streaming", policy="none"),
+        "SDGR (paper, regen)": base.with_(churn="streaming", policy="regen"),
+        "central cache [23]": base.with_(churn="central_cache", policy="none"),
+        "random-walk tokens [8]": base.with_(churn="tokens", policy="none"),
     }
 
     rows: list[dict] = []
     with Stopwatch() as watch:
-        for name, build in builders.items():
+        for name, spec in scenarios.items():
             connected_flags, giants, completions = [], [], []
             for child in trial_seeds(seed, trials):
-                net = build(child)
-                summary = component_summary(net.snapshot())
+                sim = simulate(spec, seed=child)
+                summary = component_summary(sim.snapshot())
                 connected_flags.append(summary.is_connected)
                 giants.append(summary.giant_fraction)
-                res = flood_discrete(net, max_rounds=30 * int(math.log2(n)))
+                res = sim.flood()
                 completions.append(
                     res.completion_round
                     if res.completed and res.completion_round is not None
@@ -125,8 +126,3 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         ),
         elapsed_seconds=watch.elapsed,
     )
-
-
-def _warm(net, rounds: int):
-    net.run_rounds(rounds)
-    return net

@@ -15,10 +15,17 @@ from repro.analysis.components import component_summary
 from repro.analysis.degrees import degree_summary
 from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
 from repro.experiments.registry import register
-from repro.flooding import flood_discretized
-from repro.models import PDGR
-from repro.p2p import BitcoinLikeNetwork
+from repro.scenario import ScenarioSpec, simulate
 from repro.util.stats import mean_confidence_interval
+
+SPECS = {
+    "bitcoin-like": ScenarioSpec(
+        churn="bitcoin", policy="none", d=8, protocol="discretized"
+    ),
+    "PDGR d=8": ScenarioSpec(
+        churn="poisson", policy="regen", d=8, protocol="discretized"
+    ),
+}
 
 COLUMNS = [
     "network",
@@ -51,11 +58,17 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
                 completions, isolated_counts, connected_flags = [], [], []
                 degree_means, in_maxes = [], []
                 for child in trial_seeds(seed, trials):
-                    if label == "bitcoin-like":
-                        net = BitcoinLikeNetwork(n=n, seed=child)
-                    else:
-                        net = PDGR(n=n, d=8, seed=child)
-                    snap = net.snapshot()
+                    sim = simulate(
+                        SPECS[label].with_(
+                            n=n,
+                            protocol_params={
+                                "max_rounds": 40 * int(math.log2(n))
+                            },
+                        ),
+                        seed=child,
+                    )
+                    net = sim.network
+                    snap = sim.snapshot()
                     summary = component_summary(snap)
                     isolated_counts.append(summary.num_isolated)
                     connected_flags.append(summary.is_connected)
@@ -69,9 +82,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
                             default=0,
                         )
                     )
-                    res = flood_discretized(
-                        net, max_rounds=40 * int(math.log2(n))
-                    )
+                    res = sim.flood()
                     completions.append(
                         res.completion_round
                         if res.completed and res.completion_round is not None

@@ -14,12 +14,9 @@ import math
 
 from repro.analysis.degrees import degree_summary
 from repro.analysis.expansion import adversarial_expansion_upper_bound
-from repro.core.edge_policy import CappedRegenerationPolicy
 from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
 from repro.experiments.registry import register
-from repro.flooding import flood_discrete
-from repro.models import SDGR
-from repro.models.streaming import StreamingNetwork
+from repro.scenario import ScenarioSpec, simulate
 from repro.theory.expansion import EXPANSION_THRESHOLD
 from repro.util.stats import mean_confidence_interval
 
@@ -48,23 +45,30 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         n, d, trials = 1000, 6, 4
         caps = [6, 2 * 6, 4 * 6]
 
+    base = ScenarioSpec(
+        churn="streaming",
+        n=n,
+        d=d,
+        horizon=n,
+        protocol="discrete",
+        protocol_params={"max_rounds": 40 * int(math.log2(n))},
+    )
+
     rows: list[dict] = []
     with Stopwatch() as watch:
         configs: list[tuple[str, int | None]] = [("uncapped (SDGR)", None)]
         configs += [(f"cap={cap}", cap) for cap in caps]
         for label, cap in configs:
+            if cap is None:
+                spec = base.with_(policy="regen")
+            else:
+                spec = base.with_(
+                    policy="capped", policy_params={"max_in_degree": cap}
+                )
             max_degrees, out_means, expansions, floods = [], [], [], []
             for child in trial_seeds(seed, trials):
-                if cap is None:
-                    net = SDGR(n=n, d=d, seed=child)
-                else:
-                    net = StreamingNetwork(
-                        n,
-                        CappedRegenerationPolicy(d=d, max_in_degree=cap),
-                        seed=child,
-                    )
-                net.run_rounds(n)
-                snap = net.snapshot()
+                sim = simulate(spec, seed=child)
+                snap = sim.snapshot()
                 summary = degree_summary(snap)
                 max_degrees.append(summary.max_degree)
                 out_means.append(
@@ -76,7 +80,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
                 )
                 probe = adversarial_expansion_upper_bound(snap, seed=child)
                 expansions.append(probe.min_ratio)
-                flood = flood_discrete(net, max_rounds=40 * int(math.log2(n)))
+                flood = sim.flood()
                 floods.append(
                     flood.completion_round
                     if flood.completed and flood.completion_round is not None

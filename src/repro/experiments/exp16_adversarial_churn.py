@@ -21,11 +21,9 @@ import math
 from repro.analysis.components import giant_component_fraction
 from repro.analysis.distances import giant_component_diameter
 from repro.analysis.expansion import adversarial_expansion_upper_bound
-from repro.core.edge_policy import NoRegenerationPolicy, RegenerationPolicy
 from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
 from repro.experiments.registry import register
-from repro.flooding import flood_discrete
-from repro.models.adversarial import AdversarialStreamingNetwork
+from repro.scenario import ScenarioSpec, simulate
 from repro.theory.expansion import EXPANSION_THRESHOLD
 from repro.util.stats import mean_confidence_interval
 
@@ -56,27 +54,33 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     # deletions have something to amplify.
     regen_d, no_regen_d = 8, 3
 
+    base = ScenarioSpec(
+        churn="adversarial",
+        n=n,
+        horizon=n,
+        protocol="discrete",
+        protocol_params={"max_rounds": 40 * int(math.log2(n))},
+    )
+
     rows: list[dict] = []
     with Stopwatch() as watch:
         for strategy in ["oldest", "random", "max_degree", "min_degree"]:
-            for policy_name, policy_cls, d in [
-                ("regen", RegenerationPolicy, regen_d),
-                ("no-regen", NoRegenerationPolicy, no_regen_d),
+            for policy_name, policy, d in [
+                ("regen", "regen", regen_d),
+                ("no-regen", "none", no_regen_d),
             ]:
+                spec = base.with_(
+                    policy=policy, d=d, churn_params={"strategy": strategy}
+                )
                 expansions, giants, diameters, floods = [], [], [], []
                 for child in trial_seeds(seed, trials):
-                    net = AdversarialStreamingNetwork(
-                        n, policy_cls(d), strategy=strategy, seed=child
-                    )
-                    net.run_rounds(n)
-                    snap = net.snapshot()
+                    sim = simulate(spec, seed=child)
+                    snap = sim.snapshot()
                     probe = adversarial_expansion_upper_bound(snap, seed=child)
                     expansions.append(probe.min_ratio)
                     giants.append(giant_component_fraction(snap))
                     diameters.append(giant_component_diameter(snap, seed=child))
-                    flood = flood_discrete(
-                        net, max_rounds=40 * int(math.log2(n))
-                    )
+                    flood = sim.flood()
                     floods.append(
                         flood.completion_round
                         if flood.completed and flood.completion_round is not None

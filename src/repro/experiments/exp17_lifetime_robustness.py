@@ -21,17 +21,9 @@ from __future__ import annotations
 import math
 
 from repro.analysis.isolated import isolated_fraction
-from repro.churn.lifetime import (
-    ExponentialLifetime,
-    FixedLifetime,
-    LifetimeDistribution,
-    ParetoLifetime,
-    WeibullLifetime,
-)
 from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
 from repro.experiments.registry import register
-from repro.flooding import flood_discretized, flood_lossy
-from repro.models.general import GDG, GDGR
+from repro.scenario import ScenarioSpec, simulate
 from repro.util.stats import mean_confidence_interval
 
 COLUMNS = [
@@ -43,14 +35,13 @@ COLUMNS = [
     "lossy_flood_rounds",
 ]
 
-
-def _laws(n: float) -> list[tuple[str, LifetimeDistribution]]:
-    return [
-        ("exponential (paper)", ExponentialLifetime(n)),
-        ("Weibull k=0.5", WeibullLifetime(n, shape=0.5)),
-        ("Pareto α=1.5", ParetoLifetime(n, alpha=1.5)),
-        ("deterministic", FixedLifetime(n)),
-    ]
+#: label → the generalized driver's lifetime churn parameters.
+LAWS = [
+    ("exponential (paper)", {"lifetime": "exponential"}),
+    ("Weibull k=0.5", {"lifetime": "weibull", "lifetime_params": {"shape": 0.5}}),
+    ("Pareto α=1.5", {"lifetime": "pareto", "lifetime_params": {"alpha": 1.5}}),
+    ("deterministic", {"lifetime": "fixed"}),
+]
 
 
 @register(
@@ -72,28 +63,42 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
 
     rows: list[dict] = []
     with Stopwatch() as watch:
-        for label, law in _laws(n):
+        for label, law_params in LAWS:
+            base = ScenarioSpec(
+                churn="general",
+                n=n,
+                churn_params={"warm_time": warm, **law_params},
+            )
             sizes, iso, completed, rounds, lossy_rounds = [], [], [], [], []
             for child in trial_seeds(seed, trials):
-                no_regen = GDG(law, d=iso_d, seed=child, warm_time=warm)
-                sizes.append(no_regen.num_alive())
+                no_regen = simulate(
+                    base.with_(policy="none", d=iso_d), seed=child
+                )
+                sizes.append(no_regen.network.num_alive())
                 iso.append(isolated_fraction(no_regen.snapshot()))
 
-                regen = GDGR(law, d=d, seed=child, warm_time=warm)
-                flood = flood_discretized(
-                    regen, max_rounds=60 * int(math.log2(n))
-                )
+                regen = base.with_(policy="regen", d=d)
+                flood = simulate(
+                    regen.with_(
+                        protocol="discretized",
+                        protocol_params={"max_rounds": 60 * int(math.log2(n))},
+                    ),
+                    seed=child,
+                ).flood()
                 completed.append(flood.completed)
                 if flood.completed and flood.completion_round is not None:
                     rounds.append(flood.completion_round)
 
-                lossy_net = GDGR(law, d=d, seed=child, warm_time=warm)
-                lossy = flood_lossy(
-                    lossy_net,
-                    loss=0.3,
+                lossy = simulate(
+                    regen.with_(
+                        protocol="lossy",
+                        protocol_params={
+                            "loss": 0.3,
+                            "max_rounds": 80 * int(math.log2(n)),
+                        },
+                    ),
                     seed=child,
-                    max_rounds=80 * int(math.log2(n)),
-                )
+                ).flood(seed=child)
                 if lossy.completed and lossy.completion_round is not None:
                     lossy_rounds.append(lossy.completion_round)
 

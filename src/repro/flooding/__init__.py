@@ -14,6 +14,12 @@ plus a push/pull gossip extension:
   churn events on the event engine.
 * :func:`gossip_push_pull` — extension (DESIGN.md §5): one random neighbour
   contacted per round instead of all neighbours.
+
+All processes are also registered by name in
+:mod:`repro.flooding.protocols` (``discrete``, ``discretized``,
+``asynchronous``, ``gossip``, ``lossy``) behind the uniform
+:class:`~repro.flooding.protocols.Protocol` interface the scenario layer
+selects protocols through.
 """
 
 from repro.flooding.asynchronous import flood_asynchronous
@@ -21,13 +27,25 @@ from repro.flooding.discrete import flood_discrete
 from repro.flooding.discretized import flood_discretized
 from repro.flooding.gossip import gossip_push_pull
 from repro.flooding.lossy import flood_lossy
+from repro.flooding.protocols import (
+    Protocol,
+    all_protocols,
+    get_protocol,
+    protocol_names,
+    register_protocol,
+)
 from repro.flooding.result import FloodingResult
 
 __all__ = [
     "FloodingResult",
+    "Protocol",
+    "all_protocols",
     "flood_asynchronous",
     "flood_discrete",
     "flood_discretized",
     "flood_lossy",
+    "get_protocol",
     "gossip_push_pull",
+    "protocol_names",
+    "register_protocol",
 ]

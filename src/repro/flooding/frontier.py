@@ -1,19 +1,28 @@
-"""Frontier strategies for synchronous flooding.
+"""Frontier strategies for synchronous flooding and gossip.
 
-:func:`repro.flooding.discrete.flood_discrete` tracks the informed set
-through one of two interchangeable strategies:
+The round-based spreading processes (:func:`repro.flooding.discrete.flood_discrete`,
+:func:`repro.flooding.gossip.gossip_push_pull`,
+:func:`repro.flooding.lossy.flood_lossy`) track the informed set through
+one of two interchangeable strategies:
 
 * :class:`SetFrontier` — the reference implementation: a Python set of
-  node ids, boundary via per-node neighbour unions.  Works on every
-  backend.
+  node ids, boundary via per-node neighbour unions, gossip/lossy contact
+  draws per node.  Works on every backend.
 * :class:`MaskFrontier` — a boolean mask over the array backend's rows;
   boundary expansion is ``informed-mask × slot-matrix`` in NumPy
-  (see :meth:`~repro.core.array_backend.ArraySlotBackend.boundary_rows`).
+  (see :meth:`~repro.core.array_backend.ArraySlotBackend.boundary_rows`),
+  and the gossip/lossy proposals draw all of a round's contacts in a
+  handful of array operations over the lazy CSR adjacency.
   Requires ``supports_vectorized_frontier``.
 
-Both strategies compute the identical informed set each round — only the
-representation differs — so seeded flooding trajectories match across
-backends (the cross-backend parity tests assert exactly this).
+For the deterministic boundary (plain flooding) both strategies compute
+the identical informed set each round — only the representation differs —
+so seeded flooding trajectories match across backends (the cross-backend
+parity tests assert exactly this).  The randomized proposals
+(:meth:`gossip_proposal`, :meth:`lossy_proposal`) draw the same
+*distribution* on either strategy but consume the RNG in different orders,
+so mask-based gossip/lossy runs are statistically equivalent, not
+bit-identical, to the set-based reference.
 
 The round protocol (Definition 3.3's ``I_t = (I_{t−1} ∪ ∂out(I_{t−1})) ∩
 N_t``) is split in two because churn happens between the boundary read and
@@ -31,7 +40,8 @@ from typing import Iterable, Protocol
 import numpy as np
 
 from repro.core.backend import GraphBackend
-from repro.models.base import RoundReport
+from repro.errors import ConfigurationError
+from repro.models.base import DynamicNetwork, RoundReport
 
 
 class Frontier(Protocol):
@@ -62,6 +72,48 @@ class SetFrontier:
     def boundary(self) -> set[int]:
         """``∂out(I)`` in the current (pre-churn) topology."""
         return self.state.boundary_of(self.informed)
+
+    def gossip_proposal(
+        self, rng: np.random.Generator, push: bool = True, pull: bool = True
+    ) -> set[int]:
+        """One push/pull gossip round's newly-informed set (pre-churn).
+
+        Every informed node *pushes* to one uniform neighbour; every
+        uninformed node not reached by a push *pulls* from one uniform
+        neighbour (informed contact ⇒ informed).
+        """
+        state, informed = self.state, self.informed
+        newly: set[int] = set()
+        if push:
+            for u in informed:
+                neighbor = state.random_neighbor(u, rng)
+                if neighbor is not None and neighbor not in informed:
+                    newly.add(neighbor)
+        if pull:
+            for u in state.alive_ids():
+                if u in informed or u in newly:
+                    continue
+                neighbor = state.random_neighbor(u, rng)
+                if neighbor is not None and neighbor in informed:
+                    newly.add(u)
+        return newly
+
+    def lossy_proposal(self, rng: np.random.Generator, loss: float) -> set[int]:
+        """One lossy-flooding round's delivered set (pre-churn).
+
+        Each (informed node → uninformed neighbour) transmission succeeds
+        independently with probability ``1 − loss``; a node already
+        delivered this round receives no further transmissions.
+        """
+        state, informed = self.state, self.informed
+        delivered: set[int] = set()
+        for u in informed:
+            for v in state.neighbors(u):
+                if v in informed or v in delivered:
+                    continue
+                if rng.random() >= loss:
+                    delivered.add(v)
+        return delivered
 
     def absorb(self, boundary: set[int], report: RoundReport) -> None:
         """``I ← (I ∪ boundary) ∩ alive`` after the churn."""
@@ -103,6 +155,57 @@ class MaskFrontier:
         self.mask = self._padded(self.mask)
         return self.state.boundary_rows(self.mask)
 
+    def gossip_proposal(
+        self, rng: np.random.Generator, push: bool = True, pull: bool = True
+    ) -> np.ndarray:
+        """Vectorized push/pull gossip round as a row mask (pre-churn).
+
+        All contact choices of a round are drawn in two ``rng.integers``
+        calls over the lazy CSR adjacency — same contact law as
+        :meth:`SetFrontier.gossip_proposal`, different RNG consumption.
+        """
+        state = self.state
+        self.mask = self._padded(self.mask)
+        informed = self.mask & state.alive_row_mask()
+        indptr, indices = state.adjacency_csr()
+        degrees = np.diff(indptr)
+        newly = np.zeros(len(self.mask), dtype=bool)
+        if push:
+            rows = np.nonzero(informed & (degrees > 0))[0]
+            if rows.size:
+                offsets = rng.integers(0, degrees[rows])
+                newly[indices[indptr[rows] + offsets]] = True
+        if pull:
+            rows = np.nonzero(
+                state.alive_row_mask() & ~informed & ~newly & (degrees > 0)
+            )[0]
+            if rows.size:
+                offsets = rng.integers(0, degrees[rows])
+                contacts = indices[indptr[rows] + offsets]
+                newly[rows[informed[contacts]]] = True
+        newly &= ~informed
+        return newly
+
+    def lossy_proposal(self, rng: np.random.Generator, loss: float) -> np.ndarray:
+        """Vectorized lossy-flooding round as a row mask (pre-churn).
+
+        One Bernoulli(1 − loss) draw per (informed → uninformed) directed
+        CSR edge; a row is delivered when any incident transmission
+        succeeds — the same delivery law as the per-node reference (each
+        target's first successful transmission informs it).
+        """
+        state = self.state
+        self.mask = self._padded(self.mask)
+        informed = self.mask & state.alive_row_mask()
+        indptr, indices = state.adjacency_csr()
+        sources = np.repeat(np.arange(len(indptr) - 1), np.diff(indptr))
+        candidates = indices[informed[sources] & ~informed[indices]]
+        newly = np.zeros(len(self.mask), dtype=bool)
+        if candidates.size:
+            delivered = candidates[rng.random(candidates.size) >= loss]
+            newly[delivered] = True
+        return newly
+
     def absorb(self, boundary: np.ndarray, report: RoundReport) -> None:
         state = self.state
         mask = self._padded(self.mask) | self._padded(boundary)
@@ -122,3 +225,25 @@ def make_frontier(state: GraphBackend, informed: Iterable[int]) -> SetFrontier |
     if getattr(state, "supports_vectorized_frontier", False):
         return MaskFrontier(state, informed)
     return SetFrontier(state, informed)
+
+
+def resolve_spreading_frontier(
+    network: DynamicNetwork, informed: Iterable[int], vectorized: bool
+) -> SetFrontier | MaskFrontier:
+    """Pick the frontier for a randomized spreading process (gossip/lossy).
+
+    Unlike plain flooding (where the mask frontier computes the identical
+    boundary and is therefore always safe to auto-select), the randomized
+    proposals consume the RNG differently per representation, so the
+    vectorized path is opt-in.
+    """
+    state = network.state
+    if not vectorized:
+        return SetFrontier(state, informed)
+    if not getattr(state, "supports_vectorized_frontier", False):
+        raise ConfigurationError(
+            "vectorized=True needs a backend with vectorized-frontier "
+            "support (the array backend); this network runs on "
+            f"{type(state).__name__}"
+        )
+    return MaskFrontier(state, informed)

@@ -10,7 +10,13 @@ informed).  Per node per round: O(1) messages.
 
 The round structure mirrors :func:`repro.flooding.discrete.flood_discrete`:
 contacts are drawn in the snapshot ``G_{t-1}``, then churn is applied and
-dead nodes drop out of the informed set.
+dead nodes drop out of the informed set.  The informed set lives in a
+:mod:`repro.flooding.frontier` strategy: the per-node
+:class:`~repro.flooding.frontier.SetFrontier` reference (the default, on
+any backend), or the mask-based vectorized proposal on the array backend
+when ``vectorized=True`` — same contact distribution, different RNG
+stream, so vectorized runs are statistically equivalent but not
+bit-identical to the reference.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.flooding.frontier import resolve_spreading_frontier
 from repro.flooding.result import FloodingResult
 from repro.models.base import DynamicNetwork
 from repro.util.rng import SeedLike, make_rng
@@ -30,6 +37,7 @@ def gossip_push_pull(
     push: bool = True,
     pull: bool = True,
     seed: SeedLike = None,
+    vectorized: bool = False,
 ) -> FloodingResult:
     """Run push/pull gossip on *network* until all alive nodes know the rumour.
 
@@ -40,6 +48,9 @@ def gossip_push_pull(
         push: enable the push half (informed → random neighbour).
         pull: enable the pull half (uninformed ← random neighbour).
         seed: RNG for the contact choices (independent of the network's).
+        vectorized: draw each round's contacts in bulk on the array
+            backend's mask frontier (same distribution, different RNG
+            stream than the per-node reference path).
     """
     if not push and not pull:
         raise ConfigurationError("enable at least one of push/pull")
@@ -50,42 +61,31 @@ def gossip_push_pull(
     if not state.is_alive(source):
         raise ConfigurationError(f"source node {source} is not alive")
 
-    informed: set[int] = {source}
+    frontier = resolve_spreading_frontier(network, {source}, vectorized)
     result = FloodingResult(source=source, start_time=network.now)
     result.record_round(1, state.num_alive())
 
     for round_index in range(1, max_rounds + 1):
-        newly: set[int] = set()
-        if push:
-            for u in informed:
-                neighbor = state.random_neighbor(u, rng)
-                if neighbor is not None and neighbor not in informed:
-                    newly.add(neighbor)
-        if pull:
-            for u in state.alive_ids():
-                if u in informed or u in newly:
-                    continue
-                neighbor = state.random_neighbor(u, rng)
-                if neighbor is not None and neighbor in informed:
-                    newly.add(u)
+        newly = frontier.gossip_proposal(rng, push=push, pull=pull)
 
         report = network.advance_round()
 
-        informed |= newly
-        informed = {u for u in informed if state.is_alive(u)}
-        result.record_round(len(informed), state.num_alive())
+        frontier.absorb(newly, report)
+        informed_count = frontier.count()
+        result.record_round(informed_count, state.num_alive())
 
-        uninformed_count = state.num_alive() - len(informed)
+        uninformed_count = state.num_alive() - informed_count
         fresh_uninformed = sum(
-            1 for b in report.births if state.is_alive(b) and b not in informed
+            1
+            for b in report.births
+            if state.is_alive(b) and not frontier.contains(b)
         )
-        if informed and uninformed_count == fresh_uninformed:
+        if informed_count and uninformed_count == fresh_uninformed:
             result.completed = True
             result.completion_round = round_index
             return result
-        if not informed:
+        if not informed_count:
             result.extinct = True
             result.extinction_round = round_index
             return result
     return result
-

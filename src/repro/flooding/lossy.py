@@ -9,7 +9,10 @@ slows by roughly a 1/(1−p) factor but, on an expander, still completes in
 O(log n) (the per-round growth constant shrinks from ε to ε(1−p)).
 
 EXP-17 and the robustness tests use this to confirm the paper's O(log n)
-claims degrade gracefully rather than collapsing.
+claims degrade gracefully rather than collapsing.  As with gossip, the
+informed set lives in a :mod:`repro.flooding.frontier` strategy and
+``vectorized=True`` opts into the array backend's bulk Bernoulli draws
+(same delivery law per round, different RNG stream).
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.flooding.frontier import resolve_spreading_frontier
 from repro.flooding.result import FloodingResult
 from repro.models.base import DynamicNetwork
 from repro.util.rng import SeedLike, make_rng
@@ -28,6 +32,7 @@ def flood_lossy(
     source: int | None = None,
     max_rounds: int = 10_000,
     seed: SeedLike = None,
+    vectorized: bool = False,
 ) -> FloodingResult:
     """Discrete flooding where each transmission fails w.p. *loss*.
 
@@ -46,34 +51,30 @@ def flood_lossy(
     if not state.is_alive(source):
         raise ConfigurationError(f"source node {source} is not alive")
 
-    informed: set[int] = {source}
+    frontier = resolve_spreading_frontier(network, {source}, vectorized)
     result = FloodingResult(source=source, start_time=network.now)
     result.record_round(1, state.num_alive())
 
     for round_index in range(1, max_rounds + 1):
-        delivered: set[int] = set()
-        for u in informed:
-            for v in state.neighbors(u):
-                if v in informed or v in delivered:
-                    continue
-                if rng.random() >= loss:
-                    delivered.add(v)
+        delivered = frontier.lossy_proposal(rng, loss)
 
         report = network.advance_round()
 
-        informed |= delivered
-        informed = {u for u in informed if state.is_alive(u)}
-        result.record_round(len(informed), state.num_alive())
+        frontier.absorb(delivered, report)
+        informed_count = frontier.count()
+        result.record_round(informed_count, state.num_alive())
 
-        uninformed_count = state.num_alive() - len(informed)
+        uninformed_count = state.num_alive() - informed_count
         fresh_uninformed = sum(
-            1 for b in report.births if state.is_alive(b) and b not in informed
+            1
+            for b in report.births
+            if state.is_alive(b) and not frontier.contains(b)
         )
-        if informed and uninformed_count == fresh_uninformed:
+        if informed_count and uninformed_count == fresh_uninformed:
             result.completed = True
             result.completion_round = round_index
             return result
-        if not informed:
+        if not informed_count:
             result.extinct = True
             result.extinction_round = round_index
             return result

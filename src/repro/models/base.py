@@ -37,7 +37,8 @@ class RoundReport:
 
     @property
     def births(self) -> list[int]:
-        return [e.node_id for e in self.events if e.is_birth]
+        # Flattened so batched NodesBorn records report every newborn.
+        return [nid for e in self.events if e.is_birth for nid in e.node_ids]
 
     @property
     def deaths(self) -> list[int]:
@@ -91,3 +92,49 @@ class DynamicNetwork(ABC):
     def run_rounds(self, count: int) -> list[RoundReport]:
         """Advance *count* unit-time rounds, returning their reports."""
         return [self.advance_round() for _ in range(count)]
+
+    # ------------------------------------------------------------------
+    # batched churn windows
+    # ------------------------------------------------------------------
+
+    #: Whether this driver implements :meth:`_advance_window_batched`.
+    supports_batched_advance: bool = False
+
+    def advance_to_time_batched(
+        self, target: float, window: float | None = None
+    ) -> RoundReport:
+        """Advance to *target* applying churn in grouped batches.
+
+        Splits ``[now, target]`` into windows of at most *window* time
+        units (default: one window for the whole span) and hands each to
+        the driver's ``_advance_window_batched``, which applies the
+        window's churn through the backend's batched
+        ``apply_births``/``apply_deaths`` paths.  Same churn law as the
+        per-event path, different seeded trajectory — see the driver
+        docstrings for each model's exact approximation.
+
+        Only drivers with ``supports_batched_advance`` implement this
+        (the streaming-cadence models interleave a death and a birth
+        every round, so there is nothing to group).
+        """
+        if not self.supports_batched_advance:
+            raise NotImplementedError(
+                f"{type(self).__name__} has no batched advance path"
+            )
+        start = self.now
+        report = RoundReport(start_time=start, end_time=start)
+        if target <= start:
+            self.clock.advance_to(target)
+            report.end_time = self.now
+            return report
+        if window is None or window <= 0:
+            window = target - start
+        while self.now < target:
+            window_end = min(self.now + window, target)
+            self._advance_window_batched(window_end, report)
+        report.end_time = self.now
+        return report
+
+    def _advance_window_batched(self, target: float, report: RoundReport) -> None:
+        """Apply one grouped-churn window ending at *target* (driver hook)."""
+        raise NotImplementedError

@@ -23,7 +23,7 @@ from repro.core.edge_policy import (
 )
 from repro.errors import ConfigurationError
 from repro.models.base import DynamicNetwork, RoundReport
-from repro.sim.events import EventRecord
+from repro.sim.events import EventRecord, NodesBorn
 from repro.util.rng import SeedLike
 
 
@@ -39,6 +39,10 @@ class PoissonNetwork(DynamicNetwork):
             the caller; the default ``3n`` is the horizon after which
             Lemma 4.4 guarantees |N_t| = Θ(n) w.h.p.  Pass 0 to start
             from the empty network.
+        fast_warm: warm through :meth:`advance_to_time_batched` (grouped
+            births/deaths) instead of per-event application.  Same churn
+            law, *different seeded trajectory* — leave False when
+            bit-identical trajectories against a per-event run matter.
     """
 
     def __init__(
@@ -49,6 +53,7 @@ class PoissonNetwork(DynamicNetwork):
         seed: SeedLike = None,
         warm_time: float | None = None,
         backend: str | GraphBackend | None = None,
+        fast_warm: bool = False,
     ) -> None:
         if n < 2:
             raise ConfigurationError(f"Poisson model needs n >= 2, got {n}")
@@ -59,7 +64,10 @@ class PoissonNetwork(DynamicNetwork):
         if warm_time is None:
             warm_time = 3.0 * float(n)
         if warm_time > 0:
-            self.advance_to_time(warm_time)
+            if fast_warm:
+                self.advance_to_time_batched(warm_time, window=max(1.0, self.n / 8.0))
+            else:
+                self.advance_to_time(warm_time)
 
     def advance_one_event(self) -> EventRecord:
         """Apply exactly one churn event (one jump-chain round)."""
@@ -84,6 +92,66 @@ class PoissonNetwork(DynamicNetwork):
     def advance_rounds_jump(self, count: int) -> list[EventRecord]:
         """Apply exactly *count* jump-chain events (Definition 4.5 rounds)."""
         return [self.advance_one_event() for _ in range(count)]
+
+    #: Batched windows (:meth:`DynamicNetwork.advance_to_time_batched`):
+    #: per window, the jump chain of Lemma 4.6 is simulated exactly (it
+    #: only needs the alive *count*), then all of the window's births are
+    #: applied through the backend's batched
+    #: :meth:`~repro.core.backend.GraphBackend.apply_births` path and all
+    #: of its deaths through one
+    #: :meth:`~repro.core.edge_policy.EdgePolicy.handle_deaths` call on a
+    #: uniform without-replacement victim set.  The size process follows
+    #: the exact churn law and each birth still samples its targets among
+    #: the nodes present at its join (earlier newborns of the window
+    #: included).  What is approximated is the within-window
+    #: interleaving: births are applied before deaths, so a birth may
+    #: target a node that "already" died inside the same window and
+    #: regenerated requests never land on same-window victims.  The
+    #: approximation vanishes as ``window → 0`` and is the same trade as
+    #: ``StreamingNetwork(fast_warm=True)``.
+    supports_batched_advance = True
+
+    def _advance_window_batched(self, target: float, report: RoundReport) -> None:
+        """Apply one grouped-churn window ending at *target*."""
+        # 1. Simulate the jump chain exactly (sizes only, no topology).
+        alive = self.num_alive()
+        birth_times: list[float] = []
+        death_count = 0
+        now = self.now
+        while True:
+            jump = self.chain.next_event(alive, self.rng)
+            event_time = now + jump.dt
+            if event_time > target:
+                break
+            now = event_time
+            self.event_count += 1
+            if jump.is_birth or alive == 0:
+                birth_times.append(event_time)
+                alive += 1
+            else:
+                death_count += 1
+                alive -= 1
+        # 2. Births as one batch: newborn k samples its targets among the
+        #    window-start population plus the earlier newborns, the same
+        #    candidate pool as the sequential path.
+        if birth_times:
+            node_ids = self.state.allocate_ids(len(birth_times))
+            self.policy.handle_births(self.state, node_ids, birth_times, self.rng)
+            report.events.append(
+                EventRecord(time=target, kind=NodesBorn(node_ids=tuple(node_ids)))
+            )
+        # 3. Deaths as one batch of uniform without-replacement victims
+        #    (newborns of the same window are eligible, as in the chain).
+        if death_count:
+            candidates = self.state.alive_ids()
+            picks = self.rng.choice(
+                len(candidates), size=min(death_count, len(candidates)), replace=False
+            )
+            victims = [candidates[int(i)] for i in picks]
+            report.events.append(
+                self.policy.handle_deaths(self.state, victims, target, self.rng)
+            )
+        self.clock.advance_to(target)
 
     def advance_round(self) -> RoundReport:
         """Advance one unit of continuous time (one flooding round)."""
@@ -119,11 +187,12 @@ def PDG(
     lam: float = 1.0,
     warm_time: float | None = None,
     backend: str | GraphBackend | None = None,
+    fast_warm: bool = False,
 ) -> PoissonNetwork:
     """Poisson Dynamic Graph without edge regeneration (Definition 4.9)."""
     return PoissonNetwork(
         n, NoRegenerationPolicy(d), lam=lam, seed=seed, warm_time=warm_time,
-        backend=backend,
+        backend=backend, fast_warm=fast_warm,
     )
 
 
@@ -134,11 +203,12 @@ def PDGR(
     lam: float = 1.0,
     warm_time: float | None = None,
     backend: str | GraphBackend | None = None,
+    fast_warm: bool = False,
 ) -> PoissonNetwork:
     """Poisson Dynamic Graph with edge regeneration (Definition 4.14)."""
     return PoissonNetwork(
         n, RegenerationPolicy(d), lam=lam, seed=seed, warm_time=warm_time,
-        backend=backend,
+        backend=backend, fast_warm=fast_warm,
     )
 
 

@@ -1,0 +1,300 @@
+"""Composable observers for scenario sessions.
+
+An :class:`Observer` watches a running :class:`~repro.scenario.simulation.Simulation`
+through three hooks — ``on_round(report, snapshot)`` at its configured
+round cadence, ``on_flood(result)`` after each protocol run, and
+``on_finish(snapshot)`` when the session's horizon completes — and
+exposes what it measured through ``result()``.  Observers are composable:
+a session runs any number of them in one pass over the trajectory, which
+is how one simulation serves several measurements without re-running the
+churn.
+
+Snapshots are expensive (they freeze the whole topology), so an observer
+that only needs live counters sets ``needs_snapshot = False`` and the
+session skips the freeze when no attached observer wants one.  Observers
+with ``every = 0`` observe only the final state, which keeps the hot loop
+eligible for the batched ``advance_to_time`` windows.
+
+Stock observers (registry names in parentheses): network size
+(``size``), degree statistics (``degrees``), vertex-expansion probes
+(``expansion``), isolated-node counts (``isolated``) and flooding
+coverage (``coverage``).  Custom observers subclass :class:`Observer`;
+:func:`register_observer` makes them addressable from JSON scenario
+documents.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analysis.degrees import degree_summary
+from repro.analysis.expansion import adversarial_expansion_upper_bound
+from repro.analysis.isolated import count_isolated
+from repro.core.snapshot import Snapshot
+from repro.errors import ConfigurationError
+from repro.flooding.result import FloodingResult
+from repro.models.base import RoundReport
+
+
+class Observer:
+    """Base class: bind → (on_round | on_flood)* → on_finish → result.
+
+    Args:
+        every: round cadence for :meth:`on_round`; ``0`` (the default)
+            means "final state only" (just :meth:`on_finish`).
+    """
+
+    name: str = "observer"
+    #: Whether this observer's hooks want a topology snapshot.
+    needs_snapshot: bool = True
+
+    def __init__(self, every: int = 0) -> None:
+        if every < 0:
+            raise ConfigurationError(f"every must be >= 0, got {every}")
+        self.every = int(every)
+        self.simulation: Any = None
+
+    def bind(self, simulation: Any) -> None:
+        """Attach to a session (called once, before any other hook)."""
+        self.simulation = simulation
+
+    def due(self, rounds_completed: int) -> bool:
+        """Whether :meth:`on_round` should fire after this many rounds."""
+        return self.every > 0 and rounds_completed % self.every == 0
+
+    def on_round(self, report: RoundReport, snapshot: Snapshot | None) -> None:
+        """One observation window ended (*snapshot* is None when
+        ``needs_snapshot`` is False)."""
+
+    def on_flood(self, result: FloodingResult) -> None:
+        """A protocol run finished on the session's network."""
+
+    def on_finish(self, snapshot: Snapshot | None) -> None:
+        """The session's run() horizon completed."""
+
+    def result(self) -> dict[str, Any]:
+        """What this observer measured (JSON-friendly)."""
+        return {}
+
+
+class SizeObserver(Observer):
+    """Alive-node counts and cumulative churn volume over time."""
+
+    name = "size"
+    needs_snapshot = False
+
+    def __init__(self, every: int = 1) -> None:
+        super().__init__(every=every)
+        self.times: list[float] = []
+        self.sizes: list[int] = []
+        self.total_births = 0
+        self.total_deaths = 0
+
+    def _record(self) -> None:
+        network = self.simulation.network
+        self.times.append(network.now)
+        self.sizes.append(network.num_alive())
+
+    def on_round(self, report: RoundReport, snapshot: Snapshot | None) -> None:
+        del snapshot
+        self.total_births += len(report.births)
+        self.total_deaths += len(report.deaths)
+        self._record()
+
+    def on_finish(self, snapshot: Snapshot | None) -> None:
+        del snapshot
+        self._record()
+
+    def result(self) -> dict[str, Any]:
+        return {
+            "times": list(self.times),
+            "sizes": list(self.sizes),
+            "final_size": self.sizes[-1] if self.sizes else None,
+            "total_births": self.total_births,
+            "total_deaths": self.total_deaths,
+        }
+
+
+class DegreeStatsObserver(Observer):
+    """Mean/min/max degree from snapshots at the configured cadence."""
+
+    name = "degrees"
+
+    def __init__(self, every: int = 0) -> None:
+        super().__init__(every=every)
+        self.series: list[dict[str, float]] = []
+
+    def _record(self, snapshot: Snapshot | None) -> None:
+        if snapshot is None:
+            return
+        summary = degree_summary(snapshot)
+        self.series.append(
+            {
+                "time": snapshot.time,
+                "mean_degree": summary.mean_degree,
+                "min_degree": summary.min_degree,
+                "max_degree": summary.max_degree,
+            }
+        )
+
+    def on_round(self, report: RoundReport, snapshot: Snapshot | None) -> None:
+        del report
+        self._record(snapshot)
+
+    def on_finish(self, snapshot: Snapshot | None) -> None:
+        self._record(snapshot)
+
+    def result(self) -> dict[str, Any]:
+        return {"series": list(self.series), "final": self.series[-1] if self.series else None}
+
+
+class ExpansionObserver(Observer):
+    """Adversarial vertex-expansion probes (upper bounds on the true ε)."""
+
+    name = "expansion"
+
+    def __init__(self, every: int = 0, seed: int = 0) -> None:
+        super().__init__(every=every)
+        self.seed = seed
+        self.series: list[dict[str, float]] = []
+
+    def _record(self, snapshot: Snapshot | None) -> None:
+        if snapshot is None or snapshot.num_nodes() < 2:
+            return
+        probe = adversarial_expansion_upper_bound(snapshot, seed=self.seed)
+        self.series.append(
+            {
+                "time": snapshot.time,
+                "min_ratio": probe.min_ratio,
+                "witness_size": probe.witness_size,
+            }
+        )
+
+    def on_round(self, report: RoundReport, snapshot: Snapshot | None) -> None:
+        del report
+        self._record(snapshot)
+
+    def on_finish(self, snapshot: Snapshot | None) -> None:
+        self._record(snapshot)
+
+    def result(self) -> dict[str, Any]:
+        ratios = [entry["min_ratio"] for entry in self.series]
+        return {
+            "series": list(self.series),
+            "worst_ratio": min(ratios) if ratios else None,
+        }
+
+
+class IsolatedNodesObserver(Observer):
+    """Isolated-node counts and fractions (the Lemma 3.5/4.10 quantity)."""
+
+    name = "isolated"
+
+    def __init__(self, every: int = 0) -> None:
+        super().__init__(every=every)
+        self.series: list[dict[str, float]] = []
+
+    def _record(self, snapshot: Snapshot | None) -> None:
+        if snapshot is None:
+            return
+        count = count_isolated(snapshot)
+        nodes = snapshot.num_nodes()
+        self.series.append(
+            {
+                "time": snapshot.time,
+                "isolated": count,
+                "fraction": count / nodes if nodes else 0.0,
+            }
+        )
+
+    def on_round(self, report: RoundReport, snapshot: Snapshot | None) -> None:
+        del report
+        self._record(snapshot)
+
+    def on_finish(self, snapshot: Snapshot | None) -> None:
+        self._record(snapshot)
+
+    def result(self) -> dict[str, Any]:
+        return {
+            "series": list(self.series),
+            "final": self.series[-1] if self.series else None,
+        }
+
+
+class CoverageObserver(Observer):
+    """Informed-set coverage of the session's protocol runs."""
+
+    name = "coverage"
+    needs_snapshot = False
+
+    def __init__(self) -> None:
+        super().__init__(every=0)
+        self.runs: list[dict[str, Any]] = []
+
+    def on_flood(self, result: FloodingResult) -> None:
+        self.runs.append(
+            {
+                "source": result.source,
+                "completed": result.completed,
+                "completion_round": result.completion_round,
+                "extinct": result.extinct,
+                "rounds_run": result.rounds_run,
+                "max_informed": result.max_informed,
+                "final_fraction": result.final_fraction,
+                "informed_sizes": list(result.informed_sizes),
+                "network_sizes": list(result.network_sizes),
+            }
+        )
+
+    def result(self) -> dict[str, Any]:
+        return {
+            "runs": list(self.runs),
+            "all_completed": all(r["completed"] for r in self.runs)
+            if self.runs
+            else None,
+        }
+
+
+OBSERVERS: dict[str, type[Observer]] = {}
+
+
+def register_observer(observer_cls: type[Observer]) -> type[Observer]:
+    """Register an observer class under its ``name`` for JSON scenarios."""
+    name = observer_cls.name
+    if not name or name == Observer.name:
+        raise ConfigurationError("observer class must define a unique name")
+    if name in OBSERVERS:
+        raise ConfigurationError(f"duplicate observer name {name!r}")
+    OBSERVERS[name] = observer_cls
+    return observer_cls
+
+
+for _cls in (
+    SizeObserver,
+    DegreeStatsObserver,
+    ExpansionObserver,
+    IsolatedNodesObserver,
+    CoverageObserver,
+):
+    register_observer(_cls)
+
+
+def observer_names() -> list[str]:
+    """All registered observer names, sorted."""
+    return sorted(OBSERVERS)
+
+
+def make_observer(name: str, **params: Any) -> Observer:
+    """Instantiate a registered observer by name."""
+    try:
+        observer_cls = OBSERVERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown observer {name!r}; known: {observer_names()}"
+        ) from None
+    try:
+        return observer_cls(**params)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"bad parameters for observer {name!r}: {exc}"
+        ) from None

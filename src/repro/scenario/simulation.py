@@ -1,0 +1,278 @@
+"""The scenario session object.
+
+A :class:`Simulation` owns one driver built from a
+:class:`~repro.scenario.spec.ScenarioSpec`, a composable observer
+pipeline, and the spec's spreading protocol.  It is the single loop the
+experiment runners, the CLI and sweeps share — churn stepping, observer
+cadence and protocol dispatch live here instead of being re-wired per
+experiment.
+
+Two stepping modes:
+
+* **per-event** (the default): one :meth:`~repro.models.base.DynamicNetwork.advance_round`
+  call per unit-time round, exactly what the hand-written experiment
+  loops did — a scenario run is bit-identical to the pre-scenario code on
+  the same seed.
+* **batched** (``churn_params={"batch": True}``): churn models exposing
+  ``advance_to_time_batched`` (the Poisson and general drivers) advance in
+  grouped ``apply_births``/``apply_deaths`` windows between observer
+  reads, keeping the hot loop on the array backend's vectorized path.
+  Same churn law, different seeded trajectory (see the drivers'
+  docstrings).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable
+
+from repro.core.snapshot import Snapshot
+from repro.errors import ConfigurationError
+from repro.flooding.protocols import Protocol, get_protocol
+from repro.flooding.result import FloodingResult
+from repro.models.base import DynamicNetwork, RoundReport
+from repro.scenario.observers import Observer, make_observer
+from repro.scenario.registry import build_network
+from repro.scenario.spec import ScenarioSpec
+from repro.util.rng import SeedLike
+
+
+class _ObserverFeed:
+    """Accumulates churn events between one observer's reads.
+
+    An observer at cadence ``every=k`` receives a single
+    :class:`RoundReport` covering *all* k rounds since its previous
+    ``on_round`` — no events are dropped between reads, whichever
+    stepping mode produced them.
+    """
+
+    def __init__(self, observer: Observer, start_time: float) -> None:
+        self.observer = observer
+        self.window = RoundReport(start_time=start_time, end_time=start_time)
+
+    def feed(self, report: RoundReport) -> None:
+        self.window.events.extend(report.events)
+        self.window.end_time = report.end_time
+
+    def flush(self, snapshot: Snapshot | None) -> None:
+        self.observer.on_round(self.window, snapshot)
+        self.window = RoundReport(
+            start_time=self.window.end_time, end_time=self.window.end_time
+        )
+
+
+def resolve_observer(declaration: Any) -> Observer:
+    """Turn an observer declaration into an :class:`Observer` instance.
+
+    Accepts a ready instance, a registry name (``"degrees"``), or a JSON
+    mapping (``{"name": "degrees", "params": {"every": 50}}``).
+    """
+    if isinstance(declaration, Observer):
+        return declaration
+    if isinstance(declaration, str):
+        return make_observer(declaration)
+    if isinstance(declaration, dict):
+        unknown = sorted(set(declaration) - {"name", "params"})
+        if unknown:
+            raise ConfigurationError(
+                f"unknown observer declaration field(s) {unknown}; "
+                "known: ['name', 'params']"
+            )
+        if "name" not in declaration:
+            raise ConfigurationError("observer declaration needs a 'name'")
+        params = declaration.get("params", {})
+        if not isinstance(params, dict):
+            raise ConfigurationError("observer 'params' must be an object")
+        return make_observer(declaration["name"], **params)
+    raise ConfigurationError(
+        f"cannot interpret observer declaration {declaration!r}"
+    )
+
+
+class Simulation:
+    """One scenario session: driver + observers + protocol.
+
+    Args:
+        spec: the scenario to realize.
+        observers: observer declarations (instances, names, or mappings).
+        seed: overrides ``spec.seed`` for this session (the sweep hook).
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        observers: Iterable[Any] = (),
+        seed: SeedLike = None,
+    ) -> None:
+        self.spec = spec
+        self.observers: list[Observer] = [resolve_observer(o) for o in observers]
+        self.network: DynamicNetwork = build_network(spec, seed=seed)
+        self.rounds_completed = 0
+        self.flood_results: list[FloodingResult] = []
+        for observer in self.observers:
+            observer.bind(self)
+
+    # ------------------------------------------------------------------
+    # convenience accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self):
+        """The session's topology backend."""
+        return self.network.state
+
+    def snapshot(self) -> Snapshot:
+        """Freeze the current topology."""
+        return self.network.snapshot()
+
+    # ------------------------------------------------------------------
+    # churn stepping
+    # ------------------------------------------------------------------
+
+    def run(self, rounds: float | None = None) -> "Simulation":
+        """Advance *rounds* unit-time rounds (default: the spec horizon),
+        feeding observers at their cadences, then fire ``on_finish``.
+
+        Returns self, so ``Simulation(spec).run()`` chains.
+        """
+        if rounds is None:
+            rounds = self.spec.horizon
+        if rounds < 0:
+            raise ConfigurationError(f"rounds must be >= 0, got {rounds}")
+        if self.spec.churn_params.get("batch", False):
+            self._run_batched(float(rounds))
+        else:
+            if float(rounds) != int(rounds):
+                # Batched mode honors fractional horizons exactly; the
+                # per-event loop cannot, so reject instead of silently
+                # observing a different amount of churn per mode.
+                raise ConfigurationError(
+                    f"per-event stepping needs a whole number of rounds, "
+                    f"got {rounds}; use churn_params={{'batch': True}} for "
+                    "fractional horizons"
+                )
+            self._run_per_event(int(rounds))
+        self._notify_finish()
+        return self
+
+    def _observer_feeds(self) -> list[_ObserverFeed]:
+        now = self.network.now
+        return [
+            _ObserverFeed(o, now) for o in self.observers if o.every > 0
+        ]
+
+    def _dispatch(self, feeds: list[_ObserverFeed], report: RoundReport) -> None:
+        due: list[_ObserverFeed] = []
+        for feed in feeds:
+            feed.feed(report)
+            if feed.observer.due(self.rounds_completed):
+                due.append(feed)
+        if due:
+            snapshot = (
+                self.snapshot()
+                if any(f.observer.needs_snapshot for f in due)
+                else None
+            )
+            for feed in due:
+                feed.flush(snapshot)
+
+    def _run_per_event(self, rounds: int) -> None:
+        feeds = self._observer_feeds()
+        for _ in range(rounds):
+            report = self.network.advance_round()
+            self.rounds_completed += 1
+            self._dispatch(feeds, report)
+
+    def _run_batched(self, rounds: float) -> None:
+        network = self.network
+        if not network.supports_batched_advance:
+            raise ConfigurationError(
+                f"churn model {self.spec.churn!r} has no batched advance; "
+                "drop churn_params['batch']"
+            )
+        advance = network.advance_to_time_batched
+        feeds = self._observer_feeds()
+        # Observer reads happen at window boundaries: the stride is the
+        # gcd of the attached cadences so every cadence is hit exactly.
+        if feeds:
+            stride = math.gcd(*(f.observer.every for f in feeds))
+        else:
+            stride = max(int(math.ceil(rounds)), 1)
+        window = float(self.spec.churn_params.get("window", 0.0)) or None
+        end = network.now + rounds
+        while network.now < end:
+            target = min(network.now + stride, end)
+            report = advance(target, window=window)
+            self.rounds_completed += int(round(target - report.start_time))
+            self._dispatch(feeds, report)
+
+    def _notify_finish(self) -> None:
+        if not self.observers:
+            return
+        snapshot = (
+            self.snapshot()
+            if any(o.needs_snapshot for o in self.observers)
+            else None
+        )
+        for observer in self.observers:
+            observer.on_finish(snapshot)
+
+    # ------------------------------------------------------------------
+    # protocol dispatch
+    # ------------------------------------------------------------------
+
+    def protocol(self) -> Protocol:
+        """The spec's spreading protocol (raises when none is configured)."""
+        if self.spec.protocol is None:
+            raise ConfigurationError(
+                "this scenario configures no spreading protocol; set "
+                "spec.protocol or pass protocol=... to flood()"
+            )
+        return get_protocol(self.spec.protocol)
+
+    def flood(self, **overrides: Any) -> FloodingResult:
+        """Run the configured protocol on the session's network.
+
+        ``protocol_params`` from the spec are the defaults; keyword
+        *overrides* win.  Pass ``protocol="name"`` to run a different
+        protocol than the spec's.
+        """
+        name = overrides.pop("protocol", None)
+        protocol = get_protocol(name) if name is not None else self.protocol()
+        params = {**self.spec.protocol_params, **overrides}
+        result = protocol.run(self.network, **params)
+        self.flood_results.append(result)
+        for observer in self.observers:
+            observer.on_flood(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+
+    def results(self) -> dict[str, Any]:
+        """All observer results, keyed by observer name."""
+        collected: dict[str, Any] = {}
+        for observer in self.observers:
+            key = observer.name
+            index = 2
+            while key in collected:  # two observers of the same kind
+                key = f"{observer.name}_{index}"
+                index += 1
+            collected[key] = observer.result()
+        return collected
+
+
+def simulate(
+    spec: ScenarioSpec,
+    seed: SeedLike = None,
+    observers: Iterable[Any] = (),
+) -> Simulation:
+    """Build a session and run it to the spec's horizon in one call.
+
+    The workhorse of the ported experiment runners::
+
+        sim = simulate(spec.with_(n=n, d=d, horizon=n), seed=child)
+        fraction = isolated_fraction(sim.snapshot())
+    """
+    return Simulation(spec, observers=observers, seed=seed).run()

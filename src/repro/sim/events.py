@@ -48,6 +48,13 @@ class NodeDied:
 
 
 @dataclass(frozen=True)
+class NodesBorn:
+    """A batch of nodes joined the network in one application (batched churn)."""
+
+    node_ids: tuple[int, ...]
+
+
+@dataclass(frozen=True)
 class NodesDied:
     """A batch of nodes left the network simultaneously (batched churn)."""
 
@@ -61,21 +68,24 @@ class EventRecord:
     Attributes:
         time: simulation time at which the event occurred.
         kind: a :class:`NodeBorn` / :class:`NodeDied` marker, or a
-            :class:`NodesDied` marker for one batched-death application.
+            :class:`NodesBorn` / :class:`NodesDied` marker for one batched
+            churn application.
         edges_created: edges that appeared as a consequence (the newborn's
             requests, or regenerated replacement edges after a death).
+            Batched-birth records leave this empty — the backend applies
+            the slots directly without per-edge bookkeeping.
         edges_destroyed: edges that disappeared (all edges incident to a
             dying node; empty for births).
     """
 
     time: float
-    kind: NodeBorn | NodeDied | NodesDied
+    kind: NodeBorn | NodeDied | NodesBorn | NodesDied
     edges_created: list[EdgeCreated] = field(default_factory=list)
     edges_destroyed: list[EdgeDestroyed] = field(default_factory=list)
 
     @property
     def is_birth(self) -> bool:
-        return isinstance(self.kind, NodeBorn)
+        return isinstance(self.kind, (NodeBorn, NodesBorn))
 
     @property
     def is_death(self) -> bool:
@@ -83,13 +93,13 @@ class EventRecord:
 
     @property
     def node_id(self) -> int:
-        if isinstance(self.kind, NodesDied):
+        if isinstance(self.kind, (NodesBorn, NodesDied)):
             raise ValueError("batched record has no single node_id; use node_ids")
         return self.kind.node_id
 
     @property
     def node_ids(self) -> tuple[int, ...]:
         """The affected node ids (one entry for single-node kinds)."""
-        if isinstance(self.kind, NodesDied):
+        if isinstance(self.kind, (NodesBorn, NodesDied)):
             return self.kind.node_ids
         return (self.kind.node_id,)

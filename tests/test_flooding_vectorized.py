@@ -1,0 +1,163 @@
+"""Vectorized (mask-frontier) gossip and lossy flooding, and the protocol
+registry's uniform run/step interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.flooding import (
+    flood_discrete,
+    flood_lossy,
+    get_protocol,
+    gossip_push_pull,
+    protocol_names,
+)
+from repro.models import PDGR, SDGR
+from repro.util.rng import make_rng
+
+
+def _warm_sdgr(n=120, d=6, seed=0, backend="array"):
+    net = SDGR(n=n, d=d, seed=seed, backend=backend)
+    net.run_rounds(n)
+    return net
+
+
+class TestVectorizedLossy:
+    def test_loss_zero_equals_discrete_flooding(self):
+        """With loss=0 every boundary transmission succeeds, so lossy
+        flooding — set path and mask path alike — must replay
+        flood_discrete's informed trajectory exactly."""
+        reference = flood_discrete(_warm_sdgr(seed=3), max_rounds=100)
+        set_path = flood_lossy(_warm_sdgr(seed=3), loss=0.0, seed=1)
+        mask_path = flood_lossy(
+            _warm_sdgr(seed=3), loss=0.0, seed=1, vectorized=True
+        )
+        assert set_path.informed_sizes == reference.informed_sizes
+        assert mask_path.informed_sizes == reference.informed_sizes
+        assert mask_path.completion_round == reference.completion_round
+
+    def test_vectorized_needs_array_backend(self):
+        net = _warm_sdgr(backend="dict")
+        with pytest.raises(ConfigurationError, match="vectorized"):
+            flood_lossy(net, loss=0.1, seed=0, vectorized=True)
+
+    def test_vectorized_completes_under_loss(self):
+        result = flood_lossy(_warm_sdgr(seed=5), loss=0.3, seed=2, vectorized=True)
+        assert result.completed
+        # retries slow flooding down, they never block it
+        assert result.completion_round is not None
+
+    def test_distributionally_close_to_set_path(self):
+        set_rounds, mask_rounds = [], []
+        for seed in range(6):
+            set_rounds.append(
+                flood_lossy(_warm_sdgr(seed=seed), loss=0.4, seed=seed).completion_round
+            )
+            mask_rounds.append(
+                flood_lossy(
+                    _warm_sdgr(seed=seed), loss=0.4, seed=seed, vectorized=True
+                ).completion_round
+            )
+        assert abs(np.mean(set_rounds) - np.mean(mask_rounds)) < 3.0
+
+
+class TestVectorizedGossip:
+    def test_vectorized_completes(self):
+        result = gossip_push_pull(
+            _warm_sdgr(seed=1), seed=4, vectorized=True, max_rounds=400
+        )
+        assert result.completed
+
+    def test_push_only_and_pull_only(self):
+        push = gossip_push_pull(
+            _warm_sdgr(seed=2), seed=1, pull=False, vectorized=True, max_rounds=600
+        )
+        pull = gossip_push_pull(
+            _warm_sdgr(seed=2), seed=1, push=False, vectorized=True, max_rounds=600
+        )
+        assert push.completed and pull.completed
+
+    def test_vectorized_needs_array_backend(self):
+        net = _warm_sdgr(backend="dict")
+        with pytest.raises(ConfigurationError, match="vectorized"):
+            gossip_push_pull(net, seed=0, vectorized=True)
+
+    def test_distributionally_close_to_set_path(self):
+        set_rounds, mask_rounds = [], []
+        for seed in range(6):
+            set_rounds.append(
+                gossip_push_pull(_warm_sdgr(seed=seed), seed=seed).completion_round
+            )
+            mask_rounds.append(
+                gossip_push_pull(
+                    _warm_sdgr(seed=seed), seed=seed, vectorized=True
+                ).completion_round
+            )
+        assert abs(np.mean(set_rounds) - np.mean(mask_rounds)) < 3.0
+
+
+class TestProtocolRegistry:
+    def test_all_five_registered(self):
+        assert protocol_names() == [
+            "asynchronous", "discrete", "discretized", "gossip", "lossy",
+        ]
+
+    def test_unknown_protocol(self):
+        with pytest.raises(ConfigurationError, match="unknown flooding protocol"):
+            get_protocol("smoke-signals")
+
+    def test_registry_run_matches_function(self, backend_name):
+        via_registry = get_protocol("discrete").run(
+            _warm_sdgr(seed=7, backend=backend_name), max_rounds=100
+        )
+        direct = flood_discrete(
+            _warm_sdgr(seed=7, backend=backend_name), max_rounds=100
+        )
+        assert via_registry.informed_sizes == direct.informed_sizes
+
+    def test_asynchronous_requires_poisson(self):
+        protocol = get_protocol("asynchronous")
+        with pytest.raises(ConfigurationError, match="PoissonNetwork"):
+            protocol.run(_warm_sdgr())
+        result = protocol.run(PDGR(n=60, d=35, seed=0), max_time=200.0)
+        assert result.completed
+
+    def test_step_interface_replays_discrete_flooding(self):
+        """proposal → advance → absorb, hand-driven, equals flood_discrete."""
+        protocol = get_protocol("discrete")
+        assert protocol.supports_step
+        net = _warm_sdgr(seed=9)
+        reference = flood_discrete(_warm_sdgr(seed=9), max_rounds=50)
+
+        source = net.state.youngest_alive()
+        frontier = protocol.make_frontier(net, {source})
+        sizes = [frontier.count()]
+        rng = make_rng(0)
+        for _ in range(reference.rounds_run):
+            proposal = protocol.proposal(frontier, rng)
+            report = net.advance_round()
+            frontier.absorb(proposal, report)
+            sizes.append(frontier.count())
+        assert sizes == reference.informed_sizes
+
+    def test_step_interface_gossip_mask(self):
+        protocol = get_protocol("gossip")
+        net = _warm_sdgr(seed=4)
+        source = net.state.youngest_alive()
+        frontier = protocol.make_frontier(net, {source}, vectorized=True)
+        rng = make_rng(1)
+        for _ in range(60):
+            proposal = protocol.proposal(frontier, rng, push=True, pull=True)
+            report = net.advance_round()
+            frontier.absorb(proposal, report)
+            if frontier.count() == net.num_alive():
+                break
+        assert frontier.count() > net.num_alive() * 0.9
+
+    def test_non_steppable_protocols_say_so(self):
+        protocol = get_protocol("asynchronous")
+        assert not protocol.supports_step
+        with pytest.raises(ConfigurationError, match="per-round stepping"):
+            protocol.make_frontier(None, set())

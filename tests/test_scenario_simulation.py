@@ -1,0 +1,158 @@
+"""Tests for the Simulation session object and the experiment ports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import run_experiment
+from repro.flooding import flood_discrete
+from repro.models import PDGR, SDG, SDGR
+from repro.scenario import (
+    CoverageObserver,
+    ScenarioSpec,
+    SizeObserver,
+    Simulation,
+    simulate,
+)
+
+
+class TestBitIdentity:
+    """A scenario-built session must replay the hand-wired construction."""
+
+    def test_streaming_matches_direct(self, backend_name):
+        spec = ScenarioSpec(
+            churn="streaming", policy="none", n=80, d=3, horizon=80,
+            backend=backend_name,
+        )
+        sim = simulate(spec, seed=11)
+        net = SDG(n=80, d=3, seed=11, backend=backend_name)
+        net.run_rounds(80)
+        assert sim.snapshot() == net.snapshot()
+
+    def test_poisson_matches_direct(self, backend_name):
+        spec = ScenarioSpec(
+            churn="poisson", policy="regen", n=60, d=4, backend=backend_name
+        )
+        sim = simulate(spec, seed=5)
+        assert sim.snapshot() == PDGR(n=60, d=4, seed=5, backend=backend_name).snapshot()
+
+    def test_flood_matches_direct(self, backend_name):
+        spec = ScenarioSpec(
+            churn="streaming", policy="regen", n=100, d=8, horizon=100,
+            protocol="discrete", protocol_params={"max_rounds": 200},
+            backend=backend_name,
+        )
+        via_scenario = simulate(spec, seed=3).flood()
+        net = SDGR(n=100, d=8, seed=3, backend=backend_name)
+        net.run_rounds(100)
+        direct = flood_discrete(net, max_rounds=200)
+        assert via_scenario.informed_sizes == direct.informed_sizes
+        assert via_scenario.completion_round == direct.completion_round
+
+    def test_spec_seed_used_when_no_override(self):
+        spec = ScenarioSpec(churn="streaming", policy="none", n=50, d=2, seed=9)
+        assert simulate(spec).snapshot() == simulate(spec, seed=9).snapshot()
+
+
+class TestSession:
+    def test_run_returns_self_and_counts_rounds(self):
+        sim = Simulation(ScenarioSpec(churn="streaming", n=40, d=2, horizon=10))
+        assert sim.run() is sim
+        assert sim.rounds_completed == 10
+        assert sim.network.round_number == 50  # 40 warm + 10 run
+
+    def test_explicit_rounds_override_horizon(self):
+        sim = Simulation(ScenarioSpec(churn="streaming", n=40, d=2, horizon=10))
+        sim.run(rounds=3)
+        assert sim.rounds_completed == 3
+
+    def test_flood_without_protocol_raises(self):
+        sim = Simulation(ScenarioSpec(churn="streaming", n=40, d=2))
+        with pytest.raises(ConfigurationError, match="no spreading protocol"):
+            sim.flood()
+
+    def test_flood_protocol_override(self):
+        sim = simulate(
+            ScenarioSpec(churn="streaming", policy="regen", n=60, d=8, horizon=60)
+        )
+        result = sim.flood(protocol="gossip", seed=1, max_rounds=300)
+        assert result.max_informed > 1
+
+    def test_bad_observer_declaration(self):
+        spec = ScenarioSpec(churn="streaming", n=40, d=2)
+        with pytest.raises(ConfigurationError, match="unknown observer"):
+            Simulation(spec, observers=["scribe"])
+        with pytest.raises(ConfigurationError, match="needs a 'name'"):
+            Simulation(spec, observers=[{"params": {}}])
+        with pytest.raises(ConfigurationError, match="cannot interpret"):
+            Simulation(spec, observers=[42])
+
+    def test_batched_run_requires_support(self):
+        spec = ScenarioSpec(
+            churn="streaming", n=40, d=2, horizon=5, churn_params={"batch": True}
+        )
+        with pytest.raises(ConfigurationError, match="no batched advance"):
+            Simulation(spec).run()
+
+    def test_batched_poisson_run(self):
+        spec = ScenarioSpec(
+            churn="poisson", policy="regen", n=80, d=4, horizon=30,
+            churn_params={"batch": True},
+        )
+        sim = simulate(spec, seed=2, observers=[SizeObserver(every=10)])
+        sim.state.check_invariants()
+        sizes = sim.results()["size"]["sizes"]
+        # three windows + the on_finish reading
+        assert len(sizes) == 4
+        assert all(s > 0 for s in sizes)
+        assert sim.network.now == pytest.approx(3 * 80 + 30)
+
+
+class TestObserverPipeline:
+    def test_observers_compose_in_one_pass(self):
+        spec = ScenarioSpec(churn="streaming", policy="regen", n=60, d=6, horizon=20)
+        sim = simulate(
+            spec,
+            seed=4,
+            observers=[
+                "isolated",
+                {"name": "degrees", "params": {"every": 10}},
+                SizeObserver(every=5),
+            ],
+        )
+        results = sim.results()
+        assert results["isolated"]["final"]["fraction"] == 0.0
+        assert len(results["degrees"]["series"]) == 2 + 1  # rounds 10, 20 + finish
+        assert len(results["size"]["sizes"]) == 4 + 1
+        assert results["size"]["total_births"] == 20
+
+    def test_coverage_observer_sees_floods(self):
+        spec = ScenarioSpec(
+            churn="streaming", policy="regen", n=60, d=8, horizon=60,
+            protocol="discrete",
+        )
+        sim = simulate(spec, seed=1, observers=[CoverageObserver()])
+        sim.flood()
+        sim.flood()
+        coverage = sim.results()["coverage"]
+        assert len(coverage["runs"]) == 2
+        assert coverage["all_completed"] is True
+
+    def test_duplicate_observer_names_keep_both(self):
+        spec = ScenarioSpec(churn="streaming", n=40, d=2, horizon=4)
+        sim = simulate(spec, observers=[SizeObserver(every=1), SizeObserver(every=2)])
+        results = sim.results()
+        assert set(results) == {"size", "size_2"}
+
+
+class TestPortedExperimentParity:
+    """Cross-backend seeded parity for ported experiments: the scenario
+    layer preserves the bit-identical dict/array guarantee end to end."""
+
+    @pytest.mark.parametrize("experiment_id", ["EXP-01", "EXP-02", "EXP-11"])
+    def test_dict_array_identical(self, experiment_id):
+        on_dict = run_experiment(experiment_id, quick=True, seed=0, backend="dict")
+        on_array = run_experiment(experiment_id, quick=True, seed=0, backend="array")
+        assert [dict(r) for r in on_dict.rows] == [dict(r) for r in on_array.rows]
+        assert on_dict.verdict == on_array.verdict

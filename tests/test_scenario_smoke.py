@@ -1,0 +1,98 @@
+"""Scenario smoke matrix: every registered protocol × both backends.
+
+Quick-scale end-to-end runs through the declarative layer — churn model,
+edge policy, protocol and observers all resolved by name, exactly the way
+a JSON scenario would.  CI runs this file as its own job (see
+``.github/workflows/ci.yml``); each case asserts the broadcast makes real
+progress, not exact trajectories.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.flooding import protocol_names
+from repro.scenario import ScenarioSpec, observer_names, simulate
+
+#: protocol → a quick scenario exercising it (n kept small for CI).
+PROTOCOL_SCENARIOS: dict[str, ScenarioSpec] = {
+    "discrete": ScenarioSpec(
+        churn="streaming", policy="regen", n=100, d=8, horizon=100,
+        protocol="discrete", protocol_params={"max_rounds": 120},
+    ),
+    "discretized": ScenarioSpec(
+        churn="poisson", policy="regen", n=100, d=35,
+        protocol="discretized", protocol_params={"max_rounds": 120},
+    ),
+    "asynchronous": ScenarioSpec(
+        churn="poisson", policy="regen", n=100, d=35,
+        protocol="asynchronous", protocol_params={"max_time": 120.0},
+    ),
+    "gossip": ScenarioSpec(
+        churn="streaming", policy="regen", n=100, d=8, horizon=100,
+        protocol="gossip",
+        protocol_params={"max_rounds": 400, "seed": 1},
+    ),
+    "lossy": ScenarioSpec(
+        churn="streaming", policy="regen", n=100, d=8, horizon=100,
+        protocol="lossy",
+        protocol_params={"loss": 0.2, "max_rounds": 400, "seed": 1},
+    ),
+}
+
+
+def test_matrix_covers_every_registered_protocol():
+    assert sorted(PROTOCOL_SCENARIOS) == protocol_names()
+
+
+@pytest.mark.parametrize("backend", ["dict", "array"])
+@pytest.mark.parametrize("protocol", sorted(PROTOCOL_SCENARIOS))
+def test_protocol_backend_smoke(protocol, backend):
+    spec = PROTOCOL_SCENARIOS[protocol].with_(backend=backend)
+    if backend == "array" and protocol in ("gossip", "lossy"):
+        # exercise the mask-frontier fast path where it exists
+        spec = spec.with_(
+            protocol_params={**spec.protocol_params, "vectorized": True}
+        )
+    sim = simulate(spec, seed=0)
+    result = sim.flood()
+    assert result.completed, f"{protocol} on {backend} did not complete"
+    n = spec.n
+    assert result.completion_round <= 12 * math.log2(n) or protocol in (
+        "gossip", "lossy",
+    )
+    sim.state.check_invariants()
+
+
+@pytest.mark.parametrize("backend", ["dict", "array"])
+def test_observer_matrix_smoke(backend):
+    spec = ScenarioSpec(
+        churn="streaming", policy="regen", n=60, d=6, horizon=30,
+        protocol="discrete", backend=backend,
+    )
+    sim = simulate(
+        spec,
+        seed=0,
+        observers=[name for name in observer_names()],
+    )
+    sim.flood()
+    results = sim.results()
+    assert set(results) == set(observer_names())
+    assert results["coverage"]["all_completed"] is True
+    assert results["isolated"]["final"]["fraction"] == 0.0
+    assert results["degrees"]["final"]["mean_degree"] > 6
+
+
+@pytest.mark.parametrize("backend", ["dict", "array"])
+def test_batched_scenario_smoke(backend):
+    spec = ScenarioSpec(
+        churn="poisson", policy="regen", n=100, d=35, horizon=20,
+        churn_params={"batch": True, "fast_warm": True},
+        protocol="discretized", protocol_params={"max_rounds": 120},
+        backend=backend,
+    )
+    sim = simulate(spec, seed=0)
+    assert sim.flood().completed
+    sim.state.check_invariants()
