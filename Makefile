@@ -10,7 +10,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 BENCH_FILES := $(wildcard benchmarks/bench_*.py)
 
 .PHONY: test test-dict test-array test-backends bench bench-backend \
-	bench-check experiments scenario-smoke
+	bench-bounded bench-check experiments scenario-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -30,10 +30,16 @@ bench:
 bench-backend:
 	$(PYTHON) benchmarks/bench_backend_scaling.py
 
-# Fresh sweep compared against the committed BENCH_backend.json baseline.
+# Per-slot vs bulk bounded-degree placement sweep; writes BENCH_bounded.json.
+bench-bounded:
+	$(PYTHON) benchmarks/bench_bounded_degree.py
+
+# Fresh sweeps compared against the committed BENCH_*.json baselines.
 bench-check:
 	$(PYTHON) benchmarks/bench_backend_scaling.py --output /tmp/bench_current.json
-	$(PYTHON) benchmarks/check_bench_regression.py --current /tmp/bench_current.json
+	$(PYTHON) benchmarks/bench_bounded_degree.py --output /tmp/bench_bounded_current.json
+	$(PYTHON) benchmarks/check_bench_regression.py --current /tmp/bench_current.json \
+		--current-bounded /tmp/bench_bounded_current.json
 
 # Every registered protocol x both backends through the scenario layer.
 scenario-smoke:

@@ -1,17 +1,24 @@
-"""Compare a fresh backend-scaling run against the committed baseline.
+"""Compare fresh benchmark runs against the committed baselines.
 
-CI runs ``bench_backend_scaling.py`` to a scratch file, then this script
-compares its array/dict speedups (and the array backend's absolute
-rounds/sec) against the repository's ``BENCH_backend.json``.  Shared
-runners are noisy, so the default tolerance is generous: a regression is
-flagged when the measured speedup falls below ``tolerance`` × baseline at
-any size.
+CI runs ``bench_backend_scaling.py`` (and ``bench_bounded_degree.py``) to
+scratch files, then this script compares their speedups against the
+repository's ``BENCH_backend.json`` / ``BENCH_bounded.json``.  Both
+payloads share the shape this script needs: a ``results`` list of
+per-size rows carrying ``n`` and ``speedup``.  Shared runners are noisy,
+so the default tolerance is generous: a regression is flagged when the
+measured speedup falls below ``tolerance`` × baseline at any size.
 
     PYTHONPATH=src python benchmarks/bench_backend_scaling.py --output /tmp/bench.json
     PYTHONPATH=src python benchmarks/check_bench_regression.py --current /tmp/bench.json
 
-Exit status 1 on regression (CI converts it into a warning, matching the
-informational stance of the benchmark job).
+    PYTHONPATH=src python benchmarks/bench_bounded_degree.py --output /tmp/bounded.json
+    PYTHONPATH=src python benchmarks/check_bench_regression.py \
+        --baseline BENCH_bounded.json --current /tmp/bounded.json
+
+Pass ``--current-bounded`` alongside ``--current`` to check both files in
+one invocation (each against its committed baseline).  Exit status 1 on
+regression (CI converts it into a warning, matching the informational
+stance of the benchmark jobs).
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_backend.json"
+DEFAULT_BOUNDED_BASELINE = REPO_ROOT / "BENCH_bounded.json"
 
 
 def _by_size(payload: dict) -> dict[int, dict]:
@@ -67,20 +75,42 @@ def main(argv: list[str] | None = None) -> int:
         help="freshly produced bench_backend_scaling.py output",
     )
     parser.add_argument(
+        "--baseline-bounded", type=Path, default=DEFAULT_BOUNDED_BASELINE,
+        help="committed bounded-degree results (default: repo "
+        "BENCH_bounded.json)",
+    )
+    parser.add_argument(
+        "--current-bounded", type=Path, default=None,
+        help="freshly produced bench_bounded_degree.py output "
+        "(checked against --baseline-bounded when given)",
+    )
+    parser.add_argument(
         "--tolerance", type=float, default=0.4,
         help="minimum acceptable fraction of the baseline speedup "
         "(default 0.4 — generous, shared runners are noisy)",
     )
     args = parser.parse_args(argv)
 
-    baseline = json.loads(args.baseline.read_text())
-    current = json.loads(args.current.read_text())
-    problems = compare(baseline, current, args.tolerance)
+    checks = [("backend scaling", args.baseline, args.current)]
+    if args.current_bounded is not None:
+        checks.append(
+            ("bounded-degree placement", args.baseline_bounded, args.current_bounded)
+        )
+
+    problems: list[str] = []
+    for label, baseline_path, current_path in checks:
+        print(f"== {label} ==")
+        baseline = json.loads(baseline_path.read_text())
+        current = json.loads(current_path.read_text())
+        problems += [
+            f"{label}: {problem}"
+            for problem in compare(baseline, current, args.tolerance)
+        ]
     if problems:
         for problem in problems:
             print(f"FAIL: {problem}")
         return 1
-    print("backend scaling is within tolerance of the committed baseline")
+    print("all benchmarks are within tolerance of the committed baselines")
     return 0
 
 

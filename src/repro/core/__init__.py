@@ -15,9 +15,11 @@ from repro.core.backend import (
     use_backend,
 )
 from repro.core.edge_policy import (
+    BoundedInDegreePolicy,
     CappedRegenerationPolicy,
     EdgePolicy,
     NoRegenerationPolicy,
+    RAESPolicy,
     RegenerationPolicy,
 )
 from repro.core.graph import DictBackend, DynamicGraphState
@@ -27,6 +29,7 @@ from repro.core.snapshot import Snapshot
 __all__ = [
     "ArraySlotBackend",
     "BACKEND_NAMES",
+    "BoundedInDegreePolicy",
     "CappedRegenerationPolicy",
     "DictBackend",
     "DynamicGraphState",
@@ -34,6 +37,7 @@ __all__ = [
     "GraphBackend",
     "NodeRecord",
     "NoRegenerationPolicy",
+    "RAESPolicy",
     "RegenerationPolicy",
     "Snapshot",
     "create_backend",

@@ -14,7 +14,11 @@
   most once per topology version, entirely in vectorized NumPy;
 * **batched births** — :meth:`apply_births` applies thousands of births
   in a handful of array operations (same distribution as the sequential
-  path, different RNG stream consumption).
+  path, different RNG stream consumption);
+* **a dense in-degree counter** — ``_in_count`` mirrors
+  ``len(_in_refs[row])`` as an ``int32`` array, so capacity checks in the
+  bounded-degree policies (and the bulk accept/reject sampler
+  :meth:`place_slots_capped`) never touch the per-row Python sets.
 
 The slot matrix stores row indices rather than node ids so that every
 vectorized pass (frontier expansion, CSR rebuild) indexes arrays directly.
@@ -42,6 +46,7 @@ class ArraySlotBackend(GraphBackend):
     """Vectorized slot store with free-list node recycling."""
 
     supports_vectorized_frontier = True
+    supports_bulk_placement = True
 
     def __init__(self, initial_capacity: int = 1024, slot_width: int = 4) -> None:
         super().__init__()
@@ -53,6 +58,7 @@ class ArraySlotBackend(GraphBackend):
         self._id_of = np.full(self._cap, -1, dtype=np.int64)
         self._alive_rows = np.zeros(self._cap, dtype=bool)
         self._in_refs: list[set[tuple[int, int]]] = [set() for _ in range(self._cap)]
+        self._in_count = np.zeros(self._cap, dtype=np.int32)
         self._row_of: dict[int, int] = {}
         self._free: list[int] = []
         self._high = 0  # rows [0, _high) have been used at least once
@@ -79,10 +85,18 @@ class ArraySlotBackend(GraphBackend):
         return self._row_of.get(node_id)
 
     def rows_for(self, node_ids: Iterable[int]) -> np.ndarray:
-        """Array rows of alive nodes (order preserved)."""
+        """Array rows of the *alive* subset of *node_ids* (order preserved).
+
+        Dead ids are skipped rather than raising: callers like
+        :class:`~repro.flooding.frontier.MaskFrontier` seed informed sets
+        whose members may already have died (the set-based reference
+        silently tolerates dead sources — they simply drop at absorb), so
+        the row translation must tolerate them too.
+        """
         row_of = self._row_of
         return np.fromiter(
-            (row_of[u] for u in node_ids), dtype=np.int64
+            (row for row in (row_of.get(u) for u in node_ids) if row is not None),
+            dtype=np.int64,
         )
 
     def ids_for_rows(self, rows: np.ndarray) -> np.ndarray:
@@ -125,6 +139,9 @@ class ArraySlotBackend(GraphBackend):
         alive_grown[:old_cap] = self._alive_rows
         self._alive_rows = alive_grown
         self._in_refs.extend(set() for _ in range(new_cap - old_cap))
+        in_count_grown = np.zeros(new_cap, dtype=np.int32)
+        in_count_grown[:old_cap] = self._in_count
+        self._in_count = in_count_grown
 
     def _grow_cols(self, new_width: int) -> None:
         extra = np.full((self._cap, new_width - self._width), -1, dtype=np.int64)
@@ -192,7 +209,7 @@ class ArraySlotBackend(GraphBackend):
         ]
 
     def in_slot_count(self, node_id: int) -> int:
-        return len(self._in_refs[self._row_of[node_id]])
+        return int(self._in_count[self._row_of[node_id]])
 
     # ------------------------------------------------------------------
     # topology mutation
@@ -210,6 +227,7 @@ class ArraySlotBackend(GraphBackend):
         self._id_of[row] = node_id
         self._alive_rows[row] = True
         self._in_refs[row] = set()
+        self._in_count[row] = 0
         self._row_of[node_id] = row
         self.alive.add(node_id)
         self._version += 1
@@ -237,6 +255,7 @@ class ArraySlotBackend(GraphBackend):
             raise SimulationError(f"slot target {target} is not alive")
         self._slots[srow, slot_index] = trow
         self._in_refs[trow].add((source, slot_index))
+        self._in_count[trow] += 1
         self._version += 1
 
     def clear_slot(self, source: int, slot_index: int) -> int | None:
@@ -250,6 +269,7 @@ class ArraySlotBackend(GraphBackend):
             return None
         self._slots[srow, slot_index] = -1
         self._in_refs[trow].discard((source, slot_index))
+        self._in_count[trow] -= 1
         self._version += 1
         return int(self._id_of[trow])
 
@@ -267,6 +287,7 @@ class ArraySlotBackend(GraphBackend):
             trow = self._slots[row, slot_index]
             if trow >= 0:
                 self._in_refs[trow].discard((node_id, slot_index))
+                self._in_count[trow] -= 1
         self._slots[row, :] = -1
 
         # Orphan the requests of others pointing here (sorted, matching the
@@ -275,6 +296,7 @@ class ArraySlotBackend(GraphBackend):
         for source, slot_index in orphaned:
             self._slots[self._row_of[source], slot_index] = -1
         self._in_refs[row] = set()
+        self._in_count[row] = 0
 
         del self._row_of[node_id]
         self._id_of[row] = -1
@@ -287,6 +309,57 @@ class ArraySlotBackend(GraphBackend):
     # ------------------------------------------------------------------
     # batched churn
     # ------------------------------------------------------------------
+
+    def add_nodes(
+        self,
+        node_ids: Sequence[int],
+        times: Sequence[float] | float,
+        num_slots: int,
+    ) -> np.ndarray:
+        """Register a batch of newborns in a few vectorized writes.
+
+        Returns the assigned rows in batch order (used by the batched
+        birth paths; the :class:`GraphBackend` contract only promises the
+        registration itself).
+        """
+        count = len(node_ids)
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        if len(set(node_ids)) != count:
+            raise SimulationError("duplicate node ids in birth batch")
+        clash = next((i for i in node_ids if i in self._row_of), None)
+        if clash is not None:
+            raise SimulationError(f"node id {clash} already exists")
+        times_list = self.birth_times_list(node_ids, times)
+        if num_slots > self._width:
+            self._grow_cols(num_slots)
+
+        # Bulk row allocation: recycled rows first, then a contiguous
+        # fresh range (free rows are fully cleared by remove_node, so
+        # their slot columns and reverse-ref sets need no re-init).
+        recycled = self._free[max(len(self._free) - count, 0):]
+        del self._free[max(len(self._free) - count, 0):]
+        fresh = count - len(recycled)
+        while self._high + fresh > self._cap:
+            self._grow_rows(self._cap * 2)
+        rows = np.empty(count, dtype=np.int64)
+        rows[: len(recycled)] = recycled
+        rows[len(recycled):] = np.arange(
+            self._high, self._high + fresh, dtype=np.int64
+        )
+        self._high += fresh
+
+        ids = np.asarray(node_ids, dtype=np.int64)
+        self._slots[rows, :] = -1
+        self._num_slots[rows] = num_slots
+        self._birth[rows] = np.asarray(times_list, dtype=np.float64)
+        self._id_of[rows] = ids
+        self._alive_rows[rows] = True
+        self._in_count[rows] = 0
+        self._row_of.update(zip(ids.tolist(), rows.tolist()))
+        self.alive.extend_unique(node_ids)
+        self._version += 1
+        return rows
 
     def apply_births(
         self,
@@ -305,36 +378,17 @@ class ArraySlotBackend(GraphBackend):
         count = len(node_ids)
         if count == 0:
             return
-        if len(set(node_ids)) != count:
-            raise SimulationError("duplicate node ids in birth batch")
-        clash = next((i for i in node_ids if i in self._row_of), None)
-        if clash is not None:
-            raise SimulationError(f"node id {clash} already exists")
-        times_list = self.birth_times_list(node_ids, times)
-        if num_slots > self._width:
-            self._grow_cols(num_slots)
-
         # Existing alive rows in IndexedSet order, then the new rows: the
         # first m0 + k entries are exactly newborn k's candidate pool.
         m0 = self.num_alive()
         existing_ids = self.alive.as_list()
-        rows = np.fromiter(
-            (self._take_row() for _ in range(count)), dtype=np.int64, count=count
-        )
+        rows = self.add_nodes(node_ids, times, num_slots)
         pool_rows = np.empty(m0 + count, dtype=np.int64)
         if m0:
             pool_rows[:m0] = self.rows_for(existing_ids)
         pool_rows[m0:] = rows
 
         ids = np.asarray(node_ids, dtype=np.int64)
-        self._slots[rows, :] = -1
-        self._num_slots[rows] = num_slots
-        self._birth[rows] = np.asarray(times_list, dtype=np.float64)
-        self._id_of[rows] = ids
-        self._alive_rows[rows] = True
-        for row in rows:
-            self._in_refs[row] = set()
-
         highs = np.repeat(m0 + np.arange(count, dtype=np.int64), num_slots)
         valid = highs > 0
         draws = rng.integers(0, np.where(valid, highs, 1))
@@ -351,12 +405,151 @@ class ArraySlotBackend(GraphBackend):
             source_ids.tolist(), slot_indices.tolist(), target_rows.tolist()
         ):
             in_refs[trow].add((source, slot_index))
-
-        row_of = self._row_of
-        for node_id, row in zip(ids.tolist(), rows.tolist()):
-            row_of[node_id] = row
-            self.alive.add(node_id)
+        if target_rows.size:
+            np.add.at(self._in_count, target_rows, 1)
         self._version += 1
+
+    # ------------------------------------------------------------------
+    # bulk capped placement (RAES / capped-regeneration fast path)
+    # ------------------------------------------------------------------
+
+    def place_slots_capped(
+        self,
+        sources: Sequence[int],
+        slot_indices: Sequence[int],
+        cap: int,
+        max_attempts: int,
+        rng: np.random.Generator,
+        highs: Sequence[int] | None = None,
+        source_rows: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Fill empty slots in bulk, rejecting targets at the in-degree cap.
+
+        The vectorized accept/reject dynamic behind
+        :class:`~repro.core.edge_policy.RAESPolicy` and the batched
+        :class:`~repro.core.edge_policy.CappedRegenerationPolicy` paths.
+        Each *attempt round* draws one uniform candidate per still-pending
+        slot in a single ``rng.integers`` call and tallies the round's
+        proposals per target row with ``np.bincount``.  A target whose
+        current in-slot count plus tally stays within *cap* accepts
+        everything (the common case — one fully vectorized pass); an
+        oversubscribed target accepts proposals in request order up to its
+        remaining capacity and rejects the overflow, which re-samples next
+        round.  Request order is the sequential loop's processing order,
+        so a birth batch gives earlier newborns (whose candidate pools are
+        smallest) the same priority the per-event path gives them.  Rounds
+        repeat until every slot is placed or *max_attempts* is exhausted.
+
+        Args:
+            sources: owning node ids of the slots to fill (must be alive;
+                the same id may appear once per empty slot).
+            slot_indices: slot index of each request, aligned with
+                *sources*; the addressed slots must currently be empty.
+            cap: hard in-degree cap enforced on every target.
+            max_attempts: number of accept/reject rounds before giving up
+                on a slot (it stays empty, exactly like the sequential
+                rejection loop).
+            rng: randomness source for the candidate draws.
+            highs: optional per-request candidate-pool prefix sizes over
+                the alive set's internal order — newborn ``k`` of a birth
+                batch passes ``m0 + k`` so it only targets nodes present
+                when it joined (mirroring :meth:`apply_births`).  When
+                omitted every request draws from all alive nodes except
+                its own source.
+            source_rows: the rows of *sources*, when the caller already
+                knows them (the batched birth path does); skips the
+                per-request id→row translation.
+
+        Returns:
+            Target node ids aligned with *sources* (−1 where the slot
+            could not be placed).  Same placement *law* as the sequential
+            per-slot loop, different RNG stream consumption — this is a
+            batch path, not a per-event path.
+        """
+        source_ids = np.asarray(sources, dtype=np.int64)
+        slot_cols = np.asarray(slot_indices, dtype=np.int64)
+        count = len(source_ids)
+        placed = np.full(count, -1, dtype=np.int64)
+        if count == 0:
+            return placed
+        if source_rows is not None:
+            srows = np.asarray(source_rows, dtype=np.int64)
+        else:
+            row_of = self._row_of
+            srows = np.fromiter(
+                (row_of[s] for s in source_ids.tolist()),
+                dtype=np.int64,
+                count=count,
+            )
+        if np.any(self._slots[srows, slot_cols] >= 0):
+            raise SimulationError("place_slots_capped needs empty slots")
+
+        pool_ids = self.alive.as_list()
+        m = len(pool_ids)
+        pool_rows = self.rows_for(pool_ids)
+        if highs is None:
+            if m <= 1:
+                return placed  # nobody but the sources themselves
+            # Draw from [0, m-1) and shift past the source's own pool
+            # position: exact uniform-over-others, no rejection needed.
+            pos = np.empty(self._cap, dtype=np.int64)
+            pos[pool_rows] = np.arange(m)
+            self_pos = pos[srows]
+            bounds = np.full(count, m - 1, dtype=np.int64)
+        else:
+            self_pos = None
+            bounds = np.asarray(highs, dtype=np.int64)
+            if len(bounds) != count:
+                raise SimulationError(
+                    f"{count} placement requests but {len(bounds)} pool bounds"
+                )
+
+        in_count = self._in_count
+        in_refs = self._in_refs
+        pending = np.nonzero(bounds > 0)[0]
+        for _ in range(max_attempts):
+            if not pending.size:
+                break
+            draws = rng.integers(0, bounds[pending])
+            if self_pos is not None:
+                draws += draws >= self_pos[pending]
+            trows = pool_rows[draws]
+            proposals = np.bincount(trows, minlength=self._cap)
+            room = cap - in_count[trows]
+            if np.all(proposals[trows] <= room):
+                accepted = room > 0
+            else:
+                # Rank each proposal among the round's proposals to the
+                # same target, in request (= pending) order; a target
+                # accepts the first `room` of them and rejects the rest.
+                order = np.argsort(trows, kind="stable")
+                sorted_rows = trows[order]
+                positions = np.arange(sorted_rows.size)
+                group_starts = positions[
+                    np.r_[True, sorted_rows[1:] != sorted_rows[:-1]]
+                ]
+                start_of = np.repeat(
+                    group_starts,
+                    np.diff(np.r_[group_starts, sorted_rows.size]),
+                )
+                ranks = np.empty(sorted_rows.size, dtype=np.int64)
+                ranks[order] = positions - start_of
+                accepted = ranks < room
+            hit = pending[accepted]
+            if hit.size:
+                accepted_rows = trows[accepted]
+                self._slots[srows[hit], slot_cols[hit]] = accepted_rows
+                np.add.at(in_count, accepted_rows, 1)
+                for s, j, trow in zip(
+                    source_ids[hit].tolist(),
+                    slot_cols[hit].tolist(),
+                    accepted_rows.tolist(),
+                ):
+                    in_refs[trow].add((s, j))
+                placed[hit] = self._id_of[accepted_rows]
+            pending = pending[~accepted]
+        self._version += 1
+        return placed
 
     # ------------------------------------------------------------------
     # vectorized reads: CSR adjacency, degree vectors, frontier boundary
@@ -464,6 +657,8 @@ class ArraySlotBackend(GraphBackend):
           * every assigned slot points at an alive row and is registered
             in the target's reverse index;
           * every reverse-index entry corresponds to a real assignment;
+          * the dense ``_in_count`` mirror equals ``len(_in_refs[row])``
+            on every used row;
           * free rows are fully cleared (no stale slots or reverse refs);
           * CSR degrees and the cached edge count match a recount.
         """
@@ -492,6 +687,11 @@ class ArraySlotBackend(GraphBackend):
                 target = int(self._id_of[trow])
                 pairs.add((min(node_id, target), max(node_id, target)))
         for row in range(self._high):
+            if self._in_count[row] != len(self._in_refs[row]):
+                raise SimulationError(
+                    f"in_count[{row}] = {self._in_count[row]} but "
+                    f"{len(self._in_refs[row])} reverse refs are registered"
+                )
             for source, slot_index in self._in_refs[row]:
                 srow = self._row_of.get(source)
                 if srow is None or self._slots[srow, slot_index] != row:
@@ -503,6 +703,7 @@ class ArraySlotBackend(GraphBackend):
                 self._id_of[row] != -1
                 or self._alive_rows[row]
                 or self._in_refs[row]
+                or self._in_count[row]
                 or np.any(self._slots[row] >= 0)
             ):
                 raise SimulationError(f"free row {row} is not fully cleared")

@@ -214,6 +214,27 @@ class GraphBackend(ABC):
     #: True when :func:`flood_discrete` should use the mask-based frontier.
     supports_vectorized_frontier: bool = False
 
+    #: True when the backend implements ``place_slots_capped`` — the bulk
+    #: accept/reject sampler the bounded-degree edge policies batch onto.
+    supports_bulk_placement: bool = False
+
+    def add_nodes(
+        self,
+        node_ids: Sequence[int],
+        times: Sequence[float] | float,
+        num_slots: int,
+    ) -> None:
+        """Register a batch of newborns with empty out-slots (no sampling).
+
+        The generic implementation loops :meth:`add_node`; the array
+        backend registers the whole batch in a few vectorized writes.
+        Batched birth paths (``apply_births``, the bounded policies'
+        ``handle_births``) build on this.
+        """
+        times_list = self.birth_times_list(node_ids, times)
+        for node_id, birth_time in zip(node_ids, times_list):
+            self.add_node(node_id, birth_time=birth_time, num_slots=num_slots)
+
     def apply_births(
         self,
         node_ids: Sequence[int],

@@ -10,13 +10,31 @@ Two policies implement the paper's two topology dynamics:
   a fresh uniformly random destination, keeping its out-degree at ``d``
   whenever the network has at least one other node.
 
-:class:`CappedRegenerationPolicy` is an *extension* beyond the paper (see
-DESIGN.md §5): it bounds the in-degree of every node, probing the §5 open
-question about bounded-degree dynamics (Bitcoin Core's 125-peer cap).
+Two *bounded-degree* policies extend beyond the paper, probing its §5
+open question about fully-random dynamics with bounded degrees:
+
+* :class:`CappedRegenerationPolicy` (see DESIGN.md §5) — regeneration
+  with a hard in-degree cap (Bitcoin Core's 125-peer limit): a request is
+  retried a few times and then *given up*, so out-degrees may fall below
+  ``d`` under a tight cap.
+* :class:`RAESPolicy` — the RAES-style dynamic of Cruciani 2025
+  ("Maintaining a Bounded Degree Expander in Dynamic Peer-to-Peer
+  Networks", arXiv:2506.17757): out-degree exactly ``d``, hard in-degree
+  cap ``c·d`` with ``c ≥ 1``; a saturated target rejects the request and
+  the requester keeps re-sampling, so total capacity always covers demand
+  and every slot is placed almost surely.
+
+Both share :class:`BoundedInDegreePolicy`: a readable sequential
+rejection loop on the per-event path (bit-identical seeded trajectories
+on every backend), and a vectorized batch path that places whole birth
+batches and death-repair waves through the array backend's bulk
+accept/reject sampler
+(:meth:`~repro.core.array_backend.ArraySlotBackend.place_slots_capped`).
 """
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 
 import numpy as np
@@ -86,6 +104,23 @@ class EdgePolicy(ABC):
     ) -> None:
         """Handle slots whose destination just died."""
 
+    def repair_orphans_batched(
+        self,
+        state: GraphBackend,
+        orphaned: list[tuple[int, int]],
+        time: float,
+        rng: np.random.Generator,
+        record: EventRecord,
+    ) -> None:
+        """Repair one batched-death wave of orphans (:meth:`handle_deaths`).
+
+        Defaults to the per-event :meth:`repair_orphans`; policies with a
+        vectorized repair (the bounded-degree ones) override this so only
+        the *batch* path changes — per-event trajectories stay
+        bit-identical across backends.
+        """
+        self.repair_orphans(state, orphaned, time, rng, record)
+
     # ------------------------------------------------------------------
     # batched churn
     # ------------------------------------------------------------------
@@ -149,7 +184,7 @@ class EdgePolicy(ABC):
                     EdgeDestroyed(source=node_id, target=neighbor)
                 )
         orphaned = state.apply_deaths(node_ids, death_time=time)
-        self.repair_orphans(state, orphaned, time, rng, record)
+        self.repair_orphans_batched(state, orphaned, time, rng, record)
         return record
 
 
@@ -190,22 +225,57 @@ class RegenerationPolicy(EdgePolicy):
             )
 
 
-class CappedRegenerationPolicy(EdgePolicy):
-    """Regeneration with a maximum in-degree (extension beyond the paper).
+class BoundedInDegreePolicy(EdgePolicy):
+    """Shared mechanics of the bounded-in-degree policies (capped + RAES).
 
-    A request (at birth or regeneration) is retried up to *max_attempts*
-    times until it finds a target whose current in-slot count is below
-    ``max_in_degree``; if every attempt fails the slot is left empty for
-    now (it will be repaired at the next incident death).  With
-    ``max_in_degree=inf`` this reduces to :class:`RegenerationPolicy`.
+    A request (at birth or regeneration) re-samples its target until it
+    finds one whose current in-slot count is below ``max_in_degree`` — a
+    saturated target *rejects* the request.  After *max_attempts*
+    rejections the slot is left empty for now (it becomes repairable at
+    the next incident death).
+
+    Two placement paths:
+
+    * **per-event** (:meth:`handle_birth` / :meth:`repair_orphans`) — the
+      readable sequential rejection loop, consuming the RNG through
+      ``sample_targets`` exactly like the unbounded policies, so seeded
+      trajectories are bit-identical across backends;
+    * **batched** (:meth:`handle_births` / :meth:`repair_orphans_batched`)
+      — on a backend advertising ``supports_bulk_placement`` every
+      pending slot of the batch is placed through one vectorized
+      accept/reject pass
+      (:meth:`~repro.core.array_backend.ArraySlotBackend.place_slots_capped`);
+      same placement law, different RNG stream consumption, exactly like
+      the backend's ``apply_births``.  Set ``bulk=False`` to force the
+      sequential loop everywhere (benchmark/diagnostic knob).
     """
 
-    def __init__(self, d: int, max_in_degree: int, max_attempts: int = 16) -> None:
+    def __init__(
+        self, d: int, max_in_degree: int, max_attempts: int, bulk: bool = True
+    ) -> None:
         super().__init__(d)
         if max_in_degree < 1:
             raise ConfigurationError("max_in_degree must be >= 1")
-        self.max_in_degree = max_in_degree
-        self.max_attempts = max_attempts
+        if max_attempts < 1:
+            # A non-positive budget would silently skip every placement
+            # loop: births and repairs would produce zero edges, no error.
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        self.max_in_degree = int(max_in_degree)
+        self.max_attempts = int(max_attempts)
+        self.bulk = bool(bulk)
+
+    #: Candidate pool of a batched birth: ``False`` mirrors the sequential
+    #: law (newborn k only targets the m0+k nodes present when it joins);
+    #: ``True`` is the RAES parallel round — every node present in the
+    #: round is a candidate, so prefix saturation cannot starve an early
+    #: newborn out of its (tiny) pool.
+    bulk_birth_full_pool = False
+
+    # ------------------------------------------------------------------
+    # per-event path (sequential, backend-parity preserving)
+    # ------------------------------------------------------------------
 
     def _pick_capped_target(
         self, state: GraphBackend, source: int, rng: np.random.Generator
@@ -250,3 +320,135 @@ class CappedRegenerationPolicy(EdgePolicy):
                 continue
             state.assign_slot(source, slot_index, target)
             record.edges_created.append(EdgeCreated(source=source, target=target))
+
+    # ------------------------------------------------------------------
+    # batched path (vectorized accept/reject on capable backends)
+    # ------------------------------------------------------------------
+
+    def _use_bulk(self, state: GraphBackend) -> bool:
+        return self.bulk and getattr(state, "supports_bulk_placement", False)
+
+    def handle_births(
+        self,
+        state: GraphBackend,
+        node_ids: list[int],
+        times: list[float] | float,
+        rng: np.random.Generator,
+    ) -> None:
+        """Apply a pure-birth batch, placing all slots in bulk when possible.
+
+        By default mirrors the pool semantics of the backend's
+        ``apply_births`` — newborn ``k`` only targets the ``m0 + k`` nodes
+        present when it joins (earlier newborns of the same batch
+        included, itself and later newborns excluded).  Policies setting
+        :attr:`bulk_birth_full_pool` instead let every request draw from
+        the whole post-batch population.
+        """
+        if not self._use_bulk(state):
+            times_list = state.birth_times_list(node_ids, times)
+            for node_id, time in zip(node_ids, times_list):
+                self.handle_birth(state, node_id, time, rng)
+            return
+        m0 = state.num_alive()
+        rows = state.add_nodes(node_ids, times, self.d)
+        count = len(node_ids)
+        sources = np.repeat(np.asarray(node_ids, dtype=np.int64), self.d)
+        slots = np.tile(np.arange(self.d, dtype=np.int64), count)
+        if self.bulk_birth_full_pool:
+            highs = None
+        else:
+            highs = np.repeat(m0 + np.arange(count, dtype=np.int64), self.d)
+        state.place_slots_capped(
+            sources, slots, self.max_in_degree, self.max_attempts, rng,
+            highs=highs,
+            source_rows=None if rows is None else np.repeat(rows, self.d),
+        )
+
+    def repair_orphans_batched(
+        self,
+        state: GraphBackend,
+        orphaned: list[tuple[int, int]],
+        time: float,
+        rng: np.random.Generator,
+        record: EventRecord,
+    ) -> None:
+        """Repair a whole death batch's orphans in one accept/reject pass."""
+        if not self._use_bulk(state):
+            self.repair_orphans(state, orphaned, time, rng, record)
+            return
+        if not orphaned:
+            return
+        sources = np.asarray([s for s, _ in orphaned], dtype=np.int64)
+        slots = np.asarray([j for _, j in orphaned], dtype=np.int64)
+        targets = state.place_slots_capped(
+            sources, slots, self.max_in_degree, self.max_attempts, rng
+        )
+        for source, target in zip(sources.tolist(), targets.tolist()):
+            if target >= 0:
+                record.edges_created.append(
+                    EdgeCreated(source=source, target=target)
+                )
+
+
+class CappedRegenerationPolicy(BoundedInDegreePolicy):
+    """Regeneration with a maximum in-degree (extension beyond the paper).
+
+    A request (at birth or regeneration) is retried up to *max_attempts*
+    times until it finds a target whose current in-slot count is below
+    ``max_in_degree``; if every attempt fails the slot is left empty for
+    now (it will be repaired at the next incident death).  With
+    ``max_in_degree=inf`` this reduces to :class:`RegenerationPolicy`.
+    """
+
+    def __init__(
+        self,
+        d: int,
+        max_in_degree: int,
+        max_attempts: int = 16,
+        bulk: bool = True,
+    ) -> None:
+        super().__init__(d, max_in_degree, max_attempts, bulk=bulk)
+
+
+class RAESPolicy(BoundedInDegreePolicy):
+    """RAES-style bounded-degree expander dynamic (Cruciani 2025).
+
+    "Request a link, then Accept if Enough Space" (arXiv:2506.17757,
+    building on Becchetti et al.): every node keeps out-degree exactly
+    ``d``; every node accepts at most ``c·d`` in-links.  A request whose
+    target is saturated is rejected and immediately re-sampled.  With
+    ``c > 1`` (the regime the RAES analysis assumes) capacity strictly
+    exceeds demand, an unsaturated target exists almost surely, and the
+    re-sampling loop terminates quickly — *max_attempts* (default 64,
+    far above the capped policy's 16) is only a livelock guard.  The
+    boundary ``c = 1`` is accepted but tight: with zero slack the last
+    requests may fail to find the few free slots by uniform sampling.
+
+    The constructor rejects a cap below ``d`` at construction: with
+    ``c·d < d`` the network could never hold every node's ``d`` requests
+    even in principle, so the "out-degree exactly d" contract would be
+    unsatisfiable.
+    """
+
+    #: A batched RAES birth round samples the whole present population —
+    #: the parallel RAES dynamic — so a tiny sequential-prefix pool can
+    #: never strand a newborn's requests behind saturated targets.
+    bulk_birth_full_pool = True
+
+    def __init__(
+        self,
+        d: int,
+        c: float = 2.0,
+        max_attempts: int = 64,
+        bulk: bool = True,
+    ) -> None:
+        if d < 1:
+            raise ConfigurationError(f"out-degree d must be >= 1, got {d}")
+        cap = int(math.floor(c * d))
+        if cap < d:
+            raise ConfigurationError(
+                f"RAES needs an in-degree cap of at least d: c={c} gives "
+                f"cap floor(c*d)={cap} < d={d}, which can never place all slots"
+            )
+        super().__init__(d, cap, max_attempts, bulk=bulk)
+        self.c = float(c)

@@ -2,7 +2,7 @@
 
 Three small registries make a scenario declarative:
 
-* **edge policies** (``none`` / ``regen`` / ``capped``) →
+* **edge policies** (``none`` / ``regen`` / ``capped`` / ``raes``) →
   :mod:`repro.core.edge_policy` instances;
 * **lifetime laws** (``exponential`` / ``weibull`` / ``pareto`` /
   ``fixed``) → :mod:`repro.churn.lifetime` distributions for the
@@ -36,6 +36,7 @@ from repro.core.edge_policy import (
     CappedRegenerationPolicy,
     EdgePolicy,
     NoRegenerationPolicy,
+    RAESPolicy,
     RegenerationPolicy,
 )
 from repro.errors import ConfigurationError
@@ -50,7 +51,7 @@ from repro.util.rng import SeedLike
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.scenario.spec import ScenarioSpec
 
-POLICY_NAMES = ("none", "regen", "capped")
+POLICY_NAMES = ("none", "regen", "capped", "raes")
 
 LIFETIME_NAMES = ("exponential", "weibull", "pareto", "fixed")
 
@@ -88,6 +89,13 @@ def make_policy(spec: "ScenarioSpec") -> EdgePolicy:
             spec.d,
             max_in_degree=int(params["max_in_degree"]),
             max_attempts=int(params.get("max_attempts", 16)),
+        )
+    if spec.policy == "raes":
+        _check_keys(params, ("c", "max_attempts"), "policy")
+        return RAESPolicy(
+            spec.d,
+            c=float(params.get("c", 2.0)),
+            max_attempts=int(params.get("max_attempts", 64)),
         )
     raise ConfigurationError(
         f"unknown edge policy {spec.policy!r}; known: {list(POLICY_NAMES)}"

@@ -62,8 +62,11 @@ class ScenarioSpec:
         d: out-degree (requests per node; ``target_outbound`` for the
             Bitcoin-like overlay).
         policy: edge policy name — ``"none"`` (no regeneration),
-            ``"regen"``, or ``"capped"`` (bounded in-degree, needs
-            ``policy_params["max_in_degree"]``).
+            ``"regen"``, ``"capped"`` (bounded in-degree, needs
+            ``policy_params["max_in_degree"]``), or ``"raes"`` (RAES-style
+            bounded-degree expander maintenance: out-degree exactly ``d``,
+            in-degree capped at ``c·d``; optional ``policy_params["c"]``,
+            default 2).
         policy_params: extra edge-policy parameters.
         churn_params: extra churn-model parameters (e.g. ``warm_time``,
             ``strategy``, ``lifetime``, ``fast_warm``, ``batch``).

@@ -44,6 +44,21 @@ class IndexedSet:
         self._pos[item] = len(self._items)
         self._items.append(item)
 
+    def extend_unique(self, items: Iterable[int]) -> None:
+        """Bulk-append *items*, all of which must be absent from the set.
+
+        The batched-birth fast path: one C-level list extend plus one dict
+        update instead of a per-item :meth:`add` loop.  The caller is
+        responsible for uniqueness (the topology backends check their own
+        id maps first); a duplicate would corrupt the position map.
+        """
+        base = len(self._items)
+        self._items.extend(items)
+        self._pos.update(
+            (item, base + offset)
+            for offset, item in enumerate(self._items[base:])
+        )
+
     def discard(self, item: int) -> None:
         """Remove *item* if present (no-op otherwise)."""
         pos = self._pos.pop(item, None)

@@ -18,7 +18,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.array_backend import ArraySlotBackend
-from repro.core.edge_policy import NoRegenerationPolicy, RegenerationPolicy
+from repro.core.edge_policy import (
+    CappedRegenerationPolicy,
+    NoRegenerationPolicy,
+    RAESPolicy,
+    RegenerationPolicy,
+)
 from repro.core.graph import DictBackend
 from repro.flooding.discrete import flood_discrete
 from repro.flooding.discretized import flood_discretized
@@ -104,6 +109,100 @@ def test_flooding_trajectory_parity(model, flood):
     assert ra.completion_round == rb.completion_round
     assert ra.extinct == rb.extinct
     assert_states_identical(a, b)
+
+
+@pytest.mark.parametrize(
+    "make_policy",
+    [
+        lambda: CappedRegenerationPolicy(3, max_in_degree=4),
+        lambda: RAESPolicy(3, c=2),
+    ],
+    ids=["capped", "raes"],
+)
+def test_bounded_policy_trace_parity(make_policy):
+    """Seeded bounded-degree (capped/RAES) per-event trajectories are
+    bit-identical across backends — the rejection loop consumes the RNG
+    through the shared IndexedSet on both."""
+    from repro.models.streaming import StreamingNetwork
+
+    a, b = both_backends(
+        lambda backend: StreamingNetwork(
+            n=35, policy=make_policy(), seed=13, backend=backend
+        )
+    )
+    assert_states_identical(a, b)
+    for _ in range(70):
+        ra = a.advance_round()
+        rb = b.advance_round()
+        assert ra.births == rb.births and ra.deaths == rb.deaths
+    assert_states_identical(a, b)
+    cap = a.policy.max_in_degree
+    for u in a.state.alive_ids():
+        assert a.state.in_slot_count(u) <= cap
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=25),
+    d=st.integers(min_value=1, max_value=4),
+    raes=st.booleans(),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    extra_rounds=st.integers(min_value=0, max_value=40),
+)
+def test_property_bounded_parity_and_cap(n, d, raes, seed, extra_rounds):
+    """Property: under heavy streaming churn, bounded-degree runs are
+    backend-identical and never exceed the in-degree cap (the dict-parity
+    invariant suite: check_invariants also cross-checks the array
+    backend's dense _in_count against its reverse-ref sets)."""
+    from repro.models.streaming import StreamingNetwork
+
+    def make_policy():
+        return RAESPolicy(d, c=2) if raes else CappedRegenerationPolicy(
+            d, max_in_degree=2 * d
+        )
+
+    a, b = both_backends(
+        lambda backend: StreamingNetwork(
+            n=n, policy=make_policy(), seed=seed, backend=backend
+        )
+    )
+    for _ in range(extra_rounds):
+        a.advance_round()
+        b.advance_round()
+    assert_states_identical(a, b)
+    cap = 2 * d
+    for u in a.state.alive_ids():
+        assert a.state.in_slot_count(u) <= cap
+        assert b.state.in_slot_count(u) <= cap
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(min_value=6, max_value=40),
+    d=st.integers(min_value=1, max_value=4),
+    raes=st.booleans(),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_bounded_batched_cap(n, d, raes, seed):
+    """Property: the bulk accept/reject path (batched births + batched
+    death repair) never exceeds the cap, and _in_count stays consistent
+    with the reverse refs (check_invariants)."""
+    rng = np.random.default_rng(seed)
+    policy = (
+        RAESPolicy(d, c=2) if raes else CappedRegenerationPolicy(d, 2 * d)
+    )
+    state = ArraySlotBackend(initial_capacity=2, slot_width=1)
+    policy.handle_births(state, state.allocate_ids(n), 0.0, rng)
+    state.check_invariants()
+    victims = [u for u in state.alive_ids() if u % 3 == 0][: n - 2]
+    if victims:
+        policy.handle_deaths(state, victims, 1.0, rng)
+    state.check_invariants()
+    policy.handle_births(state, state.allocate_ids(5), 2.0, rng)
+    state.check_invariants()
+    cap = 2 * d
+    for u in state.alive_ids():
+        assert state.in_slot_count(u) <= cap
 
 
 @settings(max_examples=15, deadline=None)

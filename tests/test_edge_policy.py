@@ -1,12 +1,15 @@
-"""Tests for the edge policies (topology dynamics of Defs 3.4/3.13 + capped ext)."""
+"""Tests for the edge policies (Defs 3.4/3.13 + the bounded-degree extensions)."""
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
+from repro.core.array_backend import ArraySlotBackend
 from repro.core.edge_policy import (
     CappedRegenerationPolicy,
     NoRegenerationPolicy,
+    RAESPolicy,
     RegenerationPolicy,
 )
 from repro.core.graph import DynamicGraphState
@@ -130,8 +133,130 @@ class TestCappedRegeneration:
         with pytest.raises(ConfigurationError):
             CappedRegenerationPolicy(d=2, max_in_degree=0)
 
+    @pytest.mark.parametrize("max_attempts", [0, -1])
+    def test_invalid_max_attempts(self, max_attempts):
+        # Regression: max_attempts < 1 used to be accepted silently, and
+        # every placement loop became a no-op — births and repairs
+        # produced zero edges with no error anywhere.
+        with pytest.raises(ConfigurationError, match="max_attempts"):
+            CappedRegenerationPolicy(d=2, max_in_degree=4, max_attempts=max_attempts)
+        with pytest.raises(ConfigurationError, match="max_attempts"):
+            RAESPolicy(d=2, c=2, max_attempts=max_attempts)
+
     def test_slot_left_empty_when_all_capped(self):
         # d=5 into a 2-node network: the single other node caps at 1.
         policy = CappedRegenerationPolicy(d=5, max_in_degree=1, max_attempts=8)
         state = seeded_state(policy, 2, seed=24)
         assert state.record(1).out_degree() <= 1
+
+
+class TestRAES:
+    def test_cap_is_c_times_d(self):
+        policy = RAESPolicy(d=4, c=2)
+        assert policy.max_in_degree == 8
+        assert policy.d == 4
+
+    def test_fractional_c_floors(self):
+        assert RAESPolicy(d=4, c=1.5).max_in_degree == 6
+
+    def test_cap_below_d_rejected(self):
+        # c*d < d can never host all n*d requests: refuse at construction.
+        with pytest.raises(ConfigurationError, match="cap"):
+            RAESPolicy(d=4, c=0.5)
+
+    def test_invalid_d(self):
+        with pytest.raises(ConfigurationError):
+            RAESPolicy(d=0)
+
+    def test_cap_respected_under_churn(self):
+        policy = RAESPolicy(d=3, c=1)
+        state = seeded_state(policy, 30, seed=31)
+        rng = make_rng(32)
+        for victim in [4, 9, 0, 17]:
+            policy.handle_death(state, victim, 1.0, rng)
+            state.check_invariants()
+        for u in state.alive_ids():
+            assert state.in_slot_count(u) <= 3
+
+    def test_full_out_degree_with_slack(self):
+        # c=2 leaves spare capacity everywhere, so every request places.
+        policy = RAESPolicy(d=3, c=2)
+        state = seeded_state(policy, 40, seed=33)
+        rng = make_rng(34)
+        for victim in [5, 12, 3]:
+            policy.handle_death(state, victim, 1.0, rng)
+        for u in state.alive_ids():
+            if u == 0:
+                continue  # born into an empty network: no candidates ever
+            assert state.record(u).out_degree() == 3
+
+
+class TestBulkPlacement:
+    """The vectorized accept/reject path on the array backend."""
+
+    def _bulk_births(self, policy, count, seed=0):
+        state = ArraySlotBackend(initial_capacity=4, slot_width=1)
+        rng = make_rng(seed)
+        policy.handle_births(state, state.allocate_ids(count), 0.0, rng)
+        return state
+
+    def test_bulk_births_respect_cap(self):
+        policy = CappedRegenerationPolicy(d=4, max_in_degree=5)
+        state = self._bulk_births(policy, 200, seed=41)
+        state.check_invariants()
+        for u in state.alive_ids():
+            assert state.in_slot_count(u) <= 5
+
+    def test_raes_bulk_births_fill_every_slot(self):
+        policy = RAESPolicy(d=4, c=2)
+        state = self._bulk_births(policy, 300, seed=42)
+        state.check_invariants()
+        for u in state.alive_ids():
+            assert state.in_slot_count(u) <= 8
+            assert all(t is not None for t in state.out_slots_of(u))
+
+    def test_bulk_matches_sequential_law_support(self):
+        # bulk=False forces the sequential loop on the same backend; both
+        # must satisfy the cap invariant and leave full out-degrees when
+        # capacity is slack (they differ only in RNG stream consumption;
+        # node 0 is sequential-special: it is born into an empty network).
+        for bulk in (True, False):
+            policy = RAESPolicy(d=3, c=2, bulk=bulk)
+            state = self._bulk_births(policy, 120, seed=43)
+            state.check_invariants()
+            for u in state.alive_ids():
+                if u == 0 and not bulk:
+                    continue
+                assert all(t is not None for t in state.out_slots_of(u))
+
+    def test_bulk_death_repair_respects_cap(self):
+        policy = RAESPolicy(d=3, c=1)
+        state = self._bulk_births(policy, 80, seed=44)
+        rng = make_rng(45)
+        policy.handle_deaths(state, list(range(0, 40, 3)), 1.0, rng)
+        state.check_invariants()
+        for u in state.alive_ids():
+            assert state.in_slot_count(u) <= 3
+
+    def test_bulk_repair_reports_created_edges(self):
+        policy = RAESPolicy(d=3, c=2)
+        state = self._bulk_births(policy, 50, seed=46)
+        record = policy.handle_deaths(state, [1, 2, 3], 1.0, make_rng(47))
+        # Spare capacity everywhere: every orphaned slot was re-placed,
+        # and each replacement is reported on the aggregate record.
+        assert record.edges_created
+        for edge in record.edges_created:
+            assert state.is_alive(edge.source)
+            assert state.is_alive(edge.target)
+        for u in state.alive_ids():
+            assert all(t is not None for t in state.out_slots_of(u))
+
+    def test_place_slots_rejects_occupied_slot(self):
+        from repro.errors import SimulationError
+
+        policy = RAESPolicy(d=2, c=2)
+        state = self._bulk_births(policy, 10, seed=48)
+        with pytest.raises(SimulationError, match="empty"):
+            state.place_slots_capped(
+                np.array([0]), np.array([0]), 4, 8, make_rng(0)
+            )

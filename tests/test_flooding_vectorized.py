@@ -161,3 +161,82 @@ class TestProtocolRegistry:
         assert not protocol.supports_step
         with pytest.raises(ConfigurationError, match="per-round stepping"):
             protocol.make_frontier(None, set())
+
+
+class TestDeadSourceFrontier:
+    """Regression: seeding a frontier with an already-dead id.
+
+    MaskFrontier.__init__ used to crash with a KeyError (rows_for had no
+    row for a dead id) where SetFrontier silently tolerated dead sources
+    — they simply drop out at the first absorb.  Both representations
+    must now accept dead seeds and compute identical informed sets from
+    round 1 on.
+    """
+
+    @staticmethod
+    def _informed_ids(frontier, state):
+        from repro.flooding.frontier import MaskFrontier
+
+        if isinstance(frontier, MaskFrontier):
+            rows = np.nonzero(frontier.mask)[0]
+            return {int(i) for i in state.ids_for_rows(rows)}
+        return set(frontier.informed)
+
+    def test_mask_frontier_accepts_dead_seed(self):
+        from repro.flooding.frontier import MaskFrontier
+
+        net = _warm_sdgr(n=60, seed=2)
+        report = net.advance_round()
+        dead = report.deaths[0]
+        assert not net.state.is_alive(dead)
+        frontier = MaskFrontier(net.state, {dead, net.newest_id()})
+        assert frontier.count() == 1  # the dead seed contributes no row
+
+    def test_rows_for_skips_dead_ids(self):
+        net = _warm_sdgr(n=50, seed=3)
+        report = net.advance_round()
+        dead = report.deaths[0]
+        alive = net.newest_id()
+        rows = net.state.rows_for([dead, alive])
+        assert rows.tolist() == [net.state.row_for(alive)]
+
+    def test_boundary_of_tolerates_dead_members(self):
+        net = _warm_sdgr(n=50, seed=5)
+        report = net.advance_round()
+        dead = report.deaths[0]
+        alive = net.newest_id()
+        with_dead = net.state.boundary_of({dead, alive})
+        without = net.state.boundary_of({alive})
+        assert with_dead == without
+
+    def test_flood_from_dead_source_identical_across_frontiers(self):
+        """Drive the Definition 3.3 round loop from an informed set
+        containing a pre-round-0 corpse on both representations (and both
+        backends) — every post-absorb informed set must match exactly."""
+        from repro.flooding.frontier import MaskFrontier, SetFrontier
+
+        seeds = []
+        trajectories = []
+        for backend, frontier_cls in [
+            ("dict", SetFrontier),
+            ("array", SetFrontier),
+            ("array", MaskFrontier),
+        ]:
+            net = _warm_sdgr(n=60, d=4, seed=7, backend=backend)
+            report = net.advance_round()
+            dead = report.deaths[0]
+            source = net.newest_id()
+            seeds.append((dead, source))
+            frontier = frontier_cls(net.state, {dead, source})
+            rounds = []
+            for _ in range(12):
+                boundary = frontier.boundary()
+                report = net.advance_round()
+                frontier.absorb(boundary, report)
+                rounds.append(
+                    frozenset(self._informed_ids(frontier, net.state))
+                )
+            trajectories.append(rounds)
+        assert seeds[0] == seeds[1] == seeds[2]
+        assert trajectories[0] == trajectories[1] == trajectories[2]
+        assert trajectories[0][-1]  # the flood actually progressed

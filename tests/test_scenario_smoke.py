@@ -96,3 +96,44 @@ def test_batched_scenario_smoke(backend):
     sim = simulate(spec, seed=0)
     assert sim.flood().completed
     sim.state.check_invariants()
+
+
+@pytest.mark.parametrize("backend", ["dict", "array"])
+def test_raes_scenario_smoke(backend):
+    """RAES bounded-degree maintenance end-to-end on both backends: cap
+    held, out-degrees full, broadcast completes at O(log n) speed."""
+    spec = ScenarioSpec(
+        churn="streaming", policy="raes", policy_params={"c": 2},
+        n=100, d=8, horizon=100,
+        protocol="discrete", protocol_params={"max_rounds": 120},
+        backend=backend,
+    )
+    sim = simulate(spec, seed=0)
+    cap = 2 * spec.d
+    state = sim.state
+    for u in state.alive_ids():
+        assert state.in_slot_count(u) <= cap
+        assert all(t is not None for t in state.out_slots_of(u))
+    result = sim.flood()
+    assert result.completed
+    assert result.completion_round <= 12 * math.log2(spec.n)
+    state.check_invariants()
+
+
+@pytest.mark.parametrize("backend", ["dict", "array"])
+def test_raes_batched_scenario_smoke(backend):
+    """RAES through the batched Poisson windows (the bulk accept/reject
+    sampler on the array backend, the sequential fallback on dict)."""
+    spec = ScenarioSpec(
+        churn="poisson", policy="raes", policy_params={"c": 2},
+        n=100, d=8, horizon=20,
+        churn_params={"batch": True, "fast_warm": True},
+        protocol="discretized", protocol_params={"max_rounds": 120},
+        backend=backend,
+    )
+    sim = simulate(spec, seed=0)
+    cap = 2 * spec.d
+    for u in sim.state.alive_ids():
+        assert sim.state.in_slot_count(u) <= cap
+    assert sim.flood().completed
+    sim.state.check_invariants()

@@ -126,6 +126,62 @@ class TestValidation:
             ScenarioSpec(horizon=-1)
 
 
+class TestBoundedPolicySpecs:
+    """Spec-level validation and round trips for the bounded policies."""
+
+    def test_raes_round_trip(self):
+        spec = ScenarioSpec(
+            churn="streaming",
+            n=200,
+            d=4,
+            policy="raes",
+            policy_params={"c": 2, "max_attempts": 32},
+            protocol="discrete",
+            backend="array",
+        )
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_unknown_policy_rejected_on_round_trip(self):
+        # The error path must fire at from_dict/from_json time too, not
+        # only for hand-built specs: a typo'd JSON sweep fails at load.
+        data = ScenarioSpec(policy="regen").to_dict()
+        data["policy"] = "raes2"
+        with pytest.raises(ConfigurationError, match="unknown edge policy"):
+            ScenarioSpec.from_dict(data)
+        with pytest.raises(ConfigurationError, match="unknown edge policy"):
+            ScenarioSpec.from_json(json.dumps(data))
+
+    def test_raes_cap_below_d_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError, match="cap"):
+            ScenarioSpec(policy="raes", d=4, policy_params={"c": 0.5})
+
+    def test_raes_cap_below_d_rejected_on_round_trip(self):
+        data = ScenarioSpec(
+            policy="raes", d=4, policy_params={"c": 2}
+        ).to_dict()
+        data["policy_params"]["c"] = 0.25
+        with pytest.raises(ConfigurationError, match="cap"):
+            ScenarioSpec.from_dict(data)
+        with pytest.raises(ConfigurationError, match="cap"):
+            ScenarioSpec.from_json(json.dumps(data))
+
+    def test_raes_unknown_param_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown policy parameter"):
+            ScenarioSpec(policy="raes", policy_params={"cap": 8})
+
+    def test_raes_bad_max_attempts_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_attempts"):
+            ScenarioSpec(policy="raes", policy_params={"max_attempts": 0})
+
+    def test_capped_bad_max_attempts_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_attempts"):
+            ScenarioSpec(
+                policy="capped",
+                policy_params={"max_in_degree": 8, "max_attempts": -3},
+            )
+
+
 class TestScenarioDocument:
     def test_flat_spec_document(self):
         doc = load_scenario_document({"churn": "poisson", "n": 50, "policy": "none"})
