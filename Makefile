@@ -10,7 +10,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 BENCH_FILES := $(wildcard benchmarks/bench_*.py)
 
 .PHONY: test test-dict test-array test-backends bench bench-backend \
-	bench-bounded bench-check experiments scenario-smoke
+	bench-bounded bench-analysis bench-check experiments scenario-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -34,12 +34,18 @@ bench-backend:
 bench-bounded:
 	$(PYTHON) benchmarks/bench_bounded_degree.py
 
+# Dict snapshot plane vs CSR view plane sweep; writes BENCH_analysis.json.
+bench-analysis:
+	$(PYTHON) benchmarks/bench_analysis.py
+
 # Fresh sweeps compared against the committed BENCH_*.json baselines.
 bench-check:
 	$(PYTHON) benchmarks/bench_backend_scaling.py --output /tmp/bench_current.json
 	$(PYTHON) benchmarks/bench_bounded_degree.py --output /tmp/bench_bounded_current.json
+	$(PYTHON) benchmarks/bench_analysis.py --output /tmp/bench_analysis_current.json
 	$(PYTHON) benchmarks/check_bench_regression.py --current /tmp/bench_current.json \
-		--current-bounded /tmp/bench_bounded_current.json
+		--current-bounded /tmp/bench_bounded_current.json \
+		--current-analysis /tmp/bench_analysis_current.json
 
 # Every registered protocol x both backends through the scenario layer.
 scenario-smoke:

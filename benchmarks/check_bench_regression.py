@@ -1,24 +1,27 @@
 """Compare fresh benchmark runs against the committed baselines.
 
-CI runs ``bench_backend_scaling.py`` (and ``bench_bounded_degree.py``) to
-scratch files, then this script compares their speedups against the
-repository's ``BENCH_backend.json`` / ``BENCH_bounded.json``.  Both
-payloads share the shape this script needs: a ``results`` list of
-per-size rows carrying ``n`` and ``speedup``.  Shared runners are noisy,
-so the default tolerance is generous: a regression is flagged when the
-measured speedup falls below ``tolerance`` × baseline at any size.
+CI runs ``bench_backend_scaling.py`` (plus ``bench_bounded_degree.py``
+and ``bench_analysis.py``) to scratch files, then this script compares
+their speedups against the repository's ``BENCH_backend.json`` /
+``BENCH_bounded.json`` / ``BENCH_analysis.json``.  All payloads share
+the shape this script needs: a ``results`` list of per-size rows
+carrying ``n`` and one or more speedup fields.  Shared runners are
+noisy, so the default tolerance is generous: a regression is flagged
+when a measured speedup falls below ``tolerance`` × baseline at any
+size.
 
     PYTHONPATH=src python benchmarks/bench_backend_scaling.py --output /tmp/bench.json
     PYTHONPATH=src python benchmarks/check_bench_regression.py --current /tmp/bench.json
 
-    PYTHONPATH=src python benchmarks/bench_bounded_degree.py --output /tmp/bounded.json
+    PYTHONPATH=src python benchmarks/bench_analysis.py --output /tmp/analysis.json
     PYTHONPATH=src python benchmarks/check_bench_regression.py \
-        --baseline BENCH_bounded.json --current /tmp/bounded.json
+        --current-analysis /tmp/analysis.json
 
-Pass ``--current-bounded`` alongside ``--current`` to check both files in
-one invocation (each against its committed baseline).  Exit status 1 on
-regression (CI converts it into a warning, matching the informational
-stance of the benchmark jobs).
+Pass any combination of ``--current`` / ``--current-bounded`` /
+``--current-analysis`` to check several files in one invocation (each
+against its committed baseline).  Exit status 1 on regression (CI
+converts it into a warning, matching the informational stance of the
+benchmark jobs).
 """
 
 from __future__ import annotations
@@ -31,6 +34,10 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_backend.json"
 DEFAULT_BOUNDED_BASELINE = REPO_ROOT / "BENCH_bounded.json"
+DEFAULT_ANALYSIS_BASELINE = REPO_ROOT / "BENCH_analysis.json"
+
+#: The speedup fields tracked in the analysis-plane payload.
+ANALYSIS_KEYS = ("probe_speedup", "census_speedup")
 
 
 def _by_size(payload: dict) -> dict[int, dict]:
@@ -38,7 +45,10 @@ def _by_size(payload: dict) -> dict[int, dict]:
 
 
 def compare(
-    baseline: dict, current: dict, tolerance: float
+    baseline: dict,
+    current: dict,
+    tolerance: float,
+    keys: tuple[str, ...] = ("speedup",),
 ) -> list[str]:
     """Return a list of regression messages (empty = healthy)."""
     problems: list[str] = []
@@ -48,19 +58,21 @@ def compare(
     if not shared_sizes:
         return ["no overlapping sizes between baseline and current run"]
     for n in shared_sizes:
-        base_speedup = base_rows[n]["speedup"]
-        speedup = current_rows[n]["speedup"]
-        floor = tolerance * base_speedup
-        status = "ok" if speedup >= floor else "REGRESSION"
-        print(
-            f"n={n:>7}: speedup {speedup:5.2f}x vs baseline "
-            f"{base_speedup:5.2f}x (floor {floor:4.2f}x) [{status}]"
-        )
-        if speedup < floor:
-            problems.append(
-                f"speedup at n={n} fell to {speedup}x "
-                f"(< {tolerance} x baseline {base_speedup}x)"
+        for key in keys:
+            base_speedup = base_rows[n][key]
+            speedup = current_rows[n][key]
+            floor = tolerance * base_speedup
+            status = "ok" if speedup >= floor else "REGRESSION"
+            label = key if len(keys) > 1 else "speedup"
+            print(
+                f"n={n:>7} {label:>14}: {speedup:6.2f}x vs baseline "
+                f"{base_speedup:6.2f}x (floor {floor:5.2f}x) [{status}]"
             )
+            if speedup < floor:
+                problems.append(
+                    f"{label} at n={n} fell to {speedup}x "
+                    f"(< {tolerance} x baseline {base_speedup}x)"
+                )
     return problems
 
 
@@ -71,7 +83,7 @@ def main(argv: list[str] | None = None) -> int:
         help="committed reference results (default: repo BENCH_backend.json)",
     )
     parser.add_argument(
-        "--current", type=Path, required=True,
+        "--current", type=Path, default=None,
         help="freshly produced bench_backend_scaling.py output",
     )
     parser.add_argument(
@@ -85,26 +97,59 @@ def main(argv: list[str] | None = None) -> int:
         "(checked against --baseline-bounded when given)",
     )
     parser.add_argument(
+        "--baseline-analysis", type=Path, default=DEFAULT_ANALYSIS_BASELINE,
+        help="committed analysis-plane results (default: repo "
+        "BENCH_analysis.json)",
+    )
+    parser.add_argument(
+        "--current-analysis", type=Path, default=None,
+        help="freshly produced bench_analysis.py output (probe + census "
+        "speedups are both checked against --baseline-analysis)",
+    )
+    parser.add_argument(
         "--tolerance", type=float, default=0.4,
         help="minimum acceptable fraction of the baseline speedup "
         "(default 0.4 — generous, shared runners are noisy)",
     )
     args = parser.parse_args(argv)
 
-    checks = [("backend scaling", args.baseline, args.current)]
+    checks: list[tuple[str, Path, Path, tuple[str, ...]]] = []
+    if args.current is not None:
+        checks.append(
+            ("backend scaling", args.baseline, args.current, ("speedup",))
+        )
     if args.current_bounded is not None:
         checks.append(
-            ("bounded-degree placement", args.baseline_bounded, args.current_bounded)
+            (
+                "bounded-degree placement",
+                args.baseline_bounded,
+                args.current_bounded,
+                ("speedup",),
+            )
+        )
+    if args.current_analysis is not None:
+        checks.append(
+            (
+                "analysis plane",
+                args.baseline_analysis,
+                args.current_analysis,
+                ANALYSIS_KEYS,
+            )
+        )
+    if not checks:
+        parser.error(
+            "nothing to check: pass --current, --current-bounded and/or "
+            "--current-analysis"
         )
 
     problems: list[str] = []
-    for label, baseline_path, current_path in checks:
+    for label, baseline_path, current_path, keys in checks:
         print(f"== {label} ==")
         baseline = json.loads(baseline_path.read_text())
         current = json.loads(current_path.read_text())
         problems += [
             f"{label}: {problem}"
-            for problem in compare(baseline, current, args.tolerance)
+            for problem in compare(baseline, current, args.tolerance, keys)
         ]
     if problems:
         for problem in problems:

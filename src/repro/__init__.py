@@ -71,7 +71,7 @@ from repro.models import (
 )
 from repro.scenario import ScenarioSpec, Simulation, simulate
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "PDG",

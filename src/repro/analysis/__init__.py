@@ -1,8 +1,25 @@
-"""Graph analyses: expansion, isolation, degrees, ages, spectra, edge probabilities."""
+"""Graph analyses: expansion, isolation, degrees, ages, spectra, edge probabilities.
+
+The hot analyses (expansion probes, degree summaries, isolated and
+component censuses) accept either a frozen dict
+:class:`~repro.core.snapshot.Snapshot` or a
+:class:`~repro.core.csr.CSRView` from the vectorized analysis plane and
+return identical results on both (see ``docs/architecture.md``).
+"""
 
 from repro.analysis.ages import AgeProfile, age_profile, age_slices
-from repro.analysis.components import component_summary, giant_component_fraction
-from repro.analysis.degrees import degree_summary, in_out_degree_split, max_degree
+from repro.analysis.components import (
+    component_sizes,
+    component_summary,
+    giant_component_fraction,
+)
+from repro.analysis.degrees import (
+    degree_histogram,
+    degree_summary,
+    in_out_degree_split,
+    live_degree_summary,
+    max_degree,
+)
 from repro.analysis.edge_prob import (
     poisson_slot_destination_frequency,
     streaming_slot_destination_frequency,
@@ -12,6 +29,7 @@ from repro.analysis.expansion import (
     adversarial_expansion_upper_bound,
     expansion_of_set,
     large_set_expansion_probe,
+    probe_network_expansion,
     vertex_expansion_exact,
 )
 from repro.analysis.isolated import (
@@ -35,8 +53,10 @@ __all__ = [
     "age_profile",
     "age_slices",
     "cheeger_bounds",
+    "component_sizes",
     "component_summary",
     "count_isolated",
+    "degree_histogram",
     "degree_summary",
     "expansion_of_set",
     "giant_component_fraction",
@@ -45,7 +65,9 @@ __all__ = [
     "kl_divergence",
     "large_set_expansion_probe",
     "lifetime_isolated_census",
+    "live_degree_summary",
     "max_degree",
+    "probe_network_expansion",
     "normalized_laplacian_lambda2",
     "paper_profile_distribution",
     "poisson_slot_destination_frequency",

@@ -9,7 +9,11 @@ expander, hence connected w.h.p.  These helpers quantify that split.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Union
 
+import numpy as np
+
+from repro.core.csr import CSRView
 from repro.core.snapshot import Snapshot
 
 
@@ -34,19 +38,59 @@ class ComponentSummary:
         return self.num_components == 1 and self.num_nodes > 0
 
 
-def component_summary(snapshot: Snapshot) -> ComponentSummary:
-    """Compute the component census of *snapshot*."""
-    components = snapshot.connected_components()
-    sizes = [len(c) for c in components]
+def component_labels(view: CSRView) -> np.ndarray:
+    """Connected-component label of every vert (label propagation on CSR).
+
+    Iterates min-label relaxation over the symmetric CSR adjacency with
+    pointer jumping (``labels = labels[labels]``) until the fixpoint, so
+    convergence is O(log n) passes even on long paths.  At the fixpoint
+    the label of a vert is the smallest vert index in its component.
+    """
+    space = view.space
+    labels = np.arange(space, dtype=np.int64)
+    indptr, indices = view.indptr, view.indices
+    if indices.size == 0:
+        return labels
+    degrees = np.diff(indptr)
+    nonempty = np.nonzero(degrees > 0)[0]
+    starts = indptr[nonempty]
+    while True:
+        relaxed = labels.copy()
+        neighbor_min = np.minimum.reduceat(labels[indices], starts)
+        relaxed[nonempty] = np.minimum(relaxed[nonempty], neighbor_min)
+        relaxed = relaxed[relaxed]  # pointer jump
+        if np.array_equal(relaxed, labels):
+            return labels
+        labels = relaxed
+
+
+def component_sizes(view: CSRView) -> np.ndarray:
+    """Connected-component sizes, largest first (vectorized)."""
+    if view.n == 0:
+        return np.zeros(0, dtype=np.int64)
+    labels = component_labels(view)[view.alive_verts]
+    _, counts = np.unique(labels, return_counts=True)
+    return np.sort(counts)[::-1]
+
+
+def component_summary(graph: Union[Snapshot, CSRView]) -> ComponentSummary:
+    """Compute the component census of a snapshot or CSR view."""
+    if isinstance(graph, CSRView):
+        sizes_arr = component_sizes(graph)
+        sizes = sizes_arr.tolist()
+        num_nodes = graph.n
+    else:
+        sizes = [len(c) for c in graph.connected_components()]
+        num_nodes = graph.num_nodes()
     return ComponentSummary(
-        num_nodes=snapshot.num_nodes(),
-        num_components=len(components),
+        num_nodes=num_nodes,
+        num_components=len(sizes),
         giant_size=sizes[0] if sizes else 0,
         second_size=sizes[1] if len(sizes) > 1 else 0,
         num_isolated=sum(1 for s in sizes if s == 1),
     )
 
 
-def giant_component_fraction(snapshot: Snapshot) -> float:
+def giant_component_fraction(graph: Union[Snapshot, CSRView]) -> float:
     """Fraction of nodes in the largest connected component."""
-    return component_summary(snapshot).giant_fraction
+    return component_summary(graph).giant_fraction

@@ -11,10 +11,12 @@ of a long-lived node behaves like a balls-in-bins maximum.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Union
 
 import numpy as np
 
 from repro.core.backend import GraphBackend
+from repro.core.csr import CSRView
 from repro.core.snapshot import Snapshot
 
 
@@ -35,16 +37,27 @@ class DegreeSummary:
         return self.mean_degree / 2.0
 
 
-def degree_summary(snapshot: Snapshot) -> DegreeSummary:
-    """Compute the degree summary of a snapshot."""
-    degrees = np.array(
-        [len(nbrs) for nbrs in snapshot.adjacency.values()], dtype=float
-    )
+def degree_summary(graph: Union[Snapshot, CSRView]) -> DegreeSummary:
+    """Compute the degree summary of a snapshot or CSR view.
+
+    The view path reads the degree vector straight off the CSR arrays —
+    no per-node dict materialisation — and returns the same summary
+    (float statistics can differ in the last bit because the two paths
+    sum the degrees in different node orders).
+    """
+    if isinstance(graph, CSRView):
+        degrees = graph.degrees.astype(float)
+        num_nodes, num_edges = graph.n, graph.num_edges()
+    else:
+        degrees = np.array(
+            [len(nbrs) for nbrs in graph.adjacency.values()], dtype=float
+        )
+        num_nodes, num_edges = graph.num_nodes(), graph.num_edges()
     if degrees.size == 0:
         return DegreeSummary(0, 0, 0.0, 0, 0, 0.0)
     return DegreeSummary(
-        num_nodes=snapshot.num_nodes(),
-        num_edges=snapshot.num_edges(),
+        num_nodes=num_nodes,
+        num_edges=num_edges,
         mean_degree=float(degrees.mean()),
         max_degree=int(degrees.max()),
         min_degree=int(degrees.min()),
@@ -72,11 +85,13 @@ def live_degree_summary(state: GraphBackend) -> DegreeSummary:
     )
 
 
-def max_degree(snapshot: Snapshot) -> int:
+def max_degree(graph: Union[Snapshot, CSRView]) -> int:
     """Maximum undirected degree."""
-    if snapshot.num_nodes() == 0:
+    if isinstance(graph, CSRView):
+        return int(graph.degrees.max()) if graph.n else 0
+    if graph.num_nodes() == 0:
         return 0
-    return max(len(nbrs) for nbrs in snapshot.adjacency.values())
+    return max(len(nbrs) for nbrs in graph.adjacency.values())
 
 
 def in_out_degree_split(snapshot: Snapshot) -> dict[int, tuple[int, int]]:
@@ -97,10 +112,13 @@ def in_out_degree_split(snapshot: Snapshot) -> dict[int, tuple[int, int]]:
     return {u: (out_counts.get(u, 0), in_counts[u]) for u in snapshot.nodes}
 
 
-def degree_histogram(snapshot: Snapshot) -> dict[int, int]:
+def degree_histogram(graph: Union[Snapshot, CSRView]) -> dict[int, int]:
     """Map degree value -> number of nodes with that degree."""
+    if isinstance(graph, CSRView):
+        values, counts = np.unique(graph.degrees, return_counts=True)
+        return dict(zip(values.tolist(), counts.tolist()))
     hist: dict[int, int] = {}
-    for nbrs in snapshot.adjacency.values():
+    for nbrs in graph.adjacency.values():
         deg = len(nbrs)
         hist[deg] = hist.get(deg, 0) + 1
     return dict(sorted(hist.items()))

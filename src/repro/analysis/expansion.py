@@ -16,6 +16,19 @@ so the module offers three tools:
   age-extreme sets (oldest-k, youngest-k) that are the natural worst cases
   in models without regeneration.
 
+Both probes run on either graph representation: a frozen dict
+:class:`~repro.core.snapshot.Snapshot` (the readable reference path) or a
+:class:`~repro.core.csr.CSRView` (the vectorized analysis plane — mask
+frontiers for the multi-source BFS balls, gather/`np.bincount` boundary
+counts, a vectorized greedy sweep, and batched random-set ratios).  The
+two paths evaluate the *identical* candidate portfolio — candidates are
+ordered canonically (ascending node id), ties break on
+``(ratio, |S|, sorted ids)``, duplicates are removed with the shared
+:func:`~repro.core.csr.candidate_key` hashing, and both consume the RNG
+identically — so probe minima, witnesses, and ``candidates_checked`` are
+equal on both paths and both topology backends (the parity suite in
+``tests/test_analysis_csr.py`` asserts this).
+
 All candidates are genuine subsets, so every reported ratio is an exact
 expansion of a real set: the minimum over candidates is always a valid
 upper bound on ``h_out``.
@@ -25,10 +38,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Union
 
 import numpy as np
 
+from repro.core.csr import (
+    CSRView,
+    candidate_key,
+    candidate_key_array,
+    mix64,
+)
 from repro.core.snapshot import Snapshot
 from repro.errors import AnalysisError
 from repro.util.rng import SeedLike, make_rng
@@ -38,6 +57,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
 
 #: Hard cap for exhaustive enumeration (sum of binomials stays ~ 3M).
 EXACT_ENUMERATION_LIMIT = 22
+
+#: Either graph representation accepted by the probes.
+GraphLike = Union[Snapshot, CSRView]
+
+#: Sources per vectorized multi-source BFS chunk (bounds the mask buffer).
+_BALL_CHUNK = 512
 
 
 @dataclass(frozen=True)
@@ -49,7 +74,9 @@ class ExpansionProbe:
             graph's expansion over the probed size window).
         witness_size: ``|S|`` of the minimising set.
         witness: the minimising set itself.
-        candidates_checked: number of candidate sets evaluated.
+        candidates_checked: number of *distinct* candidate sets evaluated
+            (identical candidates — BFS balls from nearby roots often
+            coincide — are deduplicated before scoring and count once).
     """
 
     min_ratio: float
@@ -58,9 +85,14 @@ class ExpansionProbe:
     candidates_checked: int
 
 
-def expansion_of_set(snapshot: Snapshot, subset: Iterable[int]) -> float:
+def expansion_of_set(graph: GraphLike, subset: Iterable[int]) -> float:
     """Exact expansion ``|∂out(S)|/|S|`` of one concrete subset."""
-    return snapshot.expansion_of(subset)
+    if isinstance(graph, CSRView):
+        verts = graph.verts_for(set(subset))
+        if verts.size == 0:
+            raise ValueError("expansion of the empty set is undefined")
+        return graph.boundary_count(verts) / verts.size
+    return graph.expansion_of(subset)
 
 
 def vertex_expansion_exact(snapshot: Snapshot) -> ExpansionProbe:
@@ -89,34 +121,125 @@ def vertex_expansion_exact(snapshot: Snapshot) -> ExpansionProbe:
     return ExpansionProbe(best_ratio, len(best_set), frozenset(best_set), checked)
 
 
+# ----------------------------------------------------------------------
+# shared minimum tracking (canonical tie-break, shared by both paths)
+# ----------------------------------------------------------------------
+
+
+class _BestCandidate:
+    """Tracks the minimising candidate under the canonical tie-break.
+
+    Candidates are compared on ``(ratio, size, sorted id tuple)``, which
+    makes the winner independent of evaluation order — the property that
+    lets the vectorized path batch candidates in a different schedule
+    than the sequential reference while producing the identical witness.
+    ``members_fn`` is only invoked when a candidate actually contends,
+    so batch paths never materialise losing sets.
+    """
+
+    def __init__(self) -> None:
+        self.ratio = float("inf")
+        self.size = 0
+        self.members: tuple[int, ...] = ()
+
+    def offer(
+        self,
+        ratio: float,
+        size: int,
+        members_fn: Callable[[], tuple[int, ...]],
+    ) -> None:
+        if ratio > self.ratio:
+            return
+        if ratio < self.ratio:
+            self.ratio, self.size, self.members = ratio, size, tuple(members_fn())
+            return
+        if size > self.size:
+            return
+        members = tuple(members_fn())
+        if size < self.size or members < self.members:
+            self.size, self.members = size, members
+
+
+class _MinTracker:
+    """Scores snapshot candidates within a size window (reference path).
+
+    Deduplicates identical candidate sets with the canonical
+    :func:`~repro.core.csr.candidate_key` before scoring, so coincident
+    BFS balls (or a greedy set re-finding a ball) are evaluated — and
+    counted — once.
+    """
+
+    def __init__(self, snapshot: Snapshot, min_size: int, max_size: int) -> None:
+        self.snapshot = snapshot
+        self.min_size = min_size
+        self.max_size = max_size
+        self.best = _BestCandidate()
+        self.seen: set[int] = set()
+        self.checked = 0
+
+    def consider(self, subset: Iterable[int]) -> None:
+        candidate = set(subset)
+        size = len(candidate)
+        if not (self.min_size <= size <= self.max_size):
+            return
+        xor = 0
+        for u in candidate:
+            xor ^= mix64(u)
+        key = candidate_key(size, xor)
+        if key in self.seen:
+            return
+        self.seen.add(key)
+        self.checked += 1
+        ratio = len(self.snapshot.outer_boundary(candidate)) / size
+        self.best.offer(ratio, size, lambda: tuple(sorted(candidate)))
+
+    def result(self) -> ExpansionProbe:
+        if self.checked == 0:
+            raise AnalysisError("no candidate set fell inside the size window")
+        return ExpansionProbe(
+            min_ratio=self.best.ratio,
+            witness_size=self.best.size,
+            witness=frozenset(self.best.members),
+            candidates_checked=self.checked,
+        )
+
+
+# ----------------------------------------------------------------------
+# adversarial portfolio — reference (snapshot) path
+# ----------------------------------------------------------------------
+
+
 def adversarial_expansion_upper_bound(
-    snapshot: Snapshot,
+    graph: GraphLike,
     seed: SeedLike = None,
     num_random_sets: int = 200,
     greedy_restarts: int = 8,
     min_size: int = 1,
     max_size: int | None = None,
-    degree_order: Sequence[int] | None = None,
 ) -> ExpansionProbe:
     """Adversarial upper bound on ``h_out`` over sizes in [min_size, max_size].
 
-    Candidate portfolio (every candidate within the size window is scored):
+    Candidate portfolio (every distinct candidate within the size window
+    is scored once):
 
     1. all singletons (equivalently the minimum degree) and each node's
        closed neighbourhood;
     2. BFS balls around every node, all radii until the ball exceeds the
        window;
-    3. greedy growth: starting from the lowest-degree seeds, repeatedly
-       absorb the boundary vertex that minimises the resulting boundary —
-       the standard local-search heuristic for sparse cuts;
+    3. greedy growth: starting from the lowest-``(degree, id)`` seeds,
+       repeatedly absorb the boundary vertex that minimises the resulting
+       boundary — the standard local-search heuristic for sparse cuts;
     4. uniformly random sets of random sizes in the window.
 
-    *degree_order* optionally supplies the nodes in ascending
-    ``(degree, node id)`` order (e.g. computed from a live backend's
-    degree vector, see :func:`probe_network_expansion`), skipping the
-    per-node degree sort.  The id tie-break must match the default
-    path's, or the greedy seed set — and hence the probe — may differ.
+    Accepts a :class:`Snapshot` (reference implementation) or a
+    :class:`~repro.core.csr.CSRView` (vectorized plane) and returns
+    identical results on either.
     """
+    if isinstance(graph, CSRView):
+        return _adversarial_probe_csr(
+            graph, seed, num_random_sets, greedy_restarts, min_size, max_size
+        )
+    snapshot = graph
     n = snapshot.num_nodes()
     if n < 2:
         raise AnalysisError("vertex expansion needs at least 2 nodes")
@@ -126,7 +249,7 @@ def adversarial_expansion_upper_bound(
     if min_size > max_size:
         raise AnalysisError(f"empty size window [{min_size}, {max_size}]")
     rng = make_rng(seed)
-    nodes = list(snapshot.nodes)
+    nodes = sorted(snapshot.nodes)  # canonical candidate order
     tracker = _MinTracker(snapshot, min_size, max_size)
 
     # 1. singletons and closed neighbourhoods.
@@ -151,18 +274,14 @@ def adversarial_expansion_upper_bound(
             if len(ball) <= max_size:
                 tracker.consider(ball)
 
-    # 3. greedy boundary-minimising growth from low-degree seeds.  Ties
-    # break by node id so the seed set is deterministic and matches the
-    # degree_order contract below.
-    if degree_order is None:
-        seeds = sorted(nodes, key=lambda u: (snapshot.degree(u), u))
-        seeds = seeds[:greedy_restarts]
-    else:
-        seeds = list(degree_order)[:greedy_restarts]
+    # 3. greedy boundary-minimising growth from low-degree seeds (ties on
+    # node id, matching the CSR path's vectorized sweep).
+    degrees = snapshot.degrees()
+    seeds = sorted(nodes, key=lambda u: (degrees[u], u))[:greedy_restarts]
     for seed_node in seeds:
         _greedy_grow(snapshot, seed_node, max_size, tracker)
 
-    # 4. random sets.
+    # 4. random sets (index draws over the canonical node order).
     for _ in range(num_random_sets):
         size = int(rng.integers(min_size, max_size + 1))
         chosen = rng.choice(len(nodes), size=size, replace=False)
@@ -179,31 +298,27 @@ def probe_network_expansion(
     min_size: int = 1,
     max_size: int | None = None,
 ) -> ExpansionProbe:
-    """Adversarial expansion probe of a live network.
+    """Adversarial expansion probe of a live network (CSR fast path).
 
-    Snapshots the network once, but reads the ascending-degree node order
-    straight from the topology backend's degree vector (a single
-    vectorized CSR pass on the array backend) instead of sorting through
-    per-node snapshot lookups.  Ties break by node id, exactly like the
-    snapshot path, so both paths probe the identical candidate portfolio.
+    Exports the topology backend's state as a zero-copy
+    :class:`~repro.core.csr.CSRView` (no dict freeze) and runs the
+    vectorized portfolio on it.  Returns exactly what the snapshot-path
+    probe would: the two paths share candidate order, tie-breaks, RNG
+    consumption, and dedupe keys.
     """
-    state = network.state
-    ids = np.asarray(state.alive_ids(), dtype=np.int64)
-    degrees = state.degree_vector()
-    order = ids[np.lexsort((ids, degrees))]
+    view = network.state.csr_view(network.now)
     return adversarial_expansion_upper_bound(
-        network.snapshot(),
+        view,
         seed=seed,
         num_random_sets=num_random_sets,
         greedy_restarts=greedy_restarts,
         min_size=min_size,
         max_size=max_size,
-        degree_order=[int(u) for u in order],
     )
 
 
 def large_set_expansion_probe(
-    snapshot: Snapshot,
+    graph: GraphLike,
     min_size: int,
     max_size: int | None = None,
     seed: SeedLike = None,
@@ -213,8 +328,15 @@ def large_set_expansion_probe(
 
     Adds the age-extreme candidates that stress models without
     regeneration: the ``k`` oldest nodes tend to have lost their out-edges,
-    the ``k`` youngest have received few in-edges.
+    the ``k`` youngest have received few in-edges.  Accepts a
+    :class:`Snapshot` or a :class:`~repro.core.csr.CSRView`; the paths
+    return identical probes.
     """
+    if isinstance(graph, CSRView):
+        return _large_set_probe_csr(
+            graph, min_size, max_size, seed, num_random_sets
+        )
+    snapshot = graph
     n = snapshot.num_nodes()
     if max_size is None:
         max_size = n // 2
@@ -225,46 +347,50 @@ def large_set_expansion_probe(
     rng = make_rng(seed)
     tracker = _MinTracker(snapshot, min_size, max_size)
 
-    by_age = sorted(snapshot.nodes, key=snapshot.age)
-    sizes = sorted(
-        {min_size, max_size, (min_size + max_size) // 2}
-        | {int(s) for s in np.linspace(min_size, max_size, num=8)}
-    )
+    nodes = sorted(snapshot.nodes)  # canonical candidate order
+    by_age = sorted(nodes, key=lambda u: (snapshot.age(u), u))
+    degrees = snapshot.degrees()
+    by_degree = sorted(nodes, key=lambda u: (degrees[u], u))
+    sizes = _large_set_sizes(min_size, max_size)
     for size in sizes:
         tracker.consider(by_age[:size])  # youngest
         tracker.consider(by_age[-size:])  # oldest
-        lowest_degree = sorted(snapshot.nodes, key=snapshot.degree)[:size]
-        tracker.consider(lowest_degree)
+        tracker.consider(by_degree[:size])
 
-    nodes = list(snapshot.nodes)
     for _ in range(num_random_sets):
         size = int(rng.integers(min_size, max_size + 1))
         chosen = rng.choice(len(nodes), size=size, replace=False)
         tracker.consider({nodes[i] for i in chosen})
 
     # Greedy growth through the window as well.
-    seeds = sorted(nodes, key=snapshot.degree)[:4]
-    for seed_node in seeds:
+    for seed_node in by_degree[:4]:
         _greedy_grow(snapshot, seed_node, max_size, tracker)
 
     return tracker.result()
 
 
+def _large_set_sizes(min_size: int, max_size: int) -> list[int]:
+    """The probed sizes of the large-set portfolio (shared by both paths)."""
+    return sorted(
+        {min_size, max_size, (min_size + max_size) // 2}
+        | {int(s) for s in np.linspace(min_size, max_size, num=8)}
+    )
+
+
 def _greedy_grow(
-    snapshot: Snapshot, seed_node: int, max_size: int, tracker: "_MinTracker"
+    snapshot: Snapshot, seed_node: int, max_size: int, tracker: _MinTracker
 ) -> None:
     """Grow a set by absorbing the boundary node minimising the new boundary.
 
     Classic sparse-cut local search: at each step, move the boundary vertex
-    whose absorption shrinks (or least grows) the boundary into the set.
-    Scores every intermediate set against the tracker.
+    whose absorption shrinks (or least grows) the boundary into the set
+    (ties on node id).  Scores every intermediate set against the tracker.
     """
     current = {seed_node}
     boundary = set(snapshot.adjacency[seed_node])
     tracker.consider(current)
     while len(current) < max_size and boundary:
-        best_vertex = None
-        best_delta = None
+        best_key: tuple[int, int] | None = None
         for v in boundary:
             # Absorbing v removes it from the boundary and adds its
             # outside neighbours.
@@ -273,11 +399,11 @@ def _greedy_grow(
                 for w in snapshot.adjacency[v]
                 if w not in current and w not in boundary
             )
-            delta = new_out - 1
-            if best_delta is None or delta < best_delta:
-                best_delta = delta
-                best_vertex = v
-        assert best_vertex is not None
+            key = (new_out, v)
+            if best_key is None or key < best_key:
+                best_key = key
+        assert best_key is not None
+        best_vertex = best_key[1]
         current.add(best_vertex)
         boundary.discard(best_vertex)
         for w in snapshot.adjacency[best_vertex]:
@@ -286,33 +412,315 @@ def _greedy_grow(
         tracker.consider(current)
 
 
-class _MinTracker:
-    """Tracks the minimum-expansion candidate within a size window."""
+# ----------------------------------------------------------------------
+# adversarial portfolio — vectorized (CSRView) path
+# ----------------------------------------------------------------------
 
-    def __init__(self, snapshot: Snapshot, min_size: int, max_size: int) -> None:
-        self.snapshot = snapshot
+
+class _CSRProbe:
+    """One probe run on a :class:`CSRView`: phases + shared dedupe/minimum.
+
+    Mirrors :class:`_MinTracker` exactly — same candidate keys, same
+    window, same tie-break — with candidates arriving from vectorized
+    sweeps instead of per-set Python evaluation.
+    """
+
+    def __init__(self, view: CSRView, min_size: int, max_size: int) -> None:
+        self.view = view
         self.min_size = min_size
         self.max_size = max_size
-        self.best_ratio = float("inf")
-        self.best_set: frozenset[int] = frozenset()
+        self.best = _BestCandidate()
+        self.seen: set[int] = set()
         self.checked = 0
-
-    def consider(self, subset: Iterable[int]) -> None:
-        candidate = set(subset)
-        if not (self.min_size <= len(candidate) <= self.max_size):
-            return
-        self.checked += 1
-        ratio = len(self.snapshot.outer_boundary(candidate)) / len(candidate)
-        if ratio < self.best_ratio:
-            self.best_ratio = ratio
-            self.best_set = frozenset(candidate)
 
     def result(self) -> ExpansionProbe:
         if self.checked == 0:
             raise AnalysisError("no candidate set fell inside the size window")
         return ExpansionProbe(
-            min_ratio=self.best_ratio,
-            witness_size=len(self.best_set),
-            witness=self.best_set,
+            min_ratio=self.best.ratio,
+            witness_size=self.best.size,
+            witness=frozenset(self.best.members),
             candidates_checked=self.checked,
         )
+
+    # -- one-off candidates (random sets, age/degree prefixes) ---------
+
+    def consider_verts(self, verts: np.ndarray) -> None:
+        """Score one explicit candidate (distinct verts)."""
+        size = int(verts.size)
+        if not (self.min_size <= size <= self.max_size):
+            return
+        xor = int(np.bitwise_xor.reduce(self.view.mix[verts]))
+        key = candidate_key(size, xor)
+        if key in self.seen:
+            return
+        self.seen.add(key)
+        self.checked += 1
+        ratio = self.view.boundary_count(verts) / size
+        self.best.offer(ratio, size, lambda: self.view.ids_sorted(verts))
+
+    # -- multi-source BFS balls (covers singletons + neighbourhoods) ---
+
+    def ball_phase(self) -> None:
+        """Balls of every radius around every node, via mask frontiers.
+
+        Covers portfolio phases 1+2 of the reference path: the radius-0
+        ball is the singleton, radius 1 the closed neighbourhood.  Each
+        ball ``B_r`` is scored with ``|∂B_r| = |shell_{r+1}|`` — the next
+        BFS shell *is* the outer boundary — so scoring costs nothing
+        beyond the BFS itself.  Sources advance in lockstep chunks; the
+        per-chunk ``visited`` mask is reused and cleared selectively.
+        """
+        view = self.view
+        sources = view.alive_verts
+        if sources.size == 0:
+            return
+        chunk = min(_BALL_CHUNK, sources.size)
+        visited = np.zeros((chunk, view.space), dtype=bool)
+        for start in range(0, sources.size, chunk):
+            self._ball_chunk(sources[start : start + chunk], visited)
+
+    def _ball_chunk(self, src_verts: np.ndarray, visited: np.ndarray) -> None:
+        view = self.view
+        space = view.space
+        mixv = view.mix
+        count = src_verts.size
+        rows = np.arange(count, dtype=np.int64)
+
+        visited[rows, src_verts] = True
+        marks: list[tuple[np.ndarray, np.ndarray]] = [(rows, src_verts)]
+        frontier_src = rows
+        frontier_vert = src_verts
+        ball_size = np.ones(count, dtype=np.int64)
+        ball_xor = mixv[src_verts].copy()
+        # Pending candidate per source: the current ball, awaiting its
+        # boundary count from the next shell.  Radius-0 balls (the
+        # singletons) start pending whenever size 1 is inside the window.
+        pend_active = np.full(count, self.min_size <= 1 <= self.max_size)
+        pend_size = ball_size.copy()
+        pend_xor = ball_xor.copy()
+        pend_radius = np.zeros(count, dtype=np.int64)
+        grow = np.full(count, 1 < self.max_size)
+        radius = 0
+
+        while frontier_vert.size:
+            # Next shell: unvisited distinct neighbours, per source.
+            flat, owner_pos = view.gather_neighbors(frontier_vert)
+            src_rep = frontier_src[owner_pos]
+            fresh = ~visited[src_rep, flat]
+            pair_keys = src_rep[fresh] * space + flat[fresh]
+            pair_keys.sort()  # sort-based dedupe (np.unique's hash is slower)
+            if pair_keys.size:
+                distinct = np.empty(pair_keys.size, dtype=bool)
+                distinct[0] = True
+                np.not_equal(pair_keys[1:], pair_keys[:-1], out=distinct[1:])
+                pair_keys = pair_keys[distinct]
+            shell_src = pair_keys // space
+            shell_vert = pair_keys % space
+            shell_count = np.bincount(shell_src, minlength=count)
+
+            # Score pending balls: ratio = |shell_{r+1}| / |B_r|.
+            pending = np.nonzero(pend_active)[0]
+            if pending.size:
+                keys = candidate_key_array(
+                    pend_size[pending].astype(np.uint64),
+                    pend_xor[pending],
+                )
+                ratios = shell_count[pending] / pend_size[pending]
+                for local, key, ratio in zip(
+                    pending.tolist(), keys.tolist(), ratios.tolist()
+                ):
+                    if key in self.seen:
+                        continue
+                    self.seen.add(key)
+                    self.checked += 1
+                    self.best.offer(
+                        ratio,
+                        int(pend_size[local]),
+                        lambda local=local: view.ids_sorted(
+                            self._ball_members(
+                                int(src_verts[local]), int(pend_radius[local])
+                            )
+                        ),
+                    )
+
+            # Continuation: a source keeps its frontier while it still
+            # grows (|B| < max) or the grown ball needs one more shell
+            # for scoring (|B_{r+1}| == max exactly).
+            growing = grow & (shell_count > 0)
+            new_size = ball_size + shell_count
+            pend_active = growing & (new_size >= self.min_size) & (
+                new_size <= self.max_size
+            )
+            grow = growing & (new_size < self.max_size)
+            keep = pend_active | grow
+            if not keep.any():
+                break
+            keep_entry = keep[shell_src]
+            shell_src = shell_src[keep_entry]
+            shell_vert = shell_vert[keep_entry]
+            visited[shell_src, shell_vert] = True
+            marks.append((shell_src, shell_vert))
+            np.bitwise_xor.at(ball_xor, shell_src, mixv[shell_vert])
+            ball_size = np.where(keep, new_size, ball_size)
+            radius += 1
+            pend_size = np.where(pend_active, ball_size, pend_size)
+            pend_xor = np.where(pend_active, ball_xor, pend_xor)
+            pend_radius = np.where(pend_active, radius, pend_radius)
+            frontier_src, frontier_vert = shell_src, shell_vert
+
+        for mark_src, mark_vert in marks:
+            visited[mark_src, mark_vert] = False
+
+    def _ball_members(self, source_vert: int, radius: int) -> np.ndarray:
+        """Recompute one ball's member verts (only for contending balls)."""
+        view = self.view
+        ball = {int(source_vert)}
+        frontier = [int(source_vert)]
+        for _ in range(radius):
+            shell: list[int] = []
+            for v in frontier:
+                for w in view.neighbors_of_vert(v).tolist():
+                    if w not in ball:
+                        ball.add(w)
+                        shell.append(w)
+            if not shell:
+                break
+            frontier = shell
+        return np.fromiter(ball, dtype=np.int64, count=len(ball))
+
+    # -- vectorized greedy boundary-minimising sweep -------------------
+
+    def greedy_phase(self, restarts: int) -> None:
+        """Greedy growth from the lowest-``(degree, id)`` seeds.
+
+        Each step scores every boundary vert's absorption in one
+        gather + ``np.bincount`` pass (how many of its neighbours lie
+        outside the set and its boundary), absorbs the ``(delta, id)``
+        minimiser, and offers the grown set — identical to the
+        reference's per-vertex Python scan.
+        """
+        view = self.view
+        order = np.lexsort((view.ids, view.degrees))
+        seeds = view.alive_verts[order[:restarts]]
+        for seed_vert in seeds.tolist():
+            self._greedy_grow_csr(seed_vert)
+
+    def _greedy_grow_csr(self, seed_vert: int) -> None:
+        view = self.view
+        mixv = view.mix
+        vert_ids = view.vert_ids
+        current = np.zeros(view.space, dtype=bool)
+        boundary = np.zeros(view.space, dtype=bool)
+        current[seed_vert] = True
+        size = 1
+        xor = int(mixv[seed_vert])
+        bverts = view.neighbors_of_vert(seed_vert).copy()
+        boundary[bverts] = True
+        self._consider_tracked(size, xor, bverts.size, current)
+        while size < self.max_size and bverts.size:
+            flat, owner_pos = view.gather_neighbors(bverts)
+            outside = ~(current[flat] | boundary[flat])
+            new_out = np.bincount(owner_pos[outside], minlength=bverts.size)
+            lowest = np.nonzero(new_out == new_out.min())[0]
+            pick = lowest[np.argmin(vert_ids[bverts[lowest]])]
+            vert = int(bverts[pick])
+            current[vert] = True
+            boundary[vert] = False
+            size += 1
+            xor ^= int(mixv[vert])
+            nbrs = view.neighbors_of_vert(vert)
+            entering = nbrs[~(current[nbrs] | boundary[nbrs])]
+            boundary[entering] = True
+            bverts = np.concatenate(
+                [bverts[np.arange(bverts.size) != pick], entering]
+            )
+            self._consider_tracked(size, xor, bverts.size, current)
+
+    def _consider_tracked(
+        self, size: int, xor: int, boundary_size: int, current: np.ndarray
+    ) -> None:
+        """Score a set whose boundary size is maintained incrementally."""
+        if not (self.min_size <= size <= self.max_size):
+            return
+        key = candidate_key(size, xor)
+        if key in self.seen:
+            return
+        self.seen.add(key)
+        self.checked += 1
+        ratio = boundary_size / size
+        self.best.offer(
+            ratio,
+            size,
+            lambda: self.view.ids_sorted(np.nonzero(current)[0]),
+        )
+
+    # -- batched random sets -------------------------------------------
+
+    def random_phase(self, rng: np.random.Generator, count: int) -> None:
+        """Uniformly random sets; identical RNG consumption to the
+        reference (index draws over the ascending-id node order)."""
+        view = self.view
+        n = view.n
+        for _ in range(count):
+            size = int(rng.integers(self.min_size, self.max_size + 1))
+            chosen = rng.choice(n, size=size, replace=False)
+            self.consider_verts(view.alive_verts[chosen])
+
+    # -- age/degree extreme prefixes (large-set portfolio) -------------
+
+    def extreme_phase(self, sizes: list[int]) -> None:
+        view = self.view
+        ages = view.time - view.birth[view.alive_verts]
+        by_age = view.alive_verts[np.lexsort((view.ids, ages))]
+        by_degree = view.alive_verts[np.lexsort((view.ids, view.degrees))]
+        for size in sizes:
+            self.consider_verts(by_age[:size])  # youngest
+            self.consider_verts(by_age[-size:])  # oldest
+            self.consider_verts(by_degree[:size])
+
+
+def _adversarial_probe_csr(
+    view: CSRView,
+    seed: SeedLike,
+    num_random_sets: int,
+    greedy_restarts: int,
+    min_size: int,
+    max_size: int | None,
+) -> ExpansionProbe:
+    n = view.n
+    if n < 2:
+        raise AnalysisError("vertex expansion needs at least 2 nodes")
+    if max_size is None:
+        max_size = n // 2
+    max_size = min(max_size, n // 2)
+    if min_size > max_size:
+        raise AnalysisError(f"empty size window [{min_size}, {max_size}]")
+    rng = make_rng(seed)
+    probe = _CSRProbe(view, min_size, max_size)
+    probe.ball_phase()
+    probe.greedy_phase(greedy_restarts)
+    probe.random_phase(rng, num_random_sets)
+    return probe.result()
+
+
+def _large_set_probe_csr(
+    view: CSRView,
+    min_size: int,
+    max_size: int | None,
+    seed: SeedLike,
+    num_random_sets: int,
+) -> ExpansionProbe:
+    n = view.n
+    if max_size is None:
+        max_size = n // 2
+    max_size = min(max_size, n // 2)
+    min_size = max(1, min_size)
+    if min_size > max_size:
+        raise AnalysisError(f"empty size window [{min_size}, {max_size}]")
+    rng = make_rng(seed)
+    probe = _CSRProbe(view, min_size, max_size)
+    probe.extreme_phase(_large_set_sizes(min_size, max_size))
+    probe.random_phase(rng, num_random_sets)
+    probe.greedy_phase(4)
+    return probe.result()

@@ -11,22 +11,26 @@ node ever regains an edge before dying.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Union
 
+from repro.core.csr import CSRView
 from repro.core.snapshot import Snapshot
 from repro.models.base import DynamicNetwork
 
 
-def count_isolated(snapshot: Snapshot) -> int:
-    """Number of degree-0 nodes in the snapshot."""
-    return len(snapshot.isolated_nodes())
+def count_isolated(graph: Union[Snapshot, CSRView]) -> int:
+    """Number of degree-0 nodes in the snapshot or CSR view."""
+    if isinstance(graph, CSRView):
+        return int((graph.degrees == 0).sum())
+    return len(graph.isolated_nodes())
 
 
-def isolated_fraction(snapshot: Snapshot) -> float:
+def isolated_fraction(graph: Union[Snapshot, CSRView]) -> float:
     """Fraction of alive nodes that are isolated."""
-    n = snapshot.num_nodes()
+    n = graph.n if isinstance(graph, CSRView) else graph.num_nodes()
     if n == 0:
         return 0.0
-    return count_isolated(snapshot) / n
+    return count_isolated(graph) / n
 
 
 @dataclass(frozen=True)

@@ -37,6 +37,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.core.backend import GraphBackend
+from repro.core.csr import CSRView
 from repro.core.node import NodeRecord
 from repro.core.snapshot import Snapshot
 from repro.errors import SimulationError
@@ -625,6 +626,29 @@ class ArraySlotBackend(GraphBackend):
     # ------------------------------------------------------------------
     # snapshot / verification
     # ------------------------------------------------------------------
+
+    def csr_view(self, time: float) -> CSRView:
+        """Zero-copy :class:`CSRView` export (verts are backend rows).
+
+        ``indptr``/``indices`` are the lazily rebuilt CSR arrays and
+        ``vert_ids``/``birth`` alias the dense row stores — nothing is
+        copied; the only per-call work is sorting the alive rows into
+        ascending node-id order.  The returned view aliases live state
+        and is valid until the next topology mutation (the caller's
+        observation window).
+        """
+        indptr, indices = self.adjacency_csr()
+        rows = np.nonzero(self._alive_rows)[0]
+        order = np.argsort(self._id_of[rows])
+        return CSRView(
+            time=time,
+            indptr=indptr,
+            indices=indices,
+            vert_ids=self._id_of,
+            birth=self._birth,
+            alive_verts=rows[order],
+            vert_of=self._row_of,
+        )
 
     def snapshot(self, time: float) -> Snapshot:
         """Freeze the current topology (CSR is rebuilt lazily here)."""

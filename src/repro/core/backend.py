@@ -40,6 +40,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro.core.csr import CSRView, csr_view_from_adjacency
 from repro.core.node import NodeRecord
 from repro.core.snapshot import Snapshot
 from repro.errors import ConfigurationError
@@ -147,6 +148,23 @@ class GraphBackend(ABC):
     @abstractmethod
     def snapshot(self, time: float) -> Snapshot:
         """Freeze the current topology into an immutable :class:`Snapshot`."""
+
+    def csr_view(self, time: float) -> CSRView:
+        """Export the current topology as a :class:`~repro.core.csr.CSRView`.
+
+        The analysis-plane counterpart of :meth:`snapshot`: a compact CSR
+        adjacency plus id/birth arrays that the vectorized analyses run
+        on.  The generic implementation builds the arrays in one pass
+        over :meth:`neighbors`; the array backend overrides it with a
+        zero-copy export of its dense row arrays.  A view aliases live
+        state — it is valid only until the next topology mutation.
+        """
+        return csr_view_from_adjacency(
+            time=time,
+            ids=self.alive_ids(),
+            neighbors_fn=self.neighbors,
+            birth_fn=self.birth_time,
+        )
 
     @abstractmethod
     def check_invariants(self) -> None:

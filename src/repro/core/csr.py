@@ -1,0 +1,298 @@
+"""The CSR analysis plane: zero-copy topology views for vectorized analyses.
+
+A :class:`CSRView` is the *measurement* counterpart of
+:class:`~repro.core.snapshot.Snapshot`: where a snapshot freezes the
+topology into Python dicts of frozensets (the readable reference
+representation), a view exposes the same instant as a handful of NumPy
+arrays — a CSR adjacency over *verts* (storage indices), the id/birth
+arrays aligned with those verts, and the alive verts in canonical
+ascending-node-id order.  Every hot analysis (expansion probes, degree
+summaries, isolated/component censuses) has a vectorized implementation
+on top of this structure that returns results identical to the dict
+path.
+
+On the :class:`~repro.core.array_backend.ArraySlotBackend` a view is
+**zero-copy**: ``indptr``/``indices`` are the backend's lazily rebuilt
+CSR and ``vert_ids``/``birth`` alias its dense row arrays, so building a
+view costs one alive-row argsort instead of an O(n·d) dict freeze.  On
+the dict backend (or from a snapshot) the arrays are built once, in one
+pass, for parity testing and mixed pipelines.
+
+**Lifetime contract:** a view aliases live backend storage, so it is
+only valid until the next topology mutation — use it within the
+observation window that built it (exactly what
+:class:`~repro.scenario.simulation.Simulation` does) and reach for a
+:class:`Snapshot` when the frozen topology must outlive the window.
+
+The module also hosts the canonical 64-bit set-hashing helpers
+(:func:`mix64`, :func:`candidate_key`) shared by the dict-path and
+CSR-path expansion portfolios: both paths deduplicate candidate sets
+with the *same* keys, so their ``candidates_checked`` counts and probe
+results agree exactly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.core.snapshot import Snapshot
+
+_MASK64 = (1 << 64) - 1
+_MIX_A = 0x9E3779B97F4A7C15
+_MIX_B = 0xBF58476D1CE4E5B9
+_MIX_C = 0x94D049BB133111EB
+
+
+def mix64(value: int) -> int:
+    """SplitMix64 finalizer of one integer (scalar reference path)."""
+    z = (value + _MIX_A) & _MASK64
+    z = ((z ^ (z >> 30)) * _MIX_B) & _MASK64
+    z = ((z ^ (z >> 27)) * _MIX_C) & _MASK64
+    return z ^ (z >> 31)
+
+
+def mix64_array(values: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer, vectorized; bit-identical to :func:`mix64`."""
+    z = values.astype(np.uint64) + np.uint64(_MIX_A)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(_MIX_B)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(_MIX_C)
+    return z ^ (z >> np.uint64(31))
+
+
+def candidate_key(size: int, xor_of_mixed_ids: int) -> int:
+    """Canonical 64-bit key of a candidate node set.
+
+    ``xor_of_mixed_ids`` is the XOR of :func:`mix64` over the member node
+    ids — order-independent and incrementally updatable, which is what
+    lets the vectorized BFS/greedy sweeps maintain it per frontier step.
+    Mixing the size back in separates sets whose XORs happen to agree.
+    Both expansion paths deduplicate with this exact key, so they skip
+    (and count) the identical candidates.
+    """
+    return mix64(xor_of_mixed_ids ^ mix64(size))
+
+
+def candidate_key_array(sizes: np.ndarray, xors: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`candidate_key` (bit-identical to the scalar)."""
+    return mix64_array(xors ^ mix64_array(sizes))
+
+
+def concat_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``[starts[i], starts[i]+counts[i])`` index ranges.
+
+    The standard cumsum gather trick behind every CSR neighbour sweep:
+    the result indexes ``indices`` for all listed verts at once.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    nonzero = counts > 0
+    starts = np.asarray(starts, dtype=np.int64)[nonzero]
+    counts = counts[nonzero]
+    out = np.ones(total, dtype=np.int64)
+    out[0] = starts[0]
+    ends = np.cumsum(counts)
+    out[ends[:-1]] = starts[1:] - (starts[:-1] + counts[:-1] - 1)
+    return np.cumsum(out)
+
+
+class CSRView:
+    """Read-only CSR picture of the network at time ``time``.
+
+    *Verts* are storage indices: backend rows on the array backend,
+    positions in ascending-id order for dict-built views.  ``vert_ids``
+    maps vert → node id (−1 on unused verts), ``alive_verts`` lists the
+    verts of alive nodes in **ascending node-id order** (the canonical
+    candidate order the analyses share), and ``indptr``/``indices`` hold
+    the distinct-neighbour adjacency in both directions.
+    """
+
+    __slots__ = (
+        "time",
+        "indptr",
+        "indices",
+        "vert_ids",
+        "birth",
+        "alive_verts",
+        "_vert_of",
+        "_ids",
+        "_degrees",
+        "_mix",
+    )
+
+    def __init__(
+        self,
+        time: float,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        vert_ids: np.ndarray,
+        birth: np.ndarray,
+        alive_verts: np.ndarray,
+        vert_of: dict[int, int] | None = None,
+    ) -> None:
+        self.time = float(time)
+        self.indptr = indptr
+        self.indices = indices
+        self.vert_ids = vert_ids
+        self.birth = birth
+        self.alive_verts = alive_verts
+        self._vert_of = vert_of
+        self._ids: np.ndarray | None = None
+        self._degrees: np.ndarray | None = None
+        self._mix: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of alive nodes."""
+        return int(self.alive_verts.size)
+
+    @property
+    def space(self) -> int:
+        """Size of the vert index space (masks must use this length)."""
+        return int(self.vert_ids.size)
+
+    @property
+    def ids(self) -> np.ndarray:
+        """Alive node ids, ascending (aligned with :attr:`alive_verts`)."""
+        if self._ids is None:
+            self._ids = self.vert_ids[self.alive_verts]
+        return self._ids
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Distinct-neighbour degrees aligned with :attr:`ids`."""
+        if self._degrees is None:
+            self._degrees = (
+                self.indptr[self.alive_verts + 1] - self.indptr[self.alive_verts]
+            )
+        return self._degrees
+
+    @property
+    def mix(self) -> np.ndarray:
+        """Per-vert :func:`mix64` of the node id (candidate-set hashing)."""
+        if self._mix is None:
+            self._mix = mix64_array(self.vert_ids)
+        return self._mix
+
+    def num_edges(self) -> int:
+        """Number of distinct undirected edges."""
+        return int(self.indices.size) // 2
+
+    def vert_of(self, node_id: int) -> int:
+        """Vert of an alive node id."""
+        if self._vert_of is None:
+            ids = self.ids
+            self._vert_of = dict(
+                zip(ids.tolist(), self.alive_verts.tolist())
+            )
+        return self._vert_of[node_id]
+
+    def verts_for(self, node_ids: Iterable[int]) -> np.ndarray:
+        """Verts of alive *node_ids* (order preserved)."""
+        return np.fromiter(
+            (self.vert_of(u) for u in node_ids), dtype=np.int64
+        )
+
+    def degrees_of_verts(self, verts: np.ndarray) -> np.ndarray:
+        return self.indptr[verts + 1] - self.indptr[verts]
+
+    def neighbors_of_vert(self, vert: int) -> np.ndarray:
+        """Neighbour verts of one vert (a slice of :attr:`indices`)."""
+        return self.indices[self.indptr[vert] : self.indptr[vert + 1]]
+
+    # ------------------------------------------------------------------
+    # bulk sweeps
+    # ------------------------------------------------------------------
+
+    def gather_neighbors(
+        self, verts: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Flattened neighbour verts of *verts* plus their owner positions.
+
+        Returns ``(flat, owner_pos)`` where ``flat[k]`` is a neighbour of
+        ``verts[owner_pos[k]]``; owner positions are non-decreasing.
+        """
+        counts = self.degrees_of_verts(verts)
+        owner_pos = np.repeat(np.arange(verts.size, dtype=np.int64), counts)
+        flat = self.indices[concat_ranges(self.indptr[verts], counts)]
+        return flat, owner_pos
+
+    def boundary_count(self, member_verts: np.ndarray) -> int:
+        """``|∂out(S)|`` of the distinct vert set *member_verts*.
+
+        Allocation stays O(S·d̄): gather the members' neighbours, dedupe
+        with one sort, and drop the members themselves with a
+        searchsorted membership test (no space-sized scratch mask).
+        """
+        if member_verts.size == 0:
+            return 0
+        flat, _ = self.gather_neighbors(member_verts)
+        if flat.size == 0:
+            return 0
+        flat = np.sort(flat)
+        first = np.empty(flat.size, dtype=bool)
+        first[0] = True
+        np.not_equal(flat[1:], flat[:-1], out=first[1:])
+        distinct = flat[first]
+        members = np.sort(member_verts)
+        pos = np.searchsorted(members, distinct)
+        pos[pos == members.size] = members.size - 1
+        inside = members[pos] == distinct
+        return int(distinct.size - inside.sum())
+
+    def ids_sorted(self, verts: np.ndarray) -> tuple[int, ...]:
+        """Node ids of *verts* as an ascending tuple (witness format)."""
+        return tuple(np.sort(self.vert_ids[verts]).tolist())
+
+
+def csr_view_from_adjacency(
+    time: float,
+    ids: list[int],
+    neighbors_of: dict[int, Iterable[int]] | None = None,
+    neighbors_fn=None,
+    birth_fn=None,
+) -> CSRView:
+    """Build a compact view (verts = ascending-id positions) in one pass."""
+    ids = sorted(ids)
+    n = len(ids)
+    vert_of = {u: i for i, u in enumerate(ids)}
+    counts = np.zeros(n, dtype=np.int64)
+    flat: list[int] = []
+    for i, u in enumerate(ids):
+        nbrs = neighbors_of[u] if neighbors_of is not None else neighbors_fn(u)
+        row = [vert_of[v] for v in nbrs]
+        counts[i] = len(row)
+        flat.extend(row)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    indices = np.asarray(flat, dtype=np.int64)
+    birth = np.fromiter(
+        (birth_fn(u) for u in ids), dtype=np.float64, count=n
+    )
+    return CSRView(
+        time=time,
+        indptr=indptr,
+        indices=indices,
+        vert_ids=np.asarray(ids, dtype=np.int64),
+        birth=birth,
+        alive_verts=np.arange(n, dtype=np.int64),
+        vert_of=vert_of,
+    )
+
+
+def csr_view_from_snapshot(snapshot: "Snapshot") -> CSRView:
+    """One-shot view of a frozen :class:`Snapshot` (parity/testing path)."""
+    return csr_view_from_adjacency(
+        time=snapshot.time,
+        ids=list(snapshot.nodes),
+        neighbors_of=snapshot.adjacency,
+        birth_fn=lambda u: snapshot.birth_times[u],
+    )

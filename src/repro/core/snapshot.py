@@ -42,13 +42,34 @@ class Snapshot:
         return len(self.nodes)
 
     def num_edges(self) -> int:
-        return sum(len(nbrs) for nbrs in self.adjacency.values()) // 2
+        """Number of distinct undirected edges (memoized: the topology is
+        frozen, so the first count is definitive).
+
+        ``functools.cached_property`` does not compose with frozen
+        dataclasses, so the cache is stashed with ``object.__setattr__``
+        — it lives outside the dataclass fields and therefore does not
+        affect equality or the serialised form.
+        """
+        cached = self.__dict__.get("_num_edges")
+        if cached is None:
+            cached = sum(len(nbrs) for nbrs in self.adjacency.values()) // 2
+            object.__setattr__(self, "_num_edges", cached)
+        return cached
 
     def degree(self, node_id: int) -> int:
         return len(self.adjacency[node_id])
 
     def degrees(self) -> dict[int, int]:
-        return {u: len(nbrs) for u, nbrs in self.adjacency.items()}
+        """Node → distinct-neighbour degree (memoized; treat as read-only).
+
+        Repeated callers (probe seed selection, degree censuses) get the
+        same dict object back — copy before mutating.
+        """
+        cached = self.__dict__.get("_degrees")
+        if cached is None:
+            cached = {u: len(nbrs) for u, nbrs in self.adjacency.items()}
+            object.__setattr__(self, "_degrees", cached)
+        return cached
 
     def age(self, node_id: int) -> float:
         """Age of *node_id* at snapshot time."""
@@ -125,6 +146,17 @@ class Snapshot:
                 for u, slots in payload["out_slots"].items()
             },
         )
+
+    def csr_view(self):
+        """Export as a :class:`~repro.core.csr.CSRView` (built once).
+
+        The bridge from the frozen dict representation into the
+        vectorized analysis plane — used by the parity suite and by
+        pipelines that hold snapshots but want the fast analyses.
+        """
+        from repro.core.csr import csr_view_from_snapshot
+
+        return csr_view_from_snapshot(self)
 
     def to_networkx(self) -> nx.Graph:
         """Export as a simple undirected :class:`networkx.Graph`.

@@ -6,6 +6,10 @@ Poisson) has vertex expansion ≥ 0.1, even though small sets do not expand
 (isolated nodes exist).  The adversarial probe searches the window with
 age-extreme, low-degree, greedy and random candidates; the claim is
 reproduced when even the worst candidate found stays above the threshold.
+
+The probe runs on the CSR analysis plane: the session exports a zero-copy
+:class:`~repro.core.csr.CSRView` (no dict freeze) and the vectorized
+portfolio returns exactly what the snapshot-path reference would.
 """
 
 from __future__ import annotations
@@ -62,10 +66,10 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
                     else:
                         sim = simulate(SPECS["PDG"].with_(n=n, d=d), seed=child)
                         low, high = large_set_window_poisson(n, d)
-                    snap = sim.snapshot()
-                    high = min(high, snap.num_nodes() // 2)
+                    view = sim.csr_view()
+                    high = min(high, view.n // 2)
                     probe = large_set_expansion_probe(
-                        snap, min_size=low, max_size=high, seed=child
+                        view, min_size=low, max_size=high, seed=child
                     )
                     if worst is None or probe.min_ratio < worst.min_ratio:
                         worst = probe

@@ -80,9 +80,10 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
                     )
                 else:
                     sim = simulate(PDGR_SPEC.with_(n=probe_n, d=d), seed=child)
-                # Live-network probe: greedy seeds come from the
-                # backend's degree vector (vectorized on the array
-                # backend), same candidate portfolio as the snapshot path.
+                # Live-network probe on the CSR analysis plane: the
+                # backend state exports a zero-copy view and the
+                # vectorized portfolio scores the identical candidates
+                # (and returns the identical probe) as the snapshot path.
                 probe = probe_network_expansion(sim.network, seed=child)
                 if worst is None or probe.min_ratio < worst.min_ratio:
                     worst = probe

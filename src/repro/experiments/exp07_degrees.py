@@ -4,6 +4,11 @@ Reproduces Lemma 6.1 (expected degree d, hence nd/2 expected edges in the
 streaming snapshot), the exactness of SDGR's out-degree (d·n request
 edges), and the §5 remark that the maximum degree is Θ(log n) — checked by
 fitting the max degree against log n across an n-sweep.
+
+Degree statistics come from :class:`DegreeStatsObserver`, which reads the
+session's shared per-window :class:`~repro.core.csr.CSRView` (no dict
+freeze); only the SDGR request-exactness check still freezes a snapshot,
+because out-slot identities are not part of the CSR adjacency.
 """
 
 from __future__ import annotations

@@ -1,19 +1,28 @@
 """Composable observers for scenario sessions.
 
 An :class:`Observer` watches a running :class:`~repro.scenario.simulation.Simulation`
-through three hooks — ``on_round(report, snapshot)`` at its configured
-round cadence, ``on_flood(result)`` after each protocol run, and
-``on_finish(snapshot)`` when the session's horizon completes — and
-exposes what it measured through ``result()``.  Observers are composable:
-a session runs any number of them in one pass over the trajectory, which
-is how one simulation serves several measurements without re-running the
-churn.
+through its hooks — ``on_round(report, snapshot)`` / ``on_view(report,
+view)`` at its configured round cadence, ``on_flood(result)`` after each
+protocol run, and ``on_finish(snapshot)`` (plus a final ``on_view``) when
+the session's horizon completes — and exposes what it measured through
+``result()``.  Observers are composable: a session runs any number of
+them in one pass over the trajectory, which is how one simulation serves
+several measurements without re-running the churn.
 
-Snapshots are expensive (they freeze the whole topology), so an observer
-that only needs live counters sets ``needs_snapshot = False`` and the
-session skips the freeze when no attached observer wants one.  Observers
-with ``every = 0`` observe only the final state, which keeps the hot loop
-eligible for the batched ``advance_to_time`` windows.
+Topology access comes in two flavours, each built **at most once per
+observation window** and shared by every due observer:
+
+* ``needs_view`` — a :class:`~repro.core.csr.CSRView`, the vectorized
+  analysis plane (zero-copy on the array backend).  All stock analysis
+  observers use this; it is the cheap path.
+* ``needs_snapshot`` — a frozen dict :class:`Snapshot`, for observers
+  that must outlive the window or want the dict representation.  This
+  freeze is O(n·d) Python work; prefer the view for hot cadences.
+
+Observers that only need live counters set both flags ``False`` and the
+session skips both builds.  Observers with ``every = 0`` observe only the
+final state, which keeps the hot loop eligible for the batched
+``advance_to_time`` windows.
 
 Stock observers (registry names in parentheses): network size
 (``size``), degree statistics (``degrees``), vertex-expansion probes
@@ -30,6 +39,7 @@ from typing import Any
 from repro.analysis.degrees import degree_summary
 from repro.analysis.expansion import adversarial_expansion_upper_bound
 from repro.analysis.isolated import count_isolated
+from repro.core.csr import CSRView
 from repro.core.snapshot import Snapshot
 from repro.errors import ConfigurationError
 from repro.flooding.result import FloodingResult
@@ -37,16 +47,19 @@ from repro.models.base import RoundReport
 
 
 class Observer:
-    """Base class: bind → (on_round | on_flood)* → on_finish → result.
+    """Base class: bind → (on_round | on_view | on_flood)* → on_finish → result.
 
     Args:
-        every: round cadence for :meth:`on_round`; ``0`` (the default)
-            means "final state only" (just :meth:`on_finish`).
+        every: round cadence for :meth:`on_round`/:meth:`on_view`; ``0``
+            (the default) means "final state only".
     """
 
     name: str = "observer"
-    #: Whether this observer's hooks want a topology snapshot.
+    #: Whether this observer's hooks want a frozen dict :class:`Snapshot`.
     needs_snapshot: bool = True
+    #: Whether this observer's hooks want a :class:`CSRView` (the
+    #: vectorized analysis plane).  Views are shared per window.
+    needs_view: bool = False
 
     def __init__(self, every: int = 0) -> None:
         if every < 0:
@@ -59,12 +72,19 @@ class Observer:
         self.simulation = simulation
 
     def due(self, rounds_completed: int) -> bool:
-        """Whether :meth:`on_round` should fire after this many rounds."""
+        """Whether this observer should fire after this many rounds."""
         return self.every > 0 and rounds_completed % self.every == 0
 
     def on_round(self, report: RoundReport, snapshot: Snapshot | None) -> None:
         """One observation window ended (*snapshot* is None when
         ``needs_snapshot`` is False)."""
+
+    def on_view(self, report: RoundReport | None, view: CSRView) -> None:
+        """The window's shared analysis view (only when ``needs_view``).
+
+        *report* is the same windowed report :meth:`on_round` receives,
+        or ``None`` when the hook fires for the session's final state.
+        """
 
     def on_flood(self, result: FloodingResult) -> None:
         """A protocol run finished on the session's network."""
@@ -116,66 +136,82 @@ class SizeObserver(Observer):
 
 
 class DegreeStatsObserver(Observer):
-    """Mean/min/max degree from snapshots at the configured cadence."""
+    """Mean/min/max degree from the shared per-window analysis view."""
 
     name = "degrees"
+    needs_snapshot = False
+    needs_view = True
 
     def __init__(self, every: int = 0) -> None:
         super().__init__(every=every)
         self.series: list[dict[str, float]] = []
 
-    def _record(self, snapshot: Snapshot | None) -> None:
-        if snapshot is None:
-            return
-        summary = degree_summary(snapshot)
+    def on_view(self, report: RoundReport | None, view: CSRView) -> None:
+        del report
+        summary = degree_summary(view)
         self.series.append(
             {
-                "time": snapshot.time,
+                "time": view.time,
                 "mean_degree": summary.mean_degree,
                 "min_degree": summary.min_degree,
                 "max_degree": summary.max_degree,
             }
         )
 
-    def on_round(self, report: RoundReport, snapshot: Snapshot | None) -> None:
-        del report
-        self._record(snapshot)
-
-    def on_finish(self, snapshot: Snapshot | None) -> None:
-        self._record(snapshot)
-
     def result(self) -> dict[str, Any]:
         return {"series": list(self.series), "final": self.series[-1] if self.series else None}
 
 
 class ExpansionObserver(Observer):
-    """Adversarial vertex-expansion probes (upper bounds on the true ε)."""
+    """Adversarial vertex-expansion probes (upper bounds on the true ε).
+
+    Runs the vectorized portfolio on the shared per-window view.  The
+    probe parameters pass straight through to
+    :func:`~repro.analysis.expansion.adversarial_expansion_upper_bound`
+    — bound ``max_size`` (and trim ``num_random_sets``) to keep large-n
+    cadenced probes tractable; the defaults probe the full size range.
+    """
 
     name = "expansion"
+    needs_snapshot = False
+    needs_view = True
 
-    def __init__(self, every: int = 0, seed: int = 0) -> None:
+    def __init__(
+        self,
+        every: int = 0,
+        seed: int = 0,
+        num_random_sets: int = 200,
+        greedy_restarts: int = 8,
+        min_size: int = 1,
+        max_size: int | None = None,
+    ) -> None:
         super().__init__(every=every)
         self.seed = seed
+        self.num_random_sets = num_random_sets
+        self.greedy_restarts = greedy_restarts
+        self.min_size = min_size
+        self.max_size = max_size
         self.series: list[dict[str, float]] = []
 
-    def _record(self, snapshot: Snapshot | None) -> None:
-        if snapshot is None or snapshot.num_nodes() < 2:
+    def on_view(self, report: RoundReport | None, view: CSRView) -> None:
+        del report
+        if view.n < 2:
             return
-        probe = adversarial_expansion_upper_bound(snapshot, seed=self.seed)
+        probe = adversarial_expansion_upper_bound(
+            view,
+            seed=self.seed,
+            num_random_sets=self.num_random_sets,
+            greedy_restarts=self.greedy_restarts,
+            min_size=self.min_size,
+            max_size=self.max_size,
+        )
         self.series.append(
             {
-                "time": snapshot.time,
+                "time": view.time,
                 "min_ratio": probe.min_ratio,
                 "witness_size": probe.witness_size,
             }
         )
-
-    def on_round(self, report: RoundReport, snapshot: Snapshot | None) -> None:
-        del report
-        self._record(snapshot)
-
-    def on_finish(self, snapshot: Snapshot | None) -> None:
-        self._record(snapshot)
 
     def result(self) -> dict[str, Any]:
         ratios = [entry["min_ratio"] for entry in self.series]
@@ -189,30 +225,24 @@ class IsolatedNodesObserver(Observer):
     """Isolated-node counts and fractions (the Lemma 3.5/4.10 quantity)."""
 
     name = "isolated"
+    needs_snapshot = False
+    needs_view = True
 
     def __init__(self, every: int = 0) -> None:
         super().__init__(every=every)
         self.series: list[dict[str, float]] = []
 
-    def _record(self, snapshot: Snapshot | None) -> None:
-        if snapshot is None:
-            return
-        count = count_isolated(snapshot)
-        nodes = snapshot.num_nodes()
+    def on_view(self, report: RoundReport | None, view: CSRView) -> None:
+        del report
+        count = count_isolated(view)
+        nodes = view.n
         self.series.append(
             {
-                "time": snapshot.time,
+                "time": view.time,
                 "isolated": count,
                 "fraction": count / nodes if nodes else 0.0,
             }
         )
-
-    def on_round(self, report: RoundReport, snapshot: Snapshot | None) -> None:
-        del report
-        self._record(snapshot)
-
-    def on_finish(self, snapshot: Snapshot | None) -> None:
-        self._record(snapshot)
 
     def result(self) -> dict[str, Any]:
         return {

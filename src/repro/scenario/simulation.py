@@ -19,6 +19,12 @@ Two stepping modes:
   reads, keeping the hot loop on the array backend's vectorized path.
   Same churn law, different seeded trajectory (see the drivers'
   docstrings).
+
+Observation windows build topology access **at most once each**: one
+:class:`~repro.core.csr.CSRView` shared by every due ``needs_view``
+observer (zero-copy on the array backend — this is the cheap analysis
+plane) and, only when a due observer still asks for it, one frozen dict
+:class:`Snapshot`.  Neither is built when no due observer wants it.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ from __future__ import annotations
 import math
 from typing import Any, Iterable
 
+from repro.core.csr import CSRView
 from repro.core.snapshot import Snapshot
 from repro.errors import ConfigurationError
 from repro.flooding.protocols import Protocol, get_protocol
@@ -54,8 +61,10 @@ class _ObserverFeed:
         self.window.events.extend(report.events)
         self.window.end_time = report.end_time
 
-    def flush(self, snapshot: Snapshot | None) -> None:
+    def flush(self, snapshot: Snapshot | None, view: CSRView | None) -> None:
         self.observer.on_round(self.window, snapshot)
+        if self.observer.needs_view:
+            self.observer.on_view(self.window, view)
         self.window = RoundReport(
             start_time=self.window.end_time, end_time=self.window.end_time
         )
@@ -125,6 +134,14 @@ class Simulation:
         """Freeze the current topology."""
         return self.network.snapshot()
 
+    def csr_view(self) -> CSRView:
+        """Export the current topology into the CSR analysis plane.
+
+        Zero-copy on the array backend; valid until the next mutation
+        (i.e. use it before advancing the session further).
+        """
+        return self.network.state.csr_view(self.network.now)
+
     # ------------------------------------------------------------------
     # churn stepping
     # ------------------------------------------------------------------
@@ -168,13 +185,20 @@ class Simulation:
             if feed.observer.due(self.rounds_completed):
                 due.append(feed)
         if due:
+            # One window, one build of each representation, shared by
+            # every due observer; skipped entirely when nobody asks.
+            view = (
+                self.csr_view()
+                if any(f.observer.needs_view for f in due)
+                else None
+            )
             snapshot = (
                 self.snapshot()
                 if any(f.observer.needs_snapshot for f in due)
                 else None
             )
             for feed in due:
-                feed.flush(snapshot)
+                feed.flush(snapshot, view)
 
     def _run_per_event(self, rounds: int) -> None:
         feeds = self._observer_feeds()
@@ -209,6 +233,11 @@ class Simulation:
     def _notify_finish(self) -> None:
         if not self.observers:
             return
+        view = (
+            self.csr_view()
+            if any(o.needs_view for o in self.observers)
+            else None
+        )
         snapshot = (
             self.snapshot()
             if any(o.needs_snapshot for o in self.observers)
@@ -216,6 +245,8 @@ class Simulation:
         )
         for observer in self.observers:
             observer.on_finish(snapshot)
+            if observer.needs_view:
+                observer.on_view(None, view)
 
     # ------------------------------------------------------------------
     # protocol dispatch

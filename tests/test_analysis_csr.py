@@ -1,0 +1,450 @@
+"""Cross-path parity suite for the CSR analysis plane.
+
+The contract under test (see ``docs/architecture.md``): every hot
+analysis returns *identical* results whether it runs on the frozen dict
+:class:`Snapshot` (reference path) or on a :class:`CSRView` — built
+zero-copy from the array backend, one-shot from the dict backend, or
+converted from a snapshot — and identical across topology backends.
+For the expansion probes "identical" means the exact probe minimum, the
+exact witness set, and the exact ``candidates_checked`` count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.components import component_summary
+from repro.analysis.degrees import degree_histogram, degree_summary, max_degree
+from repro.analysis.expansion import (
+    _CSRProbe,
+    adversarial_expansion_upper_bound,
+    expansion_of_set,
+    large_set_expansion_probe,
+    probe_network_expansion,
+)
+from repro.analysis.isolated import count_isolated, isolated_fraction
+from repro.core.csr import (
+    candidate_key,
+    candidate_key_array,
+    csr_view_from_snapshot,
+    mix64,
+    mix64_array,
+)
+from repro.core.edge_policy import RAESPolicy, RegenerationPolicy
+from repro.models import PDG, SDG, SDGR
+from repro.models.streaming import StreamingNetwork
+from repro.scenario import (
+    DegreeStatsObserver,
+    ExpansionObserver,
+    IsolatedNodesObserver,
+    Observer,
+    ScenarioSpec,
+    Simulation,
+    simulate,
+)
+from tests.conftest import cycle_snapshot, path_snapshot, snapshot_from_edges
+
+
+def seeded_networks(backend: str):
+    """The seeded graph menagerie the parity contract is asserted on."""
+    sdg = SDG(n=90, d=2, seed=3, backend=backend)  # isolated nodes + ties
+    sdg.run_rounds(90)
+    sdgr = SDGR(n=110, d=6, seed=7, backend=backend)  # expander
+    sdgr.run_rounds(110)
+    pdg = PDG(n=70, d=3, seed=5, backend=backend)
+    pdg.run_rounds(50)
+    raes = StreamingNetwork(
+        60, RAESPolicy(d=3, c=2), seed=11, backend=backend
+    )
+    raes.run_rounds(60)
+    return [("SDG", sdg), ("SDGR", sdgr), ("PDG", pdg), ("RAES", raes)]
+
+
+def assert_probe_equal(a, b):
+    assert a.min_ratio == b.min_ratio
+    assert a.witness_size == b.witness_size
+    assert a.witness == b.witness
+    assert a.candidates_checked == b.candidates_checked
+
+
+class TestHashing:
+    def test_scalar_and_vector_mix_agree(self):
+        ids = np.array([0, 1, 7, 123456, 2**40], dtype=np.int64)
+        vector = mix64_array(ids)
+        for node_id, mixed in zip(ids.tolist(), vector.tolist()):
+            assert mix64(node_id) == mixed
+
+    def test_candidate_keys_agree(self):
+        sizes = np.array([1, 5, 400], dtype=np.uint64)
+        xors = mix64_array(np.array([9, 10, 11]))
+        keys = candidate_key_array(sizes, xors)
+        for size, xor, key in zip(
+            sizes.tolist(), xors.tolist(), keys.tolist()
+        ):
+            assert candidate_key(int(size), int(xor)) == key
+
+    def test_key_is_order_independent(self):
+        xor_ab = mix64(3) ^ mix64(17)
+        xor_ba = mix64(17) ^ mix64(3)
+        assert candidate_key(2, xor_ab) == candidate_key(2, xor_ba)
+
+
+class TestViewConstruction:
+    def test_backends_export_identical_views(self):
+        views = []
+        for backend in ("dict", "array"):
+            net = SDGR(n=60, d=4, seed=2, backend=backend)
+            net.run_rounds(60)
+            views.append(net.state.csr_view(net.now))
+        a, b = views
+        assert np.array_equal(a.ids, b.ids)
+        assert np.array_equal(a.degrees, b.degrees)
+        assert a.num_edges() == b.num_edges()
+        assert np.array_equal(
+            a.birth[a.alive_verts], b.birth[b.alive_verts]
+        )
+
+    def test_array_view_is_zero_copy(self):
+        net = SDGR(n=40, d=3, seed=1, backend="array")
+        net.run_rounds(40)
+        state = net.state
+        view = state.csr_view(net.now)
+        indptr, indices = state.adjacency_csr()
+        assert view.indptr is indptr
+        assert view.indices is indices
+        assert view.vert_ids is state._id_of
+        assert view.birth is state._birth
+
+    def test_snapshot_conversion_matches_backend_view(self, backend_name):
+        net = SDG(n=50, d=3, seed=4, backend=backend_name)
+        net.run_rounds(50)
+        direct = net.state.csr_view(net.now)
+        converted = csr_view_from_snapshot(net.snapshot())
+        assert converted.time == direct.time
+        assert np.array_equal(converted.ids, direct.ids)
+        assert np.array_equal(converted.degrees, direct.degrees)
+        assert converted.num_edges() == direct.num_edges()
+
+    def test_view_of_empty_graph(self):
+        from repro.core.graph import DictBackend
+
+        view = DictBackend().csr_view(0.0)
+        assert view.n == 0
+        assert view.num_edges() == 0
+        assert degree_summary(view).num_nodes == 0
+
+    def test_vert_id_round_trip(self, backend_name):
+        net = SDGR(n=30, d=2, seed=9, backend=backend_name)
+        net.run_rounds(30)
+        view = net.state.csr_view(net.now)
+        for node_id in view.ids.tolist():
+            assert int(view.vert_ids[view.vert_of(node_id)]) == node_id
+
+
+class TestCensusParity:
+    @pytest.fixture(params=["dict", "array"])
+    def graphs(self, request):
+        return [
+            (name, net.snapshot(), net.state.csr_view(net.now))
+            for name, net in seeded_networks(request.param)
+        ]
+
+    def test_degree_summary(self, graphs):
+        for name, snap, view in graphs:
+            ref, fast = degree_summary(snap), degree_summary(view)
+            assert ref.num_nodes == fast.num_nodes, name
+            assert ref.num_edges == fast.num_edges, name
+            assert ref.min_degree == fast.min_degree, name
+            assert ref.max_degree == fast.max_degree, name
+            assert ref.mean_degree == pytest.approx(fast.mean_degree)
+            assert ref.std_degree == pytest.approx(fast.std_degree)
+
+    def test_max_degree_and_histogram(self, graphs):
+        for name, snap, view in graphs:
+            assert max_degree(snap) == max_degree(view), name
+            assert degree_histogram(snap) == degree_histogram(view), name
+
+    def test_isolated_census(self, graphs):
+        for name, snap, view in graphs:
+            assert count_isolated(snap) == count_isolated(view), name
+            assert isolated_fraction(snap) == isolated_fraction(view), name
+
+    def test_component_census(self, graphs):
+        for name, snap, view in graphs:
+            assert component_summary(snap) == component_summary(view), name
+
+    def test_component_census_on_crafted_graphs(self):
+        # Long path (stresses pointer-jumping convergence), disconnected
+        # pieces, and isolated nodes.
+        crafted = [
+            path_snapshot(200),
+            cycle_snapshot(64),
+            snapshot_from_edges(9, [(0, 1), (1, 2), (3, 4), (4, 5)]),
+            snapshot_from_edges(5, []),
+        ]
+        for snap in crafted:
+            view = csr_view_from_snapshot(snap)
+            assert component_summary(snap) == component_summary(view)
+
+
+class TestProbeParity:
+    @pytest.mark.parametrize("backend", ["dict", "array"])
+    def test_adversarial_probe_identical(self, backend):
+        for name, net in seeded_networks(backend):
+            snap = net.snapshot()
+            reference = adversarial_expansion_upper_bound(snap, seed=1)
+            for view in (net.state.csr_view(net.now), snap.csr_view()):
+                assert_probe_equal(
+                    adversarial_expansion_upper_bound(view, seed=1), reference
+                )
+
+    @pytest.mark.parametrize("backend", ["dict", "array"])
+    def test_large_set_probe_identical(self, backend):
+        for name, net in seeded_networks(backend):
+            snap = net.snapshot()
+            n = snap.num_nodes()
+            reference = large_set_expansion_probe(
+                snap, min_size=4, max_size=n // 2, seed=2
+            )
+            fast = large_set_expansion_probe(
+                net.state.csr_view(net.now), min_size=4, max_size=n // 2, seed=2
+            )
+            assert_probe_equal(fast, reference)
+
+    def test_probes_identical_across_backends(self):
+        probes = []
+        for backend in ("dict", "array"):
+            net = SDG(n=80, d=2, seed=6, backend=backend)
+            net.run_rounds(80)
+            view = net.state.csr_view(net.now)
+            probes.append(
+                (
+                    adversarial_expansion_upper_bound(view, seed=3),
+                    large_set_expansion_probe(view, min_size=5, seed=4),
+                )
+            )
+        assert_probe_equal(probes[0][0], probes[1][0])
+        assert_probe_equal(probes[0][1], probes[1][1])
+
+    def test_probe_network_expansion_is_view_path(self, backend_name):
+        net = SDGR(n=70, d=5, seed=8, backend=backend_name)
+        net.run_rounds(70)
+        assert_probe_equal(
+            probe_network_expansion(net, seed=1),
+            adversarial_expansion_upper_bound(net.snapshot(), seed=1),
+        )
+
+    def test_size_window_respected_on_view(self):
+        snap = cycle_snapshot(20)
+        probe = adversarial_expansion_upper_bound(
+            csr_view_from_snapshot(snap), seed=4, min_size=3, max_size=5
+        )
+        assert 3 <= probe.witness_size <= 5
+        assert snap.expansion_of(probe.witness) == pytest.approx(
+            probe.min_ratio
+        )
+
+    def test_witness_ratio_is_real_on_view(self):
+        net = SDG(n=60, d=3, seed=12, backend="array")
+        net.run_rounds(60)
+        view = net.state.csr_view(net.now)
+        probe = adversarial_expansion_upper_bound(view, seed=5)
+        assert expansion_of_set(view, probe.witness) == probe.min_ratio
+        assert net.snapshot().expansion_of(probe.witness) == probe.min_ratio
+
+    def test_duplicate_candidates_counted_once(self):
+        # On a complete graph every BFS ball of radius 1 is the whole
+        # vertex set and every closed neighbourhood coincides; dedupe
+        # must collapse them on both paths identically.
+        from tests.conftest import complete_snapshot
+
+        snap = complete_snapshot(8)
+        reference = adversarial_expansion_upper_bound(
+            snap, seed=0, num_random_sets=16
+        )
+        fast = adversarial_expansion_upper_bound(
+            csr_view_from_snapshot(snap), seed=0, num_random_sets=16
+        )
+        assert_probe_equal(fast, reference)
+        # n singletons + 16 random sets at most, plus greedy chains —
+        # far fewer than the undeduplicated portfolio would count.
+        assert reference.candidates_checked <= 8 + 16 + 8 * 3
+
+
+class TestBallProperty:
+    """Vectorized BFS balls equal set-based balls (the ISSUE property)."""
+
+    @staticmethod
+    def _set_ball(snapshot, root: int, radius: int) -> frozenset[int]:
+        ball = {root}
+        frontier = {root}
+        for _ in range(radius):
+            shell = set()
+            for u in frontier:
+                shell.update(snapshot.adjacency[u])
+            shell -= ball
+            if not shell:
+                break
+            ball |= shell
+            frontier = shell
+        return frozenset(ball)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 50),
+        root_rank=st.integers(0, 59),
+        radius=st.integers(0, 5),
+    )
+    def test_ball_members_match_reference(self, seed, root_rank, radius):
+        net = SDG(n=60, d=3, seed=seed, backend="array")
+        net.run_rounds(60)
+        snap = net.snapshot()
+        view = net.state.csr_view(net.now)
+        root = sorted(snap.nodes)[root_rank]
+        probe = _CSRProbe(view, 1, view.n)
+        members = probe._ball_members(view.vert_of(root), radius)
+        assert frozenset(
+            int(i) for i in view.vert_ids[members]
+        ) == self._set_ball(snap, root, radius)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 50),
+        d=st.integers(2, 6),
+        max_size=st.integers(1, 40),
+    )
+    def test_ball_only_portfolio_identical(self, seed, d, max_size):
+        """With greedy and random phases disabled, the portfolio is
+        exactly the singleton/neighbourhood/ball family — the probes
+        agree on it for arbitrary roots and max_size windows."""
+        net = SDGR(n=48, d=d, seed=seed, backend="array")
+        net.run_rounds(48)
+        reference = adversarial_expansion_upper_bound(
+            net.snapshot(),
+            seed=0,
+            num_random_sets=0,
+            greedy_restarts=0,
+            max_size=max_size,
+        )
+        fast = adversarial_expansion_upper_bound(
+            net.state.csr_view(net.now),
+            seed=0,
+            num_random_sets=0,
+            greedy_restarts=0,
+            max_size=max_size,
+        )
+        assert_probe_equal(fast, reference)
+
+
+class TestObserverSharing:
+    def test_one_view_per_window(self):
+        spec = ScenarioSpec(churn="streaming", policy="regen", n=40, d=4, horizon=20)
+        sim = Simulation(
+            spec,
+            observers=[
+                DegreeStatsObserver(every=5),
+                IsolatedNodesObserver(every=5),
+                ExpansionObserver(every=10, num_random_sets=16),
+            ],
+            seed=1,
+        )
+        builds = 0
+        original = sim.network.state.csr_view
+
+        def counting(time):
+            nonlocal builds
+            builds += 1
+            return original(time)
+
+        sim.network.state.csr_view = counting
+        sim.run()
+        # 4 cadence windows (rounds 5/10/15/20) + the finish reading:
+        # one build each, shared by every due observer.
+        assert builds == 5
+        results = sim.results()
+        assert len(results["degrees"]["series"]) == 4 + 1
+        assert len(results["isolated"]["series"]) == 4 + 1
+        assert len(results["expansion"]["series"]) == 2 + 1
+
+    def test_view_observers_match_snapshot_analyses(self):
+        spec = ScenarioSpec(churn="streaming", policy="none", n=60, d=2, horizon=60)
+        sim = simulate(
+            spec,
+            seed=3,
+            observers=[DegreeStatsObserver(), IsolatedNodesObserver()],
+        )
+        snap = sim.snapshot()
+        results = sim.results()
+        summary = degree_summary(snap)
+        final = results["degrees"]["final"]
+        assert final["min_degree"] == summary.min_degree
+        assert final["max_degree"] == summary.max_degree
+        assert final["mean_degree"] == pytest.approx(summary.mean_degree)
+        assert results["isolated"]["final"]["isolated"] == count_isolated(snap)
+
+    def test_legacy_snapshot_observer_still_fed(self):
+        class SnapshotEcho(Observer):
+            name = "snapshot_echo"
+
+            def __init__(self):
+                super().__init__(every=4)
+                self.snapshots = []
+
+            def on_round(self, report, snapshot):
+                self.snapshots.append(snapshot)
+
+            def on_finish(self, snapshot):
+                self.snapshots.append(snapshot)
+
+        echo = SnapshotEcho()
+        spec = ScenarioSpec(churn="streaming", policy="regen", n=30, d=3, horizon=8)
+        Simulation(spec, observers=[echo], seed=2).run()
+        assert len(echo.snapshots) == 2 + 1
+        assert all(s is not None and s.num_nodes() == 30 for s in echo.snapshots)
+
+    def test_no_builds_when_nobody_asks(self):
+        spec = ScenarioSpec(churn="streaming", policy="regen", n=30, d=3, horizon=6)
+        sim = Simulation(spec, observers=[], seed=2)
+        sim.network.state.csr_view = None  # would raise if called
+        sim.network.state.snapshot = None
+        sim.run()
+
+    def test_expansion_observer_params_round_trip(self):
+        spec = ScenarioSpec(churn="streaming", policy="regen", n=40, d=4, horizon=40)
+        sim = simulate(
+            spec,
+            seed=5,
+            observers=[
+                {
+                    "name": "expansion",
+                    "params": {"num_random_sets": 8, "max_size": 10, "seed": 1},
+                }
+            ],
+        )
+        series = sim.results()["expansion"]["series"]
+        assert len(series) == 1
+        reference = adversarial_expansion_upper_bound(
+            sim.snapshot(), seed=1, num_random_sets=8, max_size=10
+        )
+        assert series[0]["min_ratio"] == reference.min_ratio
+
+
+class TestSnapshotMemoization:
+    def test_num_edges_and_degrees_cached(self):
+        snap = cycle_snapshot(12)
+        assert snap.num_edges() == 12
+        assert snap.degrees() is snap.degrees()
+        first = snap.num_edges()
+        assert first == snap.num_edges() == 12
+
+    def test_cache_does_not_leak_into_equality_or_serialization(self):
+        a = cycle_snapshot(10)
+        b = cycle_snapshot(10)
+        a.num_edges(), a.degrees()  # populate caches on one side only
+        assert a == b
+        restored = type(a).from_dict(a.to_dict())
+        assert restored == a
+        assert restored.num_edges() == a.num_edges()
