@@ -10,7 +10,8 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 BENCH_FILES := $(wildcard benchmarks/bench_*.py)
 
 .PHONY: test test-dict test-array test-backends bench bench-backend \
-	bench-bounded bench-analysis bench-check experiments scenario-smoke
+	bench-bounded bench-analysis bench-sweep bench-check experiments \
+	scenario-smoke sweep-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -38,19 +39,35 @@ bench-bounded:
 bench-analysis:
 	$(PYTHON) benchmarks/bench_analysis.py
 
+# Sequential vs 4-worker vs warm-resume replica sweep; writes BENCH_sweep.json.
+bench-sweep:
+	$(PYTHON) benchmarks/bench_sweep.py
+
 # Fresh sweeps compared against the committed BENCH_*.json baselines.
 bench-check:
 	$(PYTHON) benchmarks/bench_backend_scaling.py --output /tmp/bench_current.json
 	$(PYTHON) benchmarks/bench_bounded_degree.py --output /tmp/bench_bounded_current.json
 	$(PYTHON) benchmarks/bench_analysis.py --output /tmp/bench_analysis_current.json
+	$(PYTHON) benchmarks/bench_sweep.py --output /tmp/bench_sweep_current.json
 	$(PYTHON) benchmarks/check_bench_regression.py --current /tmp/bench_current.json \
 		--current-bounded /tmp/bench_bounded_current.json \
-		--current-analysis /tmp/bench_analysis_current.json
+		--current-analysis /tmp/bench_analysis_current.json \
+		--current-sweep /tmp/bench_sweep_current.json
 
 # Every registered protocol x both backends through the scenario layer.
 scenario-smoke:
 	$(PYTHON) -m pytest tests/test_scenario_smoke.py -q
 	$(PYTHON) -m repro.experiments --scenario examples/adversarial_gossip.json
+
+# Sweep plane: grid/runner/store tests, the threshold-churn scenario,
+# and a CLI round trip (cold parallel run, then a fully-cached resume).
+sweep-smoke:
+	$(PYTHON) -m pytest tests/test_sweep_spec.py tests/test_sweep_runner.py \
+		tests/test_models_threshold.py -q
+	$(PYTHON) -m repro.experiments --scenario examples/threshold_streaming.json
+	rm -rf /tmp/repro-sweep-store
+	$(PYTHON) -m repro.experiments EXP-01 --jobs 2 --store /tmp/repro-sweep-store
+	$(PYTHON) -m repro.experiments EXP-01 --jobs 2 --store /tmp/repro-sweep-store --resume
 
 experiments:
 	$(PYTHON) -m repro.experiments --all

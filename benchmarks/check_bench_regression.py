@@ -18,10 +18,16 @@ size.
         --current-analysis /tmp/analysis.json
 
 Pass any combination of ``--current`` / ``--current-bounded`` /
-``--current-analysis`` to check several files in one invocation (each
-against its committed baseline).  Exit status 1 on regression (CI
-converts it into a warning, matching the informational stance of the
-benchmark jobs).
+``--current-analysis`` / ``--current-sweep`` to check several files in
+one invocation (each against its committed baseline).  Exit status 1 on
+regression (CI converts it into a warning, matching the informational
+stance of the benchmark jobs).
+
+The sweep-plane payload carries a per-row ``parallel_meaningful`` flag
+(process-pool scaling can only be demonstrated on a machine with at
+least as many cores as workers); the parallel-speedup comparison is
+skipped whenever either side measured on too few cores, while the
+resume speedup is always guarded.
 """
 
 from __future__ import annotations
@@ -35,9 +41,13 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_backend.json"
 DEFAULT_BOUNDED_BASELINE = REPO_ROOT / "BENCH_bounded.json"
 DEFAULT_ANALYSIS_BASELINE = REPO_ROOT / "BENCH_analysis.json"
+DEFAULT_SWEEP_BASELINE = REPO_ROOT / "BENCH_sweep.json"
 
 #: The speedup fields tracked in the analysis-plane payload.
 ANALYSIS_KEYS = ("probe_speedup", "census_speedup")
+
+#: The speedup fields tracked in the sweep-plane payload.
+SWEEP_KEYS = ("parallel_speedup", "resume_speedup")
 
 
 def _by_size(payload: dict) -> dict[int, dict]:
@@ -59,6 +69,15 @@ def compare(
         return ["no overlapping sizes between baseline and current run"]
     for n in shared_sizes:
         for key in keys:
+            if key == "parallel_speedup" and not (
+                base_rows[n].get("parallel_meaningful", True)
+                and current_rows[n].get("parallel_meaningful", True)
+            ):
+                print(
+                    f"n={n:>7} {key:>14}: skipped (measured on fewer "
+                    "cores than workers on at least one side)"
+                )
+                continue
             base_speedup = base_rows[n][key]
             speedup = current_rows[n][key]
             floor = tolerance * base_speedup
@@ -107,6 +126,16 @@ def main(argv: list[str] | None = None) -> int:
         "speedups are both checked against --baseline-analysis)",
     )
     parser.add_argument(
+        "--baseline-sweep", type=Path, default=DEFAULT_SWEEP_BASELINE,
+        help="committed sweep-plane results (default: repo BENCH_sweep.json)",
+    )
+    parser.add_argument(
+        "--current-sweep", type=Path, default=None,
+        help="freshly produced bench_sweep.py output (parallel + resume "
+        "speedups checked against --baseline-sweep; the parallel check "
+        "is skipped on machines with fewer cores than workers)",
+    )
+    parser.add_argument(
         "--tolerance", type=float, default=0.4,
         help="minimum acceptable fraction of the baseline speedup "
         "(default 0.4 — generous, shared runners are noisy)",
@@ -136,10 +165,19 @@ def main(argv: list[str] | None = None) -> int:
                 ANALYSIS_KEYS,
             )
         )
+    if args.current_sweep is not None:
+        checks.append(
+            (
+                "sweep plane",
+                args.baseline_sweep,
+                args.current_sweep,
+                SWEEP_KEYS,
+            )
+        )
     if not checks:
         parser.error(
-            "nothing to check: pass --current, --current-bounded and/or "
-            "--current-analysis"
+            "nothing to check: pass --current, --current-bounded, "
+            "--current-analysis and/or --current-sweep"
         )
 
     problems: list[str] = []

@@ -34,7 +34,9 @@ Sub-packages: ``core`` (graph state), ``churn``, ``models``, ``flooding``,
 ``analysis``, ``theory`` (the paper's bounds), ``onion`` (the proofs'
 constructive processes), ``baselines`` (related-work protocols), ``p2p``
 (a Bitcoin-like overlay), ``scenario`` (declarative sessions),
-``experiments`` (table/figure reproduction).
+``sweep`` (declarative parameter grids: process-pool execution with a
+content-addressed result cache), ``experiments`` (table/figure
+reproduction).
 """
 
 from repro.analysis import (
@@ -50,6 +52,7 @@ from repro.errors import (
     ExperimentError,
     ReproError,
     SimulationError,
+    SweepError,
 )
 from repro.flooding import (
     FloodingResult,
@@ -63,21 +66,24 @@ from repro.models import (
     PDGR,
     SDG,
     SDGR,
+    TSDG,
     PoissonNetwork,
     StreamingNetwork,
+    ThresholdStreamingNetwork,
     erdos_renyi_snapshot,
     random_regular_snapshot,
     static_d_out_snapshot,
 )
 from repro.scenario import ScenarioSpec, Simulation, simulate
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "PDG",
     "PDGR",
     "SDG",
     "SDGR",
+    "TSDG",
     "AnalysisError",
     "ConfigurationError",
     "ExperimentError",
@@ -89,6 +95,8 @@ __all__ = [
     "SimulationError",
     "Snapshot",
     "StreamingNetwork",
+    "SweepError",
+    "ThresholdStreamingNetwork",
     "__version__",
     "simulate",
     "adversarial_expansion_upper_bound",

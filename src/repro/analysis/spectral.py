@@ -8,17 +8,30 @@ vertex expansion up to the maximum degree (``h_out ≥ Φ`` for the boundary
 counted with edges, divided by d_max to convert edge- to vertex-boundary).
 A spectral gap bounded away from zero across n is independent evidence for
 the Θ(1)-expander claims (Theorems 3.15/4.16).
+
+Both entry points accept ``Snapshot | CSRView``.  On a
+:class:`~repro.core.csr.CSRView` the scipy CSR matrix is assembled
+directly from the view's ``indptr``/``indices`` arrays — no Python-dict
+traversal, no COO staging — and the giant component comes from the
+vectorized label-propagation census, so the spectral plane rides the
+same zero-copy export as the rest of the CSR analyses.  The Snapshot
+path is kept verbatim as the readable reference; the two agree to
+floating-point roundoff on the same topology
+(``tests/test_analysis_csr.py``).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Union
 
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro.analysis.components import component_labels
+from repro.core.csr import CSRView
 from repro.core.snapshot import Snapshot
 from repro.errors import AnalysisError
 
@@ -33,14 +46,77 @@ class CheegerBounds:
     vertex_expansion_lower: float
 
 
-def normalized_laplacian_lambda2(snapshot: Snapshot, on_giant: bool = True) -> float:
+def _lambda2_of_adjacency(adjacency: sp.csr_matrix) -> float:
+    """λ₂ of the normalized Laplacian of one connected adjacency matrix."""
+    n = adjacency.shape[0]
+    degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+    if np.any(degrees == 0):
+        raise AnalysisError("giant component contains an isolated node (bug)")
+    inv_sqrt = sp.diags(1.0 / np.sqrt(degrees))
+    laplacian = sp.identity(n) - inv_sqrt @ adjacency @ inv_sqrt
+    if n <= 400:
+        eigenvalues = np.linalg.eigvalsh(laplacian.toarray())
+        return float(np.sort(eigenvalues)[1])
+    eigenvalues = spla.eigsh(
+        laplacian, k=2, sigma=-0.01, which="LM", return_eigenvectors=False
+    )
+    return float(np.sort(eigenvalues)[1])
+
+
+def _giant_verts(view: CSRView) -> np.ndarray:
+    """Verts of the largest component, in ascending node-id order.
+
+    ``alive_verts`` is already canonically ordered, so selecting from it
+    keeps the row order of the extracted submatrix identical to the
+    Snapshot path's ``sorted(component)`` ordering.
+    """
+    labels = component_labels(view)[view.alive_verts]
+    unique, counts = np.unique(labels, return_counts=True)
+    giant_label = unique[np.argmax(counts)]
+    return view.alive_verts[labels == giant_label]
+
+
+def _view_adjacency(view: CSRView, verts: np.ndarray) -> sp.csr_matrix:
+    """The scipy CSR adjacency of *verts*, built from the view's arrays.
+
+    The full-space matrix wraps ``indptr``/``indices`` as-is (the data
+    vector of ones is the only allocation); restricting to *verts* is
+    one scipy submatrix gather.
+    """
+    full = sp.csr_matrix(
+        (
+            np.ones(view.indices.size, dtype=float),
+            view.indices,
+            view.indptr,
+        ),
+        shape=(view.space, view.space),
+    )
+    if verts.size == view.space:
+        return full
+    return full[verts][:, verts].tocsr()
+
+
+def normalized_laplacian_lambda2(
+    graph: Union[Snapshot, CSRView], on_giant: bool = True
+) -> float:
     """Second-smallest eigenvalue of the normalized Laplacian.
 
     Args:
-        snapshot: graph to analyse.
-        on_giant: restrict to the largest connected component (otherwise a
-            disconnected graph trivially has λ₂ = 0).
+        graph: topology to analyse — a frozen :class:`Snapshot` (the
+            dict reference path) or a :class:`~repro.core.csr.CSRView`
+            (the vectorized path; zero-copy on the array backend).
+        on_giant: restrict to the largest connected component (otherwise
+            a disconnected graph trivially has λ₂ = 0).
     """
+    if isinstance(graph, CSRView):
+        if graph.n == 0:
+            raise AnalysisError("empty graph has no spectral gap")
+        verts = _giant_verts(graph) if on_giant else graph.alive_verts
+        if verts.size < 3:
+            raise AnalysisError(f"need at least 3 nodes, got {verts.size}")
+        return _lambda2_of_adjacency(_view_adjacency(graph, verts))
+
+    snapshot = graph
     if on_giant:
         components = snapshot.connected_components()
         if not components:
@@ -62,31 +138,29 @@ def normalized_laplacian_lambda2(snapshot: Snapshot, on_giant: bool = True) -> f
                 cols.append(index[v])
     data = np.ones(len(rows), dtype=float)
     adjacency = sp.csr_matrix((data, (rows, cols)), shape=(n, n))
-    degrees = np.asarray(adjacency.sum(axis=1)).ravel()
-    if np.any(degrees == 0):
-        raise AnalysisError("giant component contains an isolated node (bug)")
-    inv_sqrt = sp.diags(1.0 / np.sqrt(degrees))
-    laplacian = sp.identity(n) - inv_sqrt @ adjacency @ inv_sqrt
-    if n <= 400:
-        eigenvalues = np.linalg.eigvalsh(laplacian.toarray())
-        return float(np.sort(eigenvalues)[1])
-    eigenvalues = spla.eigsh(
-        laplacian, k=2, sigma=-0.01, which="LM", return_eigenvectors=False
-    )
-    return float(np.sort(eigenvalues)[1])
+    return _lambda2_of_adjacency(adjacency)
 
 
-def cheeger_bounds(snapshot: Snapshot, on_giant: bool = True) -> CheegerBounds:
+def cheeger_bounds(
+    graph: Union[Snapshot, CSRView], on_giant: bool = True
+) -> CheegerBounds:
     """Cheeger sandwich for conductance plus a vertex-expansion lower bound.
 
     ``h_out ≥ Φ · d_min / d_max`` is loose but rigorous: every edge leaving
     a set lands on a boundary vertex that absorbs at most ``d_max`` edges,
     and each set vertex carries at least ``d_min`` volume.
     """
-    lam2 = normalized_laplacian_lambda2(snapshot, on_giant=on_giant)
-    degrees = [len(snapshot.adjacency[u]) for u in snapshot.nodes if snapshot.adjacency[u]]
-    d_max = max(degrees) if degrees else 1
-    d_min = min(degrees) if degrees else 1
+    lam2 = normalized_laplacian_lambda2(graph, on_giant=on_giant)
+    if isinstance(graph, CSRView):
+        nonzero = graph.degrees[graph.degrees > 0]
+        d_max = int(nonzero.max()) if nonzero.size else 1
+        d_min = int(nonzero.min()) if nonzero.size else 1
+    else:
+        degrees = [
+            len(graph.adjacency[u]) for u in graph.nodes if graph.adjacency[u]
+        ]
+        d_max = max(degrees) if degrees else 1
+        d_min = min(degrees) if degrees else 1
     phi_lower = lam2 / 2.0
     phi_upper = math.sqrt(max(0.0, 2.0 * lam2))
     return CheegerBounds(

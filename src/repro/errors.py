@@ -34,3 +34,13 @@ class AnalysisError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment id is unknown or an experiment was misconfigured."""
+
+
+class SweepError(ReproError):
+    """A sweep could not run, or one of its cells failed.
+
+    When a cell's measurement raises, the runner isolates the failure
+    (other cells complete) and re-raises through this type — carrying
+    the failing cell's index, scenario and traceback — the moment the
+    caller asks for the sweep's values.
+    """

@@ -53,13 +53,48 @@ def main(argv: list[str] | None = None) -> int:
         help="run a JSON-defined scenario (see repro.scenario) instead of "
         "a registered experiment",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for replication sweeps inside experiments "
+        "(default 1 = sequential; results are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="content-addressed sweep result store: cells are persisted "
+        "to DIR; combine with --resume to serve warm cells from it",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="serve sweep cells already present in --store instead of "
+        "re-running them (a fully warm store executes zero cells)",
+    )
     args = parser.parse_args(argv)
 
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.resume and args.store is None:
+        parser.error("--resume needs --store DIR")
+
     if args.scenario is not None:
-        if args.experiment_ids or args.all or args.full or args.csv:
+        if (
+            args.experiment_ids
+            or args.all
+            or args.full
+            or args.csv
+            or args.jobs is not None
+            or args.store is not None
+            or args.resume
+        ):
             parser.error(
                 "--scenario cannot be combined with experiment ids, "
-                "--all, --full, or --csv"
+                "--all, --full, --csv, or the sweep flags "
+                "(--jobs/--store/--resume)"
             )
         return run_scenario_file(
             args.scenario, seed=args.seed, backend=args.backend
@@ -85,6 +120,9 @@ def main(argv: list[str] | None = None) -> int:
             quick=not args.full,
             seed=args.seed,
             backend=args.backend,
+            jobs=args.jobs,
+            store=args.store,
+            resume=args.resume or None,
         )
         print(result.to_text())
         if args.csv:

@@ -92,5 +92,14 @@ class Stopwatch:
 
 
 def trial_seeds(seed: int, count: int) -> list[Any]:
-    """Independent child seeds for repeated trials."""
+    """Independent child seeds for repeated trials.
+
+    .. deprecated:: 1.4
+        Positional derivation forced experiments needing several trial
+        families into ad-hoc offsets (``trial_seeds(seed + 1, ...)``),
+        which alias across master seeds.  New code should name its
+        streams with :func:`repro.util.rng.derive_seeds` instead —
+        every experiment module has been ported; this wrapper remains
+        for external callers only.
+    """
     return child_seeds(seed, count)

@@ -10,16 +10,18 @@ is fitted to check the exp(−Θ(d)) shape.
 
 from __future__ import annotations
 
-from repro.analysis.isolated import isolated_fraction, lifetime_isolated_census
-from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
+from repro.analysis.isolated import lifetime_isolated_census
+from repro.experiments.common import ExperimentResult, Stopwatch
 from repro.experiments.registry import register
 from repro.scenario import ScenarioSpec, simulate
+from repro.sweep import SweepSpec, run_sweep
 from repro.theory.isolated import (
     isolated_fraction_lower_bound_poisson,
     isolated_fraction_lower_bound_streaming,
     isolated_fraction_prediction_poisson,
     isolated_fraction_prediction_streaming,
 )
+from repro.util.rng import derive_seed
 from repro.util.stats import exponential_decay_fit, mean_confidence_interval
 
 COLUMNS = [
@@ -49,52 +51,64 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     else:
         n, trials, ds = 1500, 12, [1, 2, 3, 4, 5, 6]
 
+    # One declared replica sweep per model: the d axis × `trials` seed
+    # replicas, each family on its own named stream (this is what the old
+    # `trial_seeds(seed)` / `trial_seeds(seed + 1)` offsets meant).
+    models = [
+        (
+            "SDG",
+            SweepSpec(
+                base=SDG_SPEC.with_(n=n, horizon=n),
+                axes=[("d", tuple(ds))],
+                replicas=trials,
+                seed=seed,
+                stream="exp01-sdg",
+                measure="isolated_fraction",
+            ),
+            isolated_fraction_prediction_streaming,
+            isolated_fraction_lower_bound_streaming,
+        ),
+        (
+            "PDG",
+            SweepSpec(
+                base=PDG_SPEC.with_(n=n),
+                axes=[("d", tuple(ds))],
+                replicas=trials,
+                seed=seed,
+                stream="exp01-pdg",
+                measure="isolated_fraction",
+            ),
+            isolated_fraction_prediction_poisson,
+            isolated_fraction_lower_bound_poisson,
+        ),
+    ]
+
     rows: list[dict] = []
     with Stopwatch() as watch:
-        sdg_fractions: dict[int, float] = {}
-        pdg_fractions: dict[int, float] = {}
-        for d in ds:
-            samples = []
-            for child in trial_seeds(seed, trials):
-                sim = simulate(SDG_SPEC.with_(n=n, d=d, horizon=n), seed=child)
-                samples.append(isolated_fraction(sim.snapshot()))
-            ci = mean_confidence_interval(samples)
-            sdg_fractions[d] = ci.mean
-            rows.append(
-                {
-                    "model": "SDG",
-                    "n": n,
-                    "d": d,
-                    "measured_fraction": ci.mean,
-                    "prediction": isolated_fraction_prediction_streaming(d),
-                    "paper_bound": isolated_fraction_lower_bound_streaming(d),
-                    "above_bound": ci.mean
-                    >= isolated_fraction_lower_bound_streaming(d),
-                }
-            )
-        for d in ds:
-            samples = []
-            for child in trial_seeds(seed + 1, trials):
-                sim = simulate(PDG_SPEC.with_(n=n, d=d), seed=child)
-                samples.append(isolated_fraction(sim.snapshot()))
-            ci = mean_confidence_interval(samples)
-            pdg_fractions[d] = ci.mean
-            rows.append(
-                {
-                    "model": "PDG",
-                    "n": n,
-                    "d": d,
-                    "measured_fraction": ci.mean,
-                    "prediction": isolated_fraction_prediction_poisson(d),
-                    "paper_bound": isolated_fraction_lower_bound_poisson(d),
-                    "above_bound": ci.mean
-                    >= isolated_fraction_lower_bound_poisson(d),
-                }
-            )
+        fractions: dict[str, dict[int, float]] = {}
+        for model, sweep, prediction, bound in models:
+            fractions[model] = {}
+            for d, samples in zip(ds, run_sweep(sweep).value_groups()):
+                ci = mean_confidence_interval(samples)
+                fractions[model][d] = ci.mean
+                rows.append(
+                    {
+                        "model": model,
+                        "n": n,
+                        "d": d,
+                        "measured_fraction": ci.mean,
+                        "prediction": prediction(d),
+                        "paper_bound": bound(d),
+                        "above_bound": ci.mean >= bound(d),
+                    }
+                )
+        sdg_fractions = fractions["SDG"]
+        pdg_fractions = fractions["PDG"]
 
         # Lemma 3.5's second claim: isolated nodes stay isolated for life.
         census_net = simulate(
-            SDG_SPEC.with_(n=n, d=2, horizon=n), seed=seed + 2
+            SDG_SPEC.with_(n=n, d=2, horizon=n),
+            seed=derive_seed(seed, "exp01-census", 0),
         ).network
         census = lifetime_isolated_census(census_net, max_rounds=n)
 

@@ -11,9 +11,10 @@ Reproduces Theorem 3.7 (SDG) and Theorem 4.12 (PDG):
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
+from repro.experiments.common import ExperimentResult, Stopwatch
 from repro.experiments.registry import register
-from repro.scenario import ScenarioSpec, simulate
+from repro.scenario import ScenarioSpec
+from repro.sweep import SweepSpec, run_sweep
 from repro.theory.flooding import (
     stall_probability_bound,
     stall_probability_prediction,
@@ -46,28 +47,38 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     else:
         n, trials, ds = 300, 400, [1, 2]
 
+    pdg_trials = max(trials // 3, 30)
+    sdg_sweep = SweepSpec(
+        base=SDG_SPEC.with_(
+            n=n,
+            horizon=n,
+            protocol_params={"max_rounds": 2 * n, "stop_when_extinct": False},
+        ),
+        axes=[("d", tuple(ds))],
+        replicas=trials,
+        seed=seed,
+        stream="exp04-sdg",
+        measure="flood_stats",
+    )
+    pdg_sweep = SweepSpec(
+        base=PDG_SPEC.with_(n=n, protocol_params={"max_time": float(2 * n)}),
+        axes=[("d", tuple(ds))],
+        replicas=pdg_trials,
+        seed=seed,
+        stream="exp04-pdg",
+        measure="flood_stats",
+    )
+
     rows: list[dict] = []
     with Stopwatch() as watch:
         completion_rounds: list[int] = []
-        for d in ds:
-            stalls = []
-            for child in trial_seeds(seed, trials):
-                sim = simulate(
-                    SDG_SPEC.with_(
-                        n=n,
-                        d=d,
-                        horizon=n,
-                        protocol_params={
-                            "max_rounds": 2 * n,
-                            "stop_when_extinct": False,
-                        },
-                    ),
-                    seed=child,
-                )
-                result = sim.flood()
-                stalls.append(result.max_informed <= d + 1)
-                if result.completed and result.completion_round is not None:
-                    completion_rounds.append(result.completion_round)
+        for d, floods in zip(ds, run_sweep(sdg_sweep).value_groups()):
+            stalls = [flood["max_informed"] <= d + 1 for flood in floods]
+            completion_rounds.extend(
+                flood["completion_round"]
+                for flood in floods
+                if flood["completed"] and flood["completion_round"] is not None
+            )
             probability = fraction_true(stalls)
             rows.append(
                 {
@@ -88,18 +99,8 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
                 }
             )
 
-        pdg_trials = max(trials // 3, 30)
-        for d in ds:
-            stalls = []
-            for child in trial_seeds(seed + 1, pdg_trials):
-                sim = simulate(
-                    PDG_SPEC.with_(
-                        n=n, d=d, protocol_params={"max_time": float(2 * n)}
-                    ),
-                    seed=child,
-                )
-                result = sim.flood()
-                stalls.append(result.max_informed <= d + 1)
+        for d, floods in zip(ds, run_sweep(pdg_sweep).value_groups()):
+            stalls = [flood["max_informed"] <= d + 1 for flood in floods]
             probability = fraction_true(stalls)
             rows.append(
                 {

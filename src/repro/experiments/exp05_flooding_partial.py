@@ -14,9 +14,10 @@ from __future__ import annotations
 
 import math
 
-from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
+from repro.experiments.common import ExperimentResult, Stopwatch
 from repro.experiments.registry import register
-from repro.scenario import ScenarioSpec, simulate
+from repro.scenario import ScenarioSpec
+from repro.sweep import SweepSpec, fraction_at_round, run_sweep
 from repro.theory.flooding import (
     informed_fraction_bound_poisson,
     informed_fraction_bound_streaming,
@@ -40,9 +41,9 @@ COLUMNS = [
 ]
 
 
-def _rounds_to_fraction(result, fraction: float) -> int | None:
-    for index in range(len(result.informed_sizes)):
-        if result.fraction_at(index) >= fraction:
+def _rounds_to_fraction(fractions: list[float], fraction: float) -> int | None:
+    for index, value in enumerate(fractions):
+        if value >= fraction:
             return index
     return None
 
@@ -51,22 +52,32 @@ SDG_SPEC = ScenarioSpec(churn="streaming", policy="none", protocol="discrete")
 PDG_SPEC = ScenarioSpec(churn="poisson", policy="none", protocol="discretized")
 
 
-def _sdg_flood(n: int, d: int, child, max_rounds: int):
-    sim = simulate(
-        SDG_SPEC.with_(
-            n=n, d=d, horizon=n, protocol_params={"max_rounds": max_rounds}
-        ),
-        seed=child,
+def _d_axis_sweep(
+    base: ScenarioSpec, n: int, ds: list[int], trials: int, seed: int,
+    stream: str,
+) -> SweepSpec:
+    """The d sweep at fixed n — max_rounds tracks the τ(n, d) horizon."""
+    return SweepSpec(
+        base=base.with_(n=n),
+        axes=[
+            (
+                "scenario",
+                tuple(
+                    {
+                        "d": d,
+                        "protocol_params": {
+                            "max_rounds": partial_flooding_rounds(n, d)
+                        },
+                    }
+                    for d in ds
+                ),
+            )
+        ],
+        replicas=trials,
+        seed=seed,
+        stream=stream,
+        measure="flood_stats",
     )
-    return sim.flood()
-
-
-def _pdg_flood(n: int, d: int, child, max_rounds: int):
-    sim = simulate(
-        PDG_SPEC.with_(n=n, d=d, protocol_params={"max_rounds": max_rounds}),
-        seed=child,
-    )
-    return sim.flood()
 
 
 @register(
@@ -88,75 +99,114 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         n_sweep = [250, 500, 1000, 2000, 4000]
         d_fixed = 8
 
+    # Declared sweeps.  The guarantee grids run one stream per model; the
+    # decay grids *share* a stream, so SDG and PDG cell i draw the same
+    # child seed — preserving the paired-trial structure of the original
+    # loop (one child seeding both models).
+    guarantee_sweeps = [
+        (
+            "SDG",
+            informed_fraction_bound_streaming,
+            _d_axis_sweep(
+                SDG_SPEC.with_(horizon=n_fixed), n_fixed, d_guarantee,
+                trials, seed, "exp05-sdg-guarantee",
+            ),
+        ),
+        (
+            "PDG",
+            informed_fraction_bound_poisson,
+            _d_axis_sweep(
+                PDG_SPEC, n_fixed, d_guarantee, trials, seed,
+                "exp05-pdg-guarantee",
+            ),
+        ),
+    ]
+    decay_sweeps = {
+        "SDG": _d_axis_sweep(
+            SDG_SPEC.with_(horizon=n_fixed), n_fixed, d_decay, decay_trials,
+            seed, "exp05-decay",
+        ),
+        "PDG": _d_axis_sweep(
+            PDG_SPEC, n_fixed, d_decay, decay_trials, seed, "exp05-decay",
+        ),
+    }
+    n_sweep_spec = SweepSpec(
+        base=SDG_SPEC,
+        axes=[
+            (
+                "scenario",
+                tuple(
+                    {
+                        "n": n,
+                        "horizon": n,
+                        "d": d_fixed,
+                        "protocol_params": {
+                            "max_rounds": 6 * partial_flooding_rounds(n, d_fixed)
+                        },
+                    }
+                    for n in n_sweep
+                ),
+            )
+        ],
+        replicas=trials,
+        seed=seed,
+        stream="exp05-n",
+        measure="flood_stats",
+    )
+
     rows: list[dict] = []
     with Stopwatch() as watch:
         # --- d-sweep (guarantee): informed fraction at the horizon beats
         #     the paper's 1 − e^{−d/10} (resp. −d/20) bound.
-        for d in d_guarantee:
-            horizon = partial_flooding_rounds(n_fixed, d)
-            fractions = []
-            for child in trial_seeds(seed, trials):
-                res = _sdg_flood(n_fixed, d, child, max_rounds=horizon)
-                fractions.append(res.fraction_at(horizon))
-            ci = mean_confidence_interval(fractions)
-            guarantee = informed_fraction_bound_streaming(d)
-            rows.append(
-                {
-                    "sweep": "d",
-                    "model": "SDG",
-                    "n": n_fixed,
-                    "d": d,
-                    "horizon": horizon,
-                    "informed_fraction": ci.mean,
-                    "paper_guarantee": guarantee,
-                    "meets_guarantee": ci.mean >= guarantee - 0.02,
-                }
-            )
-        for d in d_guarantee:
-            horizon = partial_flooding_rounds(n_fixed, d)
-            fractions = []
-            for child in trial_seeds(seed + 1, trials):
-                res = _pdg_flood(n_fixed, d, child, max_rounds=horizon)
-                fractions.append(res.fraction_at(horizon))
-            ci = mean_confidence_interval(fractions)
-            guarantee = informed_fraction_bound_poisson(d)
-            rows.append(
-                {
-                    "sweep": "d",
-                    "model": "PDG",
-                    "n": n_fixed,
-                    "d": d,
-                    "horizon": horizon,
-                    "informed_fraction": ci.mean,
-                    "paper_guarantee": guarantee,
-                    "meets_guarantee": ci.mean >= guarantee - 0.02,
-                }
-            )
+        for model, bound, sweep in guarantee_sweeps:
+            groups = run_sweep(sweep).value_groups()
+            for d, floods in zip(d_guarantee, groups):
+                horizon = partial_flooding_rounds(n_fixed, d)
+                ci = mean_confidence_interval(
+                    [fraction_at_round(flood, horizon) for flood in floods]
+                )
+                guarantee = bound(d)
+                rows.append(
+                    {
+                        "sweep": "d",
+                        "model": model,
+                        "n": n_fixed,
+                        "d": d,
+                        "horizon": horizon,
+                        "informed_fraction": ci.mean,
+                        "paper_guarantee": guarantee,
+                        "meets_guarantee": ci.mean >= guarantee - 0.02,
+                    }
+                )
 
         # --- d-sweep (decay): the *unreachable* residual (uninformed nodes
         #     minus the O(1) just-arrived backlog, which is d-independent)
         #     decays exponentially in d.  This isolates the exp(−Ω(d))
         #     shape from the 1/n floor caused by the perpetual newborn.
+        decay_groups = {
+            model: run_sweep(sweep).value_groups()
+            for model, sweep in decay_sweeps.items()
+        }
         sdg_residuals: list[float] = []
         pdg_residuals: list[float] = []
-        for d in d_decay:
+        for point, d in enumerate(d_decay):
             horizon = partial_flooding_rounds(n_fixed, d)
-            per_model: dict[str, list[float]] = {"SDG": [], "PDG": []}
-            for child in trial_seeds(seed + 2, decay_trials):
-                res = _sdg_flood(n_fixed, d, child, max_rounds=horizon)
-                backlog_free = max(
-                    0, res.final_network_size - res.final_informed - 2
-                )
-                per_model["SDG"].append(backlog_free / res.final_network_size)
-                pres = _pdg_flood(n_fixed, d, child, max_rounds=horizon)
-                backlog_free = max(
-                    0, pres.final_network_size - pres.final_informed - 2
-                )
-                per_model["PDG"].append(backlog_free / pres.final_network_size)
-            sdg_mean = mean_confidence_interval(per_model["SDG"]).mean
-            pdg_mean = mean_confidence_interval(per_model["PDG"]).mean
-            sdg_residuals.append(max(sdg_mean, 0.5 / n_fixed))
-            pdg_residuals.append(max(pdg_mean, 0.5 / n_fixed))
+            means: dict[str, float] = {}
+            for model in ("SDG", "PDG"):
+                residuals = []
+                for flood in decay_groups[model][point]:
+                    backlog_free = max(
+                        0,
+                        flood["final_network_size"]
+                        - flood["final_informed"]
+                        - 2,
+                    )
+                    residuals.append(
+                        backlog_free / flood["final_network_size"]
+                    )
+                means[model] = mean_confidence_interval(residuals).mean
+            sdg_residuals.append(max(means["SDG"], 0.5 / n_fixed))
+            pdg_residuals.append(max(means["PDG"], 0.5 / n_fixed))
             rows.append(
                 {
                     "sweep": "decay",
@@ -164,7 +214,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
                     "n": n_fixed,
                     "d": d,
                     "horizon": horizon,
-                    "informed_fraction": 1.0 - sdg_mean,
+                    "informed_fraction": 1.0 - means["SDG"],
                     "paper_guarantee": None,
                     "meets_guarantee": True,
                 }
@@ -172,16 +222,13 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
 
         # --- n-sweep: rounds to reach 90% coverage vs log n.
         rounds_to_90: list[float] = []
-        for n in n_sweep:
-            times = []
-            for child in trial_seeds(seed + 2, trials):
-                res = _sdg_flood(
-                    n, d_fixed, child,
-                    max_rounds=6 * partial_flooding_rounds(n, d_fixed),
-                )
-                reach = _rounds_to_fraction(res, 0.9)
-                if reach is not None:
-                    times.append(reach)
+        for n, floods in zip(n_sweep, run_sweep(n_sweep_spec).value_groups()):
+            times = [
+                reach
+                for flood in floods
+                if (reach := _rounds_to_fraction(flood["fractions"], 0.9))
+                is not None
+            ]
             mean_rounds = (
                 mean_confidence_interval(times).mean if times else float("nan")
             )

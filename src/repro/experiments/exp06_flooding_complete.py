@@ -10,9 +10,10 @@ from __future__ import annotations
 
 import math
 
-from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
+from repro.experiments.common import ExperimentResult, Stopwatch
 from repro.experiments.registry import register
 from repro.scenario import ScenarioSpec, simulate
+from repro.util.rng import derive_seeds
 from repro.util.stats import log_scaling_fit, mean_confidence_interval
 
 COLUMNS = [
@@ -54,7 +55,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
             for n in n_sweep:
                 completions: list[int] = []
                 all_completed = True
-                for child in trial_seeds(seed, trials):
+                for child in derive_seeds(seed, "exp06-complete", trials):
                     if model_name == "SDGR":
                         spec = SDGR_SPEC.with_(
                             n=n,

@@ -16,9 +16,10 @@ from __future__ import annotations
 import math
 
 from repro.analysis.degrees import in_out_degree_split
-from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
+from repro.experiments.common import ExperimentResult, Stopwatch
 from repro.experiments.registry import register
 from repro.scenario import DegreeStatsObserver, ScenarioSpec, simulate
+from repro.util.rng import derive_seed, derive_seeds
 from repro.util.stats import log_scaling_fit, mean_confidence_interval
 
 COLUMNS = [
@@ -53,7 +54,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         mean_ok = True
         for n in n_sweep:
             means, maxes = [], []
-            for child in trial_seeds(seed, trials):
+            for child in derive_seeds(seed, "exp07-sdg", trials):
                 sim = simulate(
                     SDG_SPEC.with_(n=n, d=d, horizon=n),
                     seed=child,
@@ -81,7 +82,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
 
         # SDGR: exactly d·n live requests at every snapshot.
         exact_ok = True
-        for child in trial_seeds(seed + 1, trials):
+        for child in derive_seeds(seed, "exp07-sdgr", trials):
             sim = simulate(
                 SDGR_SPEC.with_(n=n_sweep[0], d=d, horizon=n_sweep[0]),
                 seed=child,
@@ -105,7 +106,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         # PDGR mean degree sanity.
         sim = simulate(
             PDGR_SPEC.with_(n=n_sweep[0], d=d),
-            seed=seed + 2,
+            seed=derive_seed(seed, "exp07-pdgr", 0),
             observers=[DegreeStatsObserver()],
         )
         pdgr_summary = sim.results()["degrees"]["final"]

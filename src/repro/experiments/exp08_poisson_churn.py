@@ -14,15 +14,17 @@ from __future__ import annotations
 
 import math
 
-from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
+from repro.experiments.common import ExperimentResult, Stopwatch
 from repro.experiments.registry import register
 from repro.scenario import ScenarioSpec, simulate
+from repro.sweep import SweepSpec, measurement, run_sweep
 from repro.theory.churn import (
     expected_size_at,
     jump_probability_bounds,
     lifetime_horizon_rounds,
     size_concentration_bounds,
 )
+from repro.util.rng import SeedLike, derive_seed
 from repro.util.stats import fraction_true
 
 COLUMNS = ["property", "n", "measured", "paper_low", "paper_high", "within"]
@@ -38,6 +40,21 @@ def _pdg(n: int, child, warm_time: float | None = None):
     return simulate(spec, seed=child).network
 
 
+@measurement("exp08-size-concentration")
+def size_concentration(
+    spec: ScenarioSpec, seed: SeedLike, probes: int
+) -> list[bool]:
+    """Lemma 4.4 cell: probe |N_t| every n/10 time units at stationarity."""
+    n = int(spec.n)
+    conc = size_concentration_bounds(n)
+    net = simulate(spec, seed=seed).network
+    flags: list[bool] = []
+    for _ in range(probes):
+        net.advance_to_time(net.now + n / 10.0)
+        flags.append(bool(conc.low <= net.num_alive() <= conc.high))
+    return flags
+
+
 @register(
     "EXP-08",
     "Poisson churn: concentration, jump probabilities, lifetimes",
@@ -51,14 +68,22 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
 
     rows: list[dict] = []
     with Stopwatch() as watch:
-        # --- Lemma 4.4: size concentration across probe times ≥ 3n.
-        in_window_flags: list[bool] = []
+        # --- Lemma 4.4: size concentration across probe times ≥ 3n,
+        #     declared as a replica sweep (one cell per trial network).
         conc = size_concentration_bounds(n)
-        for child in trial_seeds(seed, trials):
-            net = _pdg(n, child)
-            for _ in range(probes):
-                net.advance_to_time(net.now + n / 10.0)
-                in_window_flags.append(conc.low <= net.num_alive() <= conc.high)
+        concentration_sweep = SweepSpec(
+            base=PDG_SPEC.with_(n=n),
+            replicas=trials,
+            seed=seed,
+            stream="exp08-concentration",
+            measure="exp08-size-concentration",
+            measure_params={"probes": probes},
+        )
+        in_window_flags = [
+            flag
+            for flags in run_sweep(concentration_sweep).values()
+            for flag in flags
+        ]
         concentration = fraction_true(in_window_flags)
         rows.append(
             {
@@ -73,7 +98,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
 
         # --- Lemma 4.7: empirical jump probabilities at stationarity.
         bounds = jump_probability_bounds()
-        net = _pdg(n, seed + 1)
+        net = _pdg(n, derive_seed(seed, "exp08-jump", 0))
         births = 0
         events = 4000 if quick else 20000
         for record in net.advance_rounds_jump(events):
@@ -93,7 +118,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         # --- Lemma 4.7: fixed-node death probability per round.  Unbiased
         # estimator: deaths divided by exposure (alive-node-rounds) —
         # measuring realised lifetimes instead would be censoring-biased.
-        net = _pdg(n, seed + 2)
+        net = _pdg(n, derive_seed(seed, "exp08-death", 0))
         deaths = 0
         exposure = 0
         for _ in range(events):
@@ -115,7 +140,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         )
 
         # --- Lemma 4.8: oldest node age (in rounds ≈ 2 × time units).
-        net = _pdg(n, seed + 3, warm_time=8.0 * n)
+        net = _pdg(n, derive_seed(seed, "exp08-age", 0), warm_time=8.0 * n)
         snap = net.snapshot()
         oldest_rounds = 2.0 * max(snap.age(u) for u in snap.nodes)
         horizon = lifetime_horizon_rounds(n)
@@ -132,7 +157,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
 
         # --- cold-start growth curve vs the exact mean.
         curve_ok = True
-        net = _pdg(n, seed + 4, warm_time=0)
+        net = _pdg(n, derive_seed(seed, "exp08-growth", 0), warm_time=0)
         for t in [n / 4, n / 2, n, 2 * n]:
             net.advance_to_time(t)
             expected = expected_size_at(t, n)

@@ -16,6 +16,7 @@ from repro.analysis.edge_prob import (
 from repro.experiments.common import ExperimentResult, Stopwatch
 from repro.experiments.registry import register
 from repro.scenario import ScenarioSpec, simulate
+from repro.util.rng import derive_seed
 
 # The streaming rows use the exact standalone request simulator (no
 # driver); only the PDGR snapshot rows build a network.
@@ -56,7 +57,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
                 owner_rounds=owner_rounds,
                 target_age=target_age,
                 trials=trials,
-                seed=seed + owner_rounds,
+                seed=derive_seed(seed, f"exp09-owner-{owner_rounds}", 0),
             )
             rows.append(
                 {
@@ -70,7 +71,10 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
                 }
             )
 
-        sim = simulate(PDGR_SPEC.with_(n=pdgr_n), seed=seed + 1)
+        sim = simulate(
+            PDGR_SPEC.with_(n=pdgr_n),
+            seed=derive_seed(seed, "exp09-pdgr", 0),
+        )
         buckets = poisson_slot_destination_frequency(sim.snapshot(), n=float(pdgr_n))
         for bucket in buckets:
             if bucket.num_owners < 5:

@@ -14,7 +14,7 @@ declare — every driver-based experiment goes through the scenario layer.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
+from repro.experiments.common import ExperimentResult, Stopwatch
 from repro.experiments.registry import register
 from repro.onion import run_poisson_onion_skin, run_streaming_onion_skin
 from repro.theory.onion import (
@@ -23,6 +23,7 @@ from repro.theory.onion import (
     onion_growth_factor_poisson,
     onion_growth_factor_streaming,
 )
+from repro.util.rng import derive_seeds
 from repro.util.stats import fraction_true
 
 COLUMNS = [
@@ -63,7 +64,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     with Stopwatch() as watch:
         # Streaming process at the paper's d ≥ 200.
         successes, growths = [], []
-        for child in trial_seeds(seed, trials):
+        for child in derive_seeds(seed, "exp10-onion", trials):
             res = run_streaming_onion_skin(n=n, d=streaming_d, seed=child)
             successes.append(res.reached_target)
             growths.append(_early_growth(res.layer_growth_factors()))
@@ -86,7 +87,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
 
         # Poisson (extended) process.
         successes, growths = [], []
-        for child in trial_seeds(seed + 1, trials):
+        for child in derive_seeds(seed, "exp10-skin", trials):
             res = run_poisson_onion_skin(n=n, d=poisson_d, seed=child)
             successes.append(res.reached_target)
             sequence = [1] + res.old_layers[:1] + res.young_layers[:1]

@@ -11,11 +11,12 @@ from __future__ import annotations
 
 from repro.analysis.expansion import adversarial_expansion_upper_bound
 from repro.analysis.isolated import isolated_fraction
-from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
+from repro.experiments.common import ExperimentResult, Stopwatch
 from repro.experiments.registry import register
 from repro.models import static_d_out_snapshot
 from repro.scenario import ScenarioSpec, simulate
 from repro.theory.static import nonexpansion_union_bound
+from repro.util.rng import derive_seeds
 from repro.util.stats import mean_confidence_interval
 
 SDG_SPEC = ScenarioSpec(churn="streaming", policy="none")
@@ -46,7 +47,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         union_bounds = {}
         for d in ds:
             worst = float("inf")
-            for child in trial_seeds(seed, trials):
+            for child in derive_seeds(seed, "exp11-static", trials):
                 snap = static_d_out_snapshot(n, d, seed=child)
                 probe = adversarial_expansion_upper_bound(snap, seed=child)
                 worst = min(worst, probe.min_ratio)
@@ -63,7 +64,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
             union_bounds[d] = nonexpansion_union_bound(n, d)
 
             fractions = []
-            for child in trial_seeds(seed + 1, trials):
+            for child in derive_seeds(seed, "exp11-dynamic", trials):
                 sim = simulate(SDG_SPEC.with_(n=n, d=d, horizon=n), seed=child)
                 fractions.append(isolated_fraction(sim.snapshot()))
             iso = mean_confidence_interval(fractions).mean

@@ -9,18 +9,10 @@ from __future__ import annotations
 
 import math
 
-from repro.analysis.expansion import (
-    adversarial_expansion_upper_bound,
-    large_set_expansion_probe,
-)
-from repro.analysis.isolated import isolated_fraction
-from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
+from repro.experiments.common import ExperimentResult, Stopwatch
 from repro.experiments.registry import register
-from repro.scenario import ScenarioSpec, simulate
-from repro.theory.expansion import (
-    large_set_window_poisson,
-    large_set_window_streaming,
-)
+from repro.scenario import ScenarioSpec
+from repro.sweep import SweepSpec, fraction_at_round, run_sweep
 from repro.theory.flooding import partial_flooding_rounds
 from repro.util.stats import fraction_true, mean_confidence_interval
 
@@ -36,12 +28,33 @@ SPECS = {
 }
 
 
-def _warm_sim(name: str, n: int, d: int, child, **spec_changes):
-    """One warm Table-1 network (streaming models run n extra rounds)."""
-    spec = SPECS[name].with_(n=n, d=d, **spec_changes)
-    if name.startswith("S"):
-        spec = spec.with_(horizon=n)
-    return simulate(spec, seed=child)
+def _model_overrides(name: str, n: int, d: int, **changes) -> dict:
+    """Scenario-axis overrides for one warm Table-1 model instance
+    (streaming models run n extra rounds to reach age-stationarity)."""
+    spec = SPECS[name]
+    overrides = {
+        "churn": spec.churn,
+        "policy": spec.policy,
+        "d": d,
+        "horizon": n if name.startswith("S") else 0,
+        **changes,
+    }
+    return overrides
+
+
+def _model_sweep(
+    models: list[dict], n: int, trials: int, seed: int, stream: str,
+    measure: str,
+) -> SweepSpec:
+    """One Table-1 section: a model axis × `trials` seed replicas."""
+    return SweepSpec(
+        base=SPECS["SDG"].with_(n=n),
+        axes=[("scenario", tuple(models))],
+        replicas=trials,
+        seed=seed,
+        stream=stream,
+        measure=measure,
+    )
 
 
 @register(
@@ -56,14 +69,67 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         n, trials, d_noregen, d_regen = 1000, 5, 20, 21
     d_pdgr = 35
 
+    partial_horizon = partial_flooding_rounds(n, 12)
+    complete_rounds = 40 * int(math.log2(n))
+    # One declared sweep per Table-1 section, each on its own named seed
+    # stream (the old trial_seeds(seed + k) families, made explicit).
+    sweeps = {
+        "isolated": _model_sweep(
+            [_model_overrides(m, n, 2) for m in ("SDG", "PDG")],
+            n, trials, seed, "exp12-isolated", "isolated_fraction",
+        ),
+        "window": _model_sweep(
+            [_model_overrides(m, n, d_noregen) for m in ("SDG", "PDG")],
+            n, trials, seed, "exp12-window", "window_expansion_probe",
+        ),
+        "regen": _model_sweep(
+            [
+                _model_overrides("SDGR", n, 14),
+                _model_overrides("PDGR", n, d_pdgr),
+            ],
+            n, trials, seed, "exp12-regen", "adversarial_expansion",
+        ),
+        "stall": _model_sweep(
+            [
+                _model_overrides(
+                    "SDG", n, 1,
+                    protocol="discrete",
+                    protocol_params={
+                        "max_rounds": n, "stop_when_extinct": False,
+                    },
+                )
+            ],
+            n, max(20, trials * 10), seed, "exp12-stall", "flood_stats",
+        ),
+        "partial": _model_sweep(
+            [
+                _model_overrides(
+                    m, n, 12,
+                    protocol="discrete" if m == "SDG" else "discretized",
+                    protocol_params={"max_rounds": partial_horizon},
+                )
+                for m in ("SDG", "PDG")
+            ],
+            n, trials, seed, "exp12-partial", "flood_stats",
+        ),
+        "complete": _model_sweep(
+            [
+                _model_overrides(
+                    m, n, d_use,
+                    protocol="discrete" if m == "SDGR" else "discretized",
+                    protocol_params={"max_rounds": complete_rounds},
+                )
+                for m, d_use in (("SDGR", d_regen), ("PDGR", d_pdgr))
+            ],
+            n, trials, seed, "exp12-complete", "flood_stats",
+        ),
+    }
+
     rows: list[dict] = []
     with Stopwatch() as watch:
         # --- Expansion negative: isolated nodes without regeneration.
-        for name in ["SDG", "PDG"]:
-            fractions = []
-            for child in trial_seeds(seed, trials):
-                sim = _warm_sim(name, n, 2, child)
-                fractions.append(isolated_fraction(sim.snapshot()))
+        groups = run_sweep(sweeps["isolated"]).value_groups()
+        for name, fractions in zip(["SDG", "PDG"], groups):
             mean_fraction = mean_confidence_interval(fractions).mean
             rows.append(
                 {
@@ -76,21 +142,9 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
             )
 
         # --- Expansion positive: large sets expand without regeneration.
-        for name in ["SDG", "PDG"]:
-            worst = float("inf")
-            for child in trial_seeds(seed + 1, trials):
-                if name == "SDG":
-                    low, high = large_set_window_streaming(n, d_noregen)
-                else:
-                    low, high = large_set_window_poisson(n, d_noregen)
-                snap = _warm_sim(name, n, d_noregen, child).snapshot()
-                probe = large_set_expansion_probe(
-                    snap,
-                    min_size=low,
-                    max_size=min(high, snap.num_nodes() // 2),
-                    seed=child,
-                )
-                worst = min(worst, probe.min_ratio)
+        groups = run_sweep(sweeps["window"]).value_groups()
+        for name, probes in zip(["SDG", "PDG"], groups):
+            worst = min(probe["min_ratio"] for probe in probes)
             rows.append(
                 {
                     "cell": "expansion / large sets",
@@ -102,12 +156,11 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
             )
 
         # --- Expansion positive: full expanders with regeneration.
-        for name, d_use in [("SDGR", 14), ("PDGR", d_pdgr)]:
-            worst = float("inf")
-            for child in trial_seeds(seed + 2, trials):
-                snap = _warm_sim(name, n, d_use, child).snapshot()
-                probe = adversarial_expansion_upper_bound(snap, seed=child)
-                worst = min(worst, probe.min_ratio)
+        groups = run_sweep(sweeps["regen"]).value_groups()
+        for (name, d_use), probes in zip(
+            [("SDGR", 14), ("PDGR", d_pdgr)], groups
+        ):
+            worst = min(probe["min_ratio"] for probe in probes)
             rows.append(
                 {
                     "cell": "expansion / regeneration",
@@ -119,16 +172,10 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
             )
 
         # --- Flooding negative: stall probability at d=1.
-        stalls = []
-        for child in trial_seeds(seed + 3, max(20, trials * 10)):
-            sim = _warm_sim(
-                "SDG", n, 1, child,
-                protocol="discrete",
-                protocol_params={"max_rounds": n, "stop_when_extinct": False},
-            )
-            res = sim.flood()
-            stalls.append(res.max_informed <= 2)
-        stall_probability = fraction_true(stalls)
+        floods = run_sweep(sweeps["stall"]).values()
+        stall_probability = fraction_true(
+            [flood["max_informed"] <= 2 for flood in floods]
+        )
         rows.append(
             {
                 "cell": "flooding / negative",
@@ -140,41 +187,31 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         )
 
         # --- Flooding positive: partial flooding without regeneration.
-        for name in ["SDG", "PDG"]:
-            fractions = []
-            horizon = partial_flooding_rounds(n, 12)
-            for child in trial_seeds(seed + 4, trials):
-                sim = _warm_sim(
-                    name, n, 12, child,
-                    protocol="discrete" if name == "SDG" else "discretized",
-                    protocol_params={"max_rounds": horizon},
-                )
-                fractions.append(sim.flood().fraction_at(horizon))
-            mean_fraction = mean_confidence_interval(fractions).mean
+        groups = run_sweep(sweeps["partial"]).value_groups()
+        for name, floods in zip(["SDG", "PDG"], groups):
+            mean_fraction = mean_confidence_interval(
+                [fraction_at_round(flood, partial_horizon) for flood in floods]
+            ).mean
             rows.append(
                 {
                     "cell": "flooding / partial",
                     "model": name,
                     "paper_claim": "1−exp(−Ω(d)) informed in O(log n) (d=12)",
-                    "measured": f"informed fraction {mean_fraction:.3f} in {horizon} rounds",
+                    "measured": f"informed fraction {mean_fraction:.3f} "
+                    f"in {partial_horizon} rounds",
                     "agrees": mean_fraction > 0.65,
                 }
             )
 
         # --- Flooding positive: complete flooding with regeneration.
-        for name, d_use in [("SDGR", d_regen), ("PDGR", d_pdgr)]:
-            completions = []
-            for child in trial_seeds(seed + 5, trials):
-                sim = _warm_sim(
-                    name, n, d_use, child,
-                    protocol="discrete" if name == "SDGR" else "discretized",
-                    protocol_params={"max_rounds": 40 * int(math.log2(n))},
-                )
-                res = sim.flood()
-                completions.append(
-                    res.completion_round if res.completed else math.inf
-                )
-            worst_completion = max(completions)
+        groups = run_sweep(sweeps["complete"]).value_groups()
+        for (name, d_use), floods in zip(
+            [("SDGR", d_regen), ("PDGR", d_pdgr)], groups
+        ):
+            worst_completion = max(
+                flood["completion_round"] if flood["completed"] else math.inf
+                for flood in floods
+            )
             rows.append(
                 {
                     "cell": "flooding / complete",

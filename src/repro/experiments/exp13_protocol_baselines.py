@@ -12,9 +12,10 @@ from __future__ import annotations
 import math
 
 from repro.analysis.components import component_summary
-from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
+from repro.experiments.common import ExperimentResult, Stopwatch
 from repro.experiments.registry import register
 from repro.scenario import ScenarioSpec, simulate
+from repro.util.rng import derive_seeds
 from repro.util.stats import mean_confidence_interval
 
 COLUMNS = [
@@ -57,7 +58,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     with Stopwatch() as watch:
         for name, spec in scenarios.items():
             connected_flags, giants, completions = [], [], []
-            for child in trial_seeds(seed, trials):
+            for child in derive_seeds(seed, "exp13-protocols", trials):
                 sim = simulate(spec, seed=child)
                 summary = component_summary(sim.snapshot())
                 connected_flags.append(summary.is_connected)

@@ -13,9 +13,10 @@ import math
 
 from repro.analysis.components import component_summary
 from repro.analysis.degrees import degree_summary
-from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
+from repro.experiments.common import ExperimentResult, Stopwatch
 from repro.experiments.registry import register
 from repro.scenario import ScenarioSpec, simulate
+from repro.util.rng import derive_seeds
 from repro.util.stats import mean_confidence_interval
 
 SPECS = {
@@ -57,7 +58,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
             for label in ["bitcoin-like", "PDGR d=8"]:
                 completions, isolated_counts, connected_flags = [], [], []
                 degree_means, in_maxes = [], []
-                for child in trial_seeds(seed, trials):
+                for child in derive_seeds(seed, "exp14-overlay", trials):
                     sim = simulate(
                         SPECS[label].with_(
                             n=n,

@@ -23,10 +23,12 @@ import math
 
 from repro.analysis.degrees import degree_summary
 from repro.analysis.expansion import adversarial_expansion_upper_bound
-from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
+from repro.experiments.common import ExperimentResult, Stopwatch
 from repro.experiments.registry import register
 from repro.scenario import ScenarioSpec, simulate
+from repro.sweep import SweepSpec, measurement, run_sweep
 from repro.theory.expansion import EXPANSION_THRESHOLD
+from repro.util.rng import SeedLike
 from repro.util.stats import mean_confidence_interval
 
 COLUMNS = [
@@ -39,6 +41,33 @@ COLUMNS = [
     "worst_expansion",
     "flood_rounds",
 ]
+
+
+@measurement("exp15-policy-cell")
+def policy_cell(spec: ScenarioSpec, seed: SeedLike) -> dict:
+    """One bounded-degree comparison cell: degrees, expansion, flooding."""
+    sim = simulate(spec, seed=seed)
+    snap = sim.snapshot()
+    summary = degree_summary(snap)
+    mean_out = (
+        sum(
+            sum(1 for t in slots if t is not None)
+            for slots in snap.out_slots.values()
+        )
+        / snap.num_nodes()
+    )
+    probe = adversarial_expansion_upper_bound(snap, seed=seed)
+    flood = sim.flood()
+    return {
+        "max_degree": int(summary.max_degree),
+        "mean_out_degree": float(mean_out),
+        "min_ratio": float(probe.min_ratio),
+        "flood_rounds": (
+            flood.completion_round
+            if flood.completed and flood.completion_round is not None
+            else None
+        ),
+    }
 
 
 @register(
@@ -68,60 +97,55 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         protocol_params={"max_rounds": 40 * int(math.log2(n))},
     )
 
+    # (label, policy overrides, effective in-degree cap or None)
+    configs: list[tuple[str, dict, int | None]] = [
+        ("uncapped (SDGR)", {"policy": "regen", "policy_params": {}}, None)
+    ]
+    configs += [
+        (
+            f"cap={cap}",
+            {"policy": "capped", "policy_params": {"max_in_degree": cap}},
+            cap,
+        )
+        for cap in caps
+    ]
+    configs += [
+        (
+            f"RAES c={c:g}",
+            {"policy": "raes", "policy_params": {"c": c}},
+            int(c * d),
+        )
+        for c in raes_cs
+    ]
+    sweep = SweepSpec(
+        base=base,
+        axes=[("scenario", tuple(overrides for _, overrides, _ in configs))],
+        replicas=trials,
+        seed=seed,
+        stream="exp15-policies",
+        measure="exp15-policy-cell",
+    )
+
     rows: list[dict] = []
     with Stopwatch() as watch:
-        # (label, spec, effective in-degree cap or None for uncapped)
-        configs: list[tuple[str, ScenarioSpec, int | None]] = [
-            ("uncapped (SDGR)", base.with_(policy="regen"), None)
-        ]
-        configs += [
-            (
-                f"cap={cap}",
-                base.with_(policy="capped", policy_params={"max_in_degree": cap}),
-                cap,
-            )
-            for cap in caps
-        ]
-        configs += [
-            (
-                f"RAES c={c:g}",
-                base.with_(policy="raes", policy_params={"c": c}),
-                int(c * d),
-            )
-            for c in raes_cs
-        ]
-        for label, spec, cap in configs:
-            max_degrees, out_means, expansions, floods = [], [], [], []
-            for child in trial_seeds(seed, trials):
-                sim = simulate(spec, seed=child)
-                snap = sim.snapshot()
-                summary = degree_summary(snap)
-                max_degrees.append(summary.max_degree)
-                out_means.append(
-                    sum(
-                        sum(1 for t in slots if t is not None)
-                        for slots in snap.out_slots.values()
-                    )
-                    / snap.num_nodes()
-                )
-                probe = adversarial_expansion_upper_bound(snap, seed=child)
-                expansions.append(probe.min_ratio)
-                flood = sim.flood()
-                floods.append(
-                    flood.completion_round
-                    if flood.completed and flood.completion_round is not None
-                    else float("nan")
-                )
-            finite = [f for f in floods if f == f]
+        groups = run_sweep(sweep).value_groups()
+        for (label, _, cap), cells in zip(configs, groups):
+            finite = [
+                c["flood_rounds"]
+                for c in cells
+                if c["flood_rounds"] is not None
+            ]
             rows.append(
                 {
                     "policy": label,
                     "n": n,
                     "d": d,
                     "cap": cap,
-                    "max_degree": max(max_degrees),
-                    "mean_out_degree": mean_confidence_interval(out_means).mean,
-                    "worst_expansion": min(expansions),
+                    "max_degree": max(c["max_degree"] for c in cells),
+                    "mean_out_degree": mean_confidence_interval(
+                        [c["mean_out_degree"] for c in cells]
+                    ).mean,
+                    "worst_expansion": min(c["min_ratio"] for c in cells),
                     "flood_rounds": (
                         mean_confidence_interval(finite).mean if finite else None
                     ),

@@ -21,10 +21,11 @@ import math
 from repro.analysis.components import giant_component_fraction
 from repro.analysis.distances import giant_component_diameter
 from repro.analysis.expansion import adversarial_expansion_upper_bound
-from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
+from repro.experiments.common import ExperimentResult, Stopwatch
 from repro.experiments.registry import register
 from repro.scenario import ScenarioSpec, simulate
 from repro.theory.expansion import EXPANSION_THRESHOLD
+from repro.util.rng import derive_seeds
 from repro.util.stats import mean_confidence_interval
 
 COLUMNS = [
@@ -73,7 +74,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
                     policy=policy, d=d, churn_params={"strategy": strategy}
                 )
                 expansions, giants, diameters, floods = [], [], [], []
-                for child in trial_seeds(seed, trials):
+                for child in derive_seeds(seed, "exp16-strategies", trials):
                     sim = simulate(spec, seed=child)
                     snap = sim.snapshot()
                     probe = adversarial_expansion_upper_bound(snap, seed=child)

@@ -21,9 +21,11 @@ from __future__ import annotations
 import math
 
 from repro.analysis.isolated import isolated_fraction
-from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
+from repro.experiments.common import ExperimentResult, Stopwatch
 from repro.experiments.registry import register
 from repro.scenario import ScenarioSpec, simulate
+from repro.sweep import SweepSpec, measurement, run_sweep
+from repro.util.rng import SeedLike
 from repro.util.stats import mean_confidence_interval
 
 COLUMNS = [
@@ -44,6 +46,53 @@ LAWS = [
 ]
 
 
+@measurement("exp17-law-cell")
+def law_cell(
+    spec: ScenarioSpec, seed: SeedLike, iso_d: int, flood_d: int
+) -> dict:
+    """One lifetime-law cell: the same child seeds all three sessions
+    (isolation without regeneration, flooding, lossy flooding), exactly
+    as the hand-written trial loop did."""
+    no_regen = simulate(spec.with_(policy="none", d=iso_d), seed=seed)
+    regen = spec.with_(policy="regen", d=flood_d)
+    n = spec.n
+
+    flood = simulate(
+        regen.with_(
+            protocol="discretized",
+            protocol_params={"max_rounds": 60 * int(math.log2(n))},
+        ),
+        seed=seed,
+    ).flood()
+
+    lossy = simulate(
+        regen.with_(
+            protocol="lossy",
+            protocol_params={
+                "loss": 0.3,
+                "max_rounds": 80 * int(math.log2(n)),
+            },
+        ),
+        seed=seed,
+    ).flood(seed=seed)
+
+    return {
+        "alive": int(no_regen.network.num_alive()),
+        "isolated_fraction": float(isolated_fraction(no_regen.snapshot())),
+        "flood_completed": bool(flood.completed),
+        "flood_rounds": (
+            flood.completion_round
+            if flood.completed and flood.completion_round is not None
+            else None
+        ),
+        "lossy_rounds": (
+            lossy.completion_round
+            if lossy.completed and lossy.completion_round is not None
+            else None
+        ),
+    }
+
+
 @register(
     "EXP-17",
     "Extension: robustness to the node-lifetime distribution",
@@ -61,55 +110,46 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     # accumulate over many means); warm for 8 means everywhere.
     warm = 8.0 * n
 
+    # The lifetime-law axis × `trials` seed replicas, declared as one
+    # sweep; every cell runs all three sessions off its own child seed.
+    sweep = SweepSpec(
+        base=ScenarioSpec(churn="general", n=n),
+        axes=[
+            (
+                "scenario",
+                tuple(
+                    {"churn_params": {"warm_time": warm, **law_params}}
+                    for _, law_params in LAWS
+                ),
+            )
+        ],
+        replicas=trials,
+        seed=seed,
+        stream="exp17-laws",
+        measure="exp17-law-cell",
+        measure_params={"iso_d": iso_d, "flood_d": d},
+    )
+
     rows: list[dict] = []
     with Stopwatch() as watch:
-        for label, law_params in LAWS:
-            base = ScenarioSpec(
-                churn="general",
-                n=n,
-                churn_params={"warm_time": warm, **law_params},
-            )
-            sizes, iso, completed, rounds, lossy_rounds = [], [], [], [], []
-            for child in trial_seeds(seed, trials):
-                no_regen = simulate(
-                    base.with_(policy="none", d=iso_d), seed=child
-                )
-                sizes.append(no_regen.network.num_alive())
-                iso.append(isolated_fraction(no_regen.snapshot()))
-
-                regen = base.with_(policy="regen", d=d)
-                flood = simulate(
-                    regen.with_(
-                        protocol="discretized",
-                        protocol_params={"max_rounds": 60 * int(math.log2(n))},
-                    ),
-                    seed=child,
-                ).flood()
-                completed.append(flood.completed)
-                if flood.completed and flood.completion_round is not None:
-                    rounds.append(flood.completion_round)
-
-                lossy = simulate(
-                    regen.with_(
-                        protocol="lossy",
-                        protocol_params={
-                            "loss": 0.3,
-                            "max_rounds": 80 * int(math.log2(n)),
-                        },
-                    ),
-                    seed=child,
-                ).flood(seed=child)
-                if lossy.completed and lossy.completion_round is not None:
-                    lossy_rounds.append(lossy.completion_round)
-
+        groups = run_sweep(sweep).value_groups()
+        for (label, _), cells in zip(LAWS, groups):
+            rounds = [
+                c["flood_rounds"] for c in cells if c["flood_rounds"] is not None
+            ]
+            lossy_rounds = [
+                c["lossy_rounds"] for c in cells if c["lossy_rounds"] is not None
+            ]
             rows.append(
                 {
                     "lifetime_law": label,
-                    "mean_size": mean_confidence_interval(sizes).mean,
-                    "isolated_fraction_no_regen": mean_confidence_interval(
-                        iso
+                    "mean_size": mean_confidence_interval(
+                        [c["alive"] for c in cells]
                     ).mean,
-                    "flood_completed": all(completed),
+                    "isolated_fraction_no_regen": mean_confidence_interval(
+                        [c["isolated_fraction"] for c in cells]
+                    ).mean,
+                    "flood_completed": all(c["flood_completed"] for c in cells),
                     "flood_rounds": (
                         mean_confidence_interval(rounds).mean if rounds else None
                     ),

@@ -12,9 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Protocol
 
+from pathlib import Path
+
 from repro.core.backend import use_backend
 from repro.errors import ExperimentError
 from repro.experiments.common import ExperimentResult
+from repro.sweep import use_sweep_options
 
 
 class ExperimentRunner(Protocol):
@@ -76,14 +79,24 @@ def run_experiment(
     quick: bool = True,
     seed: int = 0,
     backend: str | None = None,
+    jobs: int | None = None,
+    store: str | Path | None = None,
+    resume: bool | None = None,
 ) -> ExperimentResult:
     """Run one experiment by id.
 
     *backend* overrides the topology backend for every network the runner
     builds (via :func:`repro.core.backend.use_backend`, so experiment
     signatures stay unchanged); ``None`` keeps the process default.
+    *jobs*, *store* and *resume* configure the ambient sweep options the
+    same way (:func:`repro.sweep.use_sweep_options`): every replication
+    sweep the runner declares executes on *jobs* worker processes
+    against the content-addressed result store at *store*, serving warm
+    cells from it when *resume* is set.
     """
-    with use_backend(backend):
+    with use_backend(backend), use_sweep_options(
+        jobs=jobs, store=store, resume=resume
+    ):
         return get_experiment(experiment_id).runner(quick=quick, seed=seed)
 
 

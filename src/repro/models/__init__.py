@@ -8,6 +8,11 @@ name         churn                edge dynamics       paper definition
 ``PDG``      Poisson              no regeneration     Definition 4.9
 ``PDGR``     Poisson              regeneration        Definition 4.14
 ===========  ===================  ==================  =====================
+
+Beyond the paper, :class:`~repro.models.threshold.ThresholdStreamingNetwork`
+(``TSDG``) couples the streaming cadence to *degree-threshold* departures
+(Angileri et al. 2025, arXiv:2507.23533): a node leaves when its
+connectivity — not its age — falls below the threshold.
 """
 
 from repro.models.adversarial import AdversarialStreamingNetwork
@@ -20,6 +25,7 @@ from repro.models.static import (
     static_d_out_snapshot,
 )
 from repro.models.streaming import SDG, SDGR, StreamingNetwork
+from repro.models.threshold import TSDG, ThresholdStreamingNetwork
 
 __all__ = [
     "GDG",
@@ -28,12 +34,14 @@ __all__ = [
     "PDGR",
     "SDG",
     "SDGR",
+    "TSDG",
     "AdversarialStreamingNetwork",
     "DynamicNetwork",
     "GeneralChurnNetwork",
     "PoissonNetwork",
     "RoundReport",
     "StreamingNetwork",
+    "ThresholdStreamingNetwork",
     "erdos_renyi_snapshot",
     "random_regular_snapshot",
     "static_d_out_snapshot",

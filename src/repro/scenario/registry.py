@@ -7,7 +7,8 @@ Three small registries make a scenario declarative:
 * **lifetime laws** (``exponential`` / ``weibull`` / ``pareto`` /
   ``fixed``) → :mod:`repro.churn.lifetime` distributions for the
   generalized driver;
-* **churn models** (``streaming``, ``poisson``, ``general``,
+* **churn models** (``streaming``, ``threshold`` — the degree-threshold
+  streaming dynamic of Angileri et al. 2025 —, ``poisson``, ``general``,
   ``adversarial``, plus the protocol-managed ``central_cache``,
   ``tokens`` and ``bitcoin`` baselines) → driver builders.
 
@@ -45,6 +46,7 @@ from repro.models.base import DynamicNetwork
 from repro.models.general import GeneralChurnNetwork
 from repro.models.poisson import PoissonNetwork
 from repro.models.streaming import StreamingNetwork
+from repro.models.threshold import ThresholdStreamingNetwork, default_threshold
 from repro.p2p import BitcoinLikeNetwork
 from repro.util.rng import SeedLike
 
@@ -137,6 +139,7 @@ _RUN_KEYS = ("batch", "window")
 #: construction and by the builders).
 CHURN_PARAM_KEYS: dict[str, tuple[str, ...]] = {
     "streaming": ("warm", "fast_warm"),
+    "threshold": ("threshold", "warm", "fast_warm"),
     "poisson": ("lam", "warm_time", "fast_warm"),
     "general": ("lam", "warm_time", "fast_warm", "lifetime", "lifetime_mean",
                 "lifetime_params"),
@@ -159,6 +162,12 @@ def validate_churn_params(spec: "ScenarioSpec") -> None:
         _check_keys(spec.churn_params, allowed + _RUN_KEYS, f"{spec.churn} churn")
     if spec.churn in PROTOCOL_MANAGED_CHURN:
         _require_protocol_managed(spec)
+    if spec.churn == "threshold":
+        threshold = spec.churn_params.get("threshold")
+        if threshold is not None and int(threshold) < 1:
+            raise ConfigurationError(
+                f"degree threshold must be >= 1, got {threshold}"
+            )
     if spec.churn == "general":
         make_lifetime(
             str(spec.churn_params.get("lifetime", "exponential")),
@@ -173,6 +182,23 @@ def _build_streaming(spec: "ScenarioSpec", seed: SeedLike) -> DynamicNetwork:
     return StreamingNetwork(
         int(spec.n),
         make_policy(spec),
+        seed=seed,
+        warm=bool(params.get("warm", True)),
+        backend=spec.backend,
+        fast_warm=bool(params.get("fast_warm", False)),
+    )
+
+
+def _build_threshold(spec: "ScenarioSpec", seed: SeedLike) -> DynamicNetwork:
+    params = spec.churn_params
+    _check_keys(params, CHURN_PARAM_KEYS["threshold"] + _RUN_KEYS, "threshold churn")
+    threshold = params.get("threshold")
+    return ThresholdStreamingNetwork(
+        int(spec.n),
+        make_policy(spec),
+        threshold=(
+            default_threshold(spec.d) if threshold is None else int(threshold)
+        ),
         seed=seed,
         warm=bool(params.get("warm", True)),
         backend=spec.backend,
@@ -287,6 +313,7 @@ def _build_bitcoin(spec: "ScenarioSpec", seed: SeedLike) -> DynamicNetwork:
 
 CHURN_MODELS: dict[str, ChurnBuilder] = {
     "streaming": _build_streaming,
+    "threshold": _build_threshold,
     "poisson": _build_poisson,
     "general": _build_general,
     "adversarial": _build_adversarial,

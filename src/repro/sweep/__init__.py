@@ -1,0 +1,76 @@
+"""The sweep plane: declarative grids, parallel execution, cached results.
+
+The paper's claims are statements over *ensembles* — many seeds × many
+``(n, d, churn, policy)`` points — and this package is the layer every
+such ensemble runs on:
+
+* :class:`~repro.sweep.spec.SweepSpec` — a frozen, JSON-round-trippable
+  grid over :class:`~repro.scenario.spec.ScenarioSpec` axes with named
+  deterministic seed streams (one child per cell, no ``seed + k``
+  arithmetic);
+* :mod:`~repro.sweep.measurements` — the registry of per-cell
+  measurement functions a sweep names declaratively;
+* :class:`~repro.sweep.runner.SweepRunner` / :func:`run_sweep` —
+  sequential or :class:`~concurrent.futures.ProcessPoolExecutor`
+  execution with per-cell timing and failure isolation, returning
+  results in canonical grid order so ``--jobs 4`` output is
+  bit-identical to ``--jobs 1``;
+* :class:`~repro.sweep.store.ResultStore` — a content-addressed on-disk
+  cache (sha256 of scenario + measurement + seed identity + version)
+  making sweeps resumable and warm re-runs free.
+
+Quick start::
+
+    from repro.scenario import ScenarioSpec
+    from repro.sweep import SweepSpec, run_sweep
+
+    sweep = SweepSpec(
+        base=ScenarioSpec(churn="streaming", policy="none", n=400,
+                          horizon=400),
+        axes=[("d", (1, 2, 3, 4))],
+        replicas=8,
+        seed=0,
+        stream="isolated-vs-d",
+        measure="isolated_fraction",
+    )
+    groups = run_sweep(sweep, jobs=4).value_groups()  # one list per d
+"""
+
+from repro.sweep.measurements import (
+    Measurement,
+    fraction_at_round,
+    get_measurement,
+    measurement,
+    measurement_names,
+)
+from repro.sweep.runner import (
+    CellResult,
+    SweepOptions,
+    SweepRunner,
+    SweepRunResult,
+    current_sweep_options,
+    run_sweep,
+    use_sweep_options,
+)
+from repro.sweep.spec import SweepAxis, SweepCell, SweepSpec
+from repro.sweep.store import ResultStore, cell_key
+
+__all__ = [
+    "CellResult",
+    "Measurement",
+    "ResultStore",
+    "SweepAxis",
+    "SweepCell",
+    "SweepOptions",
+    "SweepRunResult",
+    "SweepRunner",
+    "SweepSpec",
+    "cell_key",
+    "current_sweep_options",
+    "fraction_at_round",
+    "get_measurement",
+    "measurement",
+    "measurement_names",
+    "run_sweep",
+    "use_sweep_options",
+]

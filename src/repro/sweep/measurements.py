@@ -1,0 +1,197 @@
+"""The per-cell measurement registry of the sweep plane.
+
+A *measurement* is the work one sweep cell performs: build the cell's
+scenario, run it, measure, and return a **JSON-serializable** value
+(caching and cross-process transport both rely on that).  Measurements
+are registered by name so a sweep stays declarative — a
+:class:`~repro.sweep.spec.SweepSpec` names its measurement the same way
+a scenario names its churn model — and so a pool worker can resolve the
+function by importing the module recorded at registration time (the
+registry travels by name, not by pickled closure).
+
+Uniform signature::
+
+    @measurement("my-metric")
+    def my_metric(spec: ScenarioSpec, seed: SeedLike, **params) -> Any:
+        sim = simulate(spec, seed=seed)
+        return ...
+
+``seed`` is the cell's named-stream child seed; measurements that also
+seed an analysis probe pass the same child, exactly as the hand-written
+experiment loops did.  This module hosts the generic measurements shared
+by several experiments; experiment modules register their own bespoke
+ones next to the runner that declares the sweep.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.analysis.expansion import (
+    adversarial_expansion_upper_bound,
+    large_set_expansion_probe,
+)
+from repro.analysis.isolated import isolated_fraction
+from repro.errors import SweepError
+from repro.scenario import ScenarioSpec, simulate
+from repro.theory.expansion import (
+    large_set_window_poisson,
+    large_set_window_streaming,
+)
+from repro.util.rng import SeedLike
+
+MeasurementFn = Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """A registered measurement: the function plus its home module."""
+
+    name: str
+    fn: MeasurementFn
+    module: str
+
+
+_REGISTRY: dict[str, Measurement] = {}
+
+
+def measurement(name: str) -> Callable[[MeasurementFn], MeasurementFn]:
+    """Decorator registering a measurement function under *name*."""
+
+    def decorator(fn: MeasurementFn) -> MeasurementFn:
+        if name in _REGISTRY:
+            raise SweepError(f"duplicate measurement name {name!r}")
+        _REGISTRY[name] = Measurement(name=name, fn=fn, module=fn.__module__)
+        return fn
+
+    return decorator
+
+
+def get_measurement(name: str, module: str | None = None) -> Measurement:
+    """Look a measurement up, importing its home *module* if needed.
+
+    Pool workers receive ``(name, module)`` in the cell payload: the
+    module import replays the registration in the worker process, so
+    experiment-local measurements work across process boundaries.
+    """
+    if name not in _REGISTRY and module:
+        importlib.import_module(module)
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise SweepError(
+            f"unknown measurement {name!r}; known: {known or '(none)'}"
+        ) from None
+
+
+def measurement_names() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+# ----------------------------------------------------------------------
+# generic measurements
+# ----------------------------------------------------------------------
+
+
+@measurement("network_summary")
+def network_summary(spec: ScenarioSpec, seed: SeedLike) -> dict[str, Any]:
+    """Run the scenario and report coarse topology facts (smoke metric)."""
+    sim = simulate(spec, seed=seed)
+    view = sim.csr_view()
+    return {
+        "alive": view.n,
+        "edges": view.num_edges(),
+        "time": sim.network.now,
+    }
+
+
+@measurement("isolated_fraction")
+def isolated_fraction_measure(spec: ScenarioSpec, seed: SeedLike) -> float:
+    """Fraction of isolated nodes at the horizon (EXP-01/12/17 cells)."""
+    sim = simulate(spec, seed=seed)
+    return float(isolated_fraction(sim.csr_view()))
+
+
+def fraction_at_round(flood: Mapping[str, Any], round_index: int) -> float:
+    """Informed fraction after *round_index* rounds of a ``flood_stats``
+    value, clamped to the last recorded round — the serialized
+    counterpart of :meth:`~repro.flooding.result.FloodingResult.fraction_at`."""
+    fractions = flood["fractions"]
+    return fractions[min(round_index, len(fractions) - 1)]
+
+
+@measurement("flood_stats")
+def flood_stats(spec: ScenarioSpec, seed: SeedLike) -> dict[str, Any]:
+    """Run the spec's protocol after the horizon; report the trajectory.
+
+    ``fractions[k]`` is the informed fraction after ``k`` rounds, so
+    callers can read coverage at any horizon without re-running.
+    """
+    sim = simulate(spec, seed=seed)
+    result = sim.flood()
+    return {
+        "completed": bool(result.completed),
+        "completion_round": result.completion_round,
+        "extinct": bool(result.extinct),
+        "max_informed": int(result.max_informed),
+        "final_informed": int(result.final_informed),
+        "final_network_size": int(result.final_network_size),
+        "fractions": [
+            result.fraction_at(k) for k in range(len(result.informed_sizes))
+        ],
+    }
+
+
+@measurement("window_expansion_probe")
+def window_expansion_probe(
+    spec: ScenarioSpec,
+    seed: SeedLike,
+    min_size: int | None = None,
+    max_size: int | None = None,
+) -> dict[str, Any]:
+    """Adversarial probe of the paper's large-set window (EXP-02/12).
+
+    The window defaults to the model's theory bound —
+    ``[n·e^{−d/10}, n/2]`` streaming, ``e^{−d/20}`` Poisson — clipped to
+    half the realized network size, exactly as the hand-written loops
+    computed it.  Probes run on the zero-copy CSR view.
+    """
+    sim = simulate(spec, seed=seed)
+    view = sim.csr_view()
+    if min_size is None or max_size is None:
+        window = (
+            large_set_window_streaming
+            if spec.churn == "streaming"
+            else large_set_window_poisson
+        )
+        low, high = window(int(spec.n), spec.d)
+        min_size = low if min_size is None else min_size
+        max_size = high if max_size is None else max_size
+    max_size = min(int(max_size), view.n // 2)
+    probe = large_set_expansion_probe(
+        view, min_size=int(min_size), max_size=max_size, seed=seed
+    )
+    return {
+        "min_ratio": float(probe.min_ratio),
+        "witness_size": int(probe.witness_size),
+        "window_low": int(min_size),
+        "window_high": int(max_size),
+    }
+
+
+@measurement("adversarial_expansion")
+def adversarial_expansion(
+    spec: ScenarioSpec, seed: SeedLike, **probe_params: Any
+) -> dict[str, Any]:
+    """Full-range adversarial expansion portfolio (EXP-12 regen cells)."""
+    sim = simulate(spec, seed=seed)
+    probe = adversarial_expansion_upper_bound(
+        sim.csr_view(), seed=seed, **probe_params
+    )
+    return {
+        "min_ratio": float(probe.min_ratio),
+        "witness_size": int(probe.witness_size),
+    }

@@ -1,0 +1,434 @@
+"""Sweep execution: sequential or process-pool, cached, order-canonical.
+
+The runner turns a :class:`~repro.sweep.spec.SweepSpec` into a
+:class:`SweepRunResult` whose cells appear in the spec's canonical grid
+order regardless of how they were computed:
+
+* **seeding** — every cell's RNG stream is a pure function of
+  ``(sweep.seed, sweep.stream, cell index)``, so execution order cannot
+  leak into results;
+* **normalization** — every fresh value makes one JSON round trip before
+  it is reported, so a value served from the content-addressed store is
+  byte-for-byte the value a fresh run would have produced;
+* **ordering** — results are assembled by cell index, not completion
+  order.
+
+Together these make ``jobs=4`` output bit-identical to ``jobs=1``, and a
+resumed run bit-identical to a cold one.
+
+**Workers.**  Parallel cells run on a
+:class:`~concurrent.futures.ProcessPoolExecutor`.  The parent resolves
+the topology backend once (spec override, else the process default) and
+ships the name in every cell payload; the pool initializer also exports
+it as ``REPRO_BACKEND`` so network builders in the worker resolve the
+identical backend even under a ``spawn`` start method.  A cell that
+raises is *isolated*: its traceback is captured on the cell result, the
+remaining cells complete, and the failure surfaces — naming the cell —
+when the caller reads :meth:`SweepRunResult.values`.
+
+**Ambient options.**  ``--jobs/--store/--resume`` travel from the CLI to
+the experiment runners through :func:`use_sweep_options`, mirroring how
+``use_backend`` threads the topology backend, so experiment signatures
+stay ``run(quick, seed)``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.core.backend import default_backend_name, use_backend
+from repro.errors import SweepError
+from repro.scenario.spec import ScenarioSpec
+from repro.sweep.measurements import get_measurement
+from repro.sweep.spec import SweepCell, SweepSpec
+from repro.sweep.store import ResultStore, cell_key
+from repro.util.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class SweepOptions:
+    """Ambient execution options (the CLI's ``--jobs/--store/--resume``)."""
+
+    jobs: int = 1
+    store: Path | None = None
+    resume: bool = False
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise SweepError(f"jobs must be >= 1, got {self.jobs}")
+        if self.resume and self.store is None:
+            raise SweepError("resume needs a result store (pass store=...)")
+
+
+_OPTIONS_STACK: list[SweepOptions] = [SweepOptions()]
+
+
+def current_sweep_options() -> SweepOptions:
+    """The innermost active :class:`SweepOptions`."""
+    return _OPTIONS_STACK[-1]
+
+
+@contextmanager
+def use_sweep_options(
+    jobs: int | None = None,
+    store: str | Path | None = None,
+    resume: bool | None = None,
+) -> Iterator[SweepOptions]:
+    """Override the ambient sweep options within a ``with`` block.
+
+    ``None`` arguments inherit the surrounding scope, so nested scopes
+    compose (e.g. an experiment pinning ``jobs=1`` for a tiny sweep
+    inside a CLI-level ``--jobs 8`` session).
+    """
+    base = current_sweep_options()
+    merged = SweepOptions(
+        jobs=base.jobs if jobs is None else int(jobs),
+        store=base.store if store is None else Path(store),
+        resume=base.resume if resume is None else bool(resume),
+    )
+    _OPTIONS_STACK.append(merged)
+    try:
+        yield merged
+    finally:
+        _OPTIONS_STACK.pop()
+
+
+# ----------------------------------------------------------------------
+# cell execution (worker side)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _CellTask:
+    """Everything a worker needs to run one cell (plain picklable data)."""
+
+    index: int
+    spec_dict: dict[str, Any]
+    backend: str
+    seed: int
+    stream: str
+    measure: str
+    measure_module: str
+    measure_params: dict[str, Any]
+    key: str | None = None
+
+
+def _normalize_value(value: Any) -> Any:
+    """Force the value through JSON so fresh == cached, byte for byte."""
+    try:
+        return json.loads(json.dumps(value, allow_nan=True))
+    except (TypeError, ValueError) as error:
+        raise SweepError(
+            f"measurement returned a non-JSON-serializable value: {error}"
+        ) from error
+
+
+def _execute_cell(task: _CellTask) -> tuple[int, Any, str | None, float]:
+    """Run one cell; never raises (failures return a traceback string)."""
+    start = time.perf_counter()
+    try:
+        spec = ScenarioSpec.from_dict(task.spec_dict)
+        measure = get_measurement(task.measure, task.measure_module)
+        seed = derive_seed(task.seed, task.stream, task.index)
+        with use_backend(task.backend):
+            value = measure.fn(spec, seed, **task.measure_params)
+        value = _normalize_value(value)
+    except Exception:
+        return task.index, None, traceback.format_exc(), (
+            time.perf_counter() - start
+        )
+    return task.index, value, None, time.perf_counter() - start
+
+
+def _worker_init(backend: str) -> None:
+    """Pool initializer: pin the topology backend in the worker process."""
+    os.environ["REPRO_BACKEND"] = backend
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Outcome of one cell, in canonical grid position."""
+
+    cell: SweepCell
+    value: Any
+    error: str | None
+    elapsed: float
+    cached: bool
+
+    @property
+    def index(self) -> int:
+        return self.cell.index
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass(frozen=True)
+class SweepRunResult:
+    """All cell results of one sweep run, in canonical grid order."""
+
+    spec: SweepSpec
+    cells: tuple[CellResult, ...]
+    backend: str
+    jobs: int
+    elapsed: float
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for c in self.cells if not c.cached)
+
+    @property
+    def from_cache(self) -> int:
+        return sum(1 for c in self.cells if c.cached)
+
+    @property
+    def failures(self) -> tuple[CellResult, ...]:
+        return tuple(c for c in self.cells if not c.ok)
+
+    def raise_if_failed(self) -> None:
+        """Surface the first failing cell (its scenario and traceback)."""
+        for result in self.cells:
+            if not result.ok:
+                raise SweepError(
+                    f"sweep cell {result.index} "
+                    f"(point {result.cell.point}, replica "
+                    f"{result.cell.replica}, overrides "
+                    f"{dict(result.cell.overrides)!r}) failed:\n{result.error}"
+                )
+
+    def values(self) -> list[Any]:
+        """Cell values in canonical order (raises on any failed cell)."""
+        self.raise_if_failed()
+        return [result.value for result in self.cells]
+
+    def value_groups(self) -> list[list[Any]]:
+        """Values grouped per grid point: ``groups[point][replica]``."""
+        values = self.values()
+        replicas = self.spec.replicas
+        return [
+            values[start : start + replicas]
+            for start in range(0, len(values), replicas)
+        ]
+
+    def point_overrides(self) -> list[dict[str, Any]]:
+        """The raw axis assignments of every grid point, in order."""
+        return [dict(overrides) for overrides, _ in self.spec.points()]
+
+
+# ----------------------------------------------------------------------
+# the runner
+# ----------------------------------------------------------------------
+
+
+class SweepRunner:
+    """Executes sweeps under fixed options (jobs, store, resume).
+
+    Args:
+        jobs: worker processes (1 = in-process sequential execution).
+        store: directory of the content-addressed result store, or None
+            to run uncached.
+        resume: serve cells from the store when their key hits (writes
+            happen whenever a store is configured; *reads* only under
+            resume, so a store can be refreshed by re-running without
+            ``--resume``).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        store: str | Path | None = None,
+        resume: bool = False,
+    ) -> None:
+        self.options = SweepOptions(
+            jobs=int(jobs),
+            store=None if store is None else Path(store),
+            resume=bool(resume),
+        )
+
+    def run(self, sweep: SweepSpec) -> SweepRunResult:
+        start = time.perf_counter()
+        backend = sweep.base.backend or default_backend_name()
+        store = (
+            None
+            if self.options.store is None
+            else ResultStore(self.options.store)
+        )
+        measure = get_measurement(sweep.measure)
+
+        cells = list(sweep.cells())
+        tasks: list[_CellTask] = []
+        for cell in cells:
+            spec_dict = cell.spec.to_dict()
+            key = None
+            if store is not None:
+                key = cell_key(
+                    scenario=spec_dict,
+                    measure=sweep.measure,
+                    measure_params=sweep.measure_params,
+                    seed=int(sweep.seed),
+                    stream=sweep.stream,
+                    index=cell.index,
+                    backend=backend,
+                )
+            tasks.append(
+                _CellTask(
+                    index=cell.index,
+                    spec_dict=spec_dict,
+                    backend=backend,
+                    seed=int(sweep.seed),
+                    stream=sweep.stream,
+                    measure=sweep.measure,
+                    measure_module=measure.module,
+                    measure_params=dict(sweep.measure_params),
+                    key=key,
+                )
+            )
+
+        outcomes: dict[int, tuple[Any, str | None, float, bool]] = {}
+        pending: list[_CellTask] = []
+        for task in tasks:
+            payload = (
+                store.get(task.key)
+                if (store is not None and self.options.resume)
+                else None
+            )
+            if payload is not None:
+                outcomes[task.index] = (
+                    payload["value"],
+                    None,
+                    float(payload.get("elapsed", 0.0)),
+                    True,
+                )
+            else:
+                pending.append(task)
+
+        by_index = {task.index: task for task in pending}
+
+        def record(index: int, value: Any, error: str | None, elapsed: float) -> None:
+            # Store writes happen per cell, as results arrive — an
+            # interrupted sweep keeps everything it finished, which is
+            # what makes --resume worth having on long runs.
+            outcomes[index] = (value, error, elapsed, False)
+            task = by_index[index]
+            if store is not None and error is None:
+                store.put(
+                    task.key,
+                    value,
+                    elapsed,
+                    scenario=task.spec_dict,
+                    measure=task.measure,
+                    measure_params=task.measure_params,
+                    seed=task.seed,
+                    stream=task.stream,
+                    cell=task.index,
+                    backend=task.backend,
+                )
+
+        if pending:
+            if self.options.jobs > 1:
+                with ProcessPoolExecutor(
+                    max_workers=self.options.jobs,
+                    initializer=_worker_init,
+                    initargs=(backend,),
+                ) as pool:
+                    futures = {
+                        pool.submit(_execute_cell, task): task
+                        for task in pending
+                    }
+                    for future in as_completed(futures):
+                        task = futures[future]
+                        try:
+                            record(*future.result())
+                        except Exception as exc:
+                            # _execute_cell never raises, so this is a
+                            # worker that died outright (OOM kill,
+                            # segfault → BrokenProcessPool on every
+                            # outstanding future).  Isolate it like any
+                            # other cell failure: completed cells are
+                            # already recorded and stored.
+                            record(
+                                task.index,
+                                None,
+                                "worker process died before returning a "
+                                f"result: {exc!r}",
+                                0.0,
+                            )
+            else:
+                for task in pending:
+                    record(*_execute_cell(task))
+
+        results = tuple(
+            CellResult(
+                cell=cell,
+                value=outcomes[cell.index][0],
+                error=outcomes[cell.index][1],
+                elapsed=outcomes[cell.index][2],
+                cached=outcomes[cell.index][3],
+            )
+            for cell in cells
+        )
+        return SweepRunResult(
+            spec=sweep,
+            cells=results,
+            backend=backend,
+            jobs=self.options.jobs,
+            elapsed=time.perf_counter() - start,
+        )
+
+
+def run_sweep(
+    sweep: SweepSpec,
+    jobs: int | None = None,
+    store: str | Path | None = None,
+    resume: bool | None = None,
+) -> SweepRunResult:
+    """Run *sweep* under the ambient options, with optional overrides.
+
+    The workhorse of the ported experiments: a bare ``run_sweep(spec)``
+    inside an experiment picks up whatever ``--jobs/--store/--resume``
+    the CLI (or an enclosing :func:`use_sweep_options`) configured.
+    """
+    ambient = current_sweep_options()
+    options = replace(
+        ambient,
+        **{
+            key: value
+            for key, value in {
+                "jobs": None if jobs is None else int(jobs),
+                "store": None if store is None else Path(store),
+                "resume": None if resume is None else bool(resume),
+            }.items()
+            if value is not None
+        },
+    )
+    runner = SweepRunner(
+        jobs=options.jobs, store=options.store, resume=options.resume
+    )
+    return runner.run(sweep)
+
+
+# Re-exported for forward compatibility with callers that only need the
+# dataclasses.
+__all__ = [
+    "CellResult",
+    "SweepOptions",
+    "SweepRunResult",
+    "SweepRunner",
+    "current_sweep_options",
+    "run_sweep",
+    "use_sweep_options",
+]

@@ -1,0 +1,133 @@
+"""Content-addressed result store: sweep cells cached by what they *are*.
+
+A cell's identity is everything that determines its result: the realized
+scenario (with the topology backend resolved), the measurement name and
+parameters, the sweep's master seed / stream name / cell index (which
+together pin the cell's RNG stream), and the library version.
+:func:`cell_key` hashes that identity into a sha256 hex digest; the
+store maps digests to small JSON files under a two-level fan-out
+(``<root>/<k[:2]>/<k>.json``).
+
+Because the key is content-addressed, the store needs no index, no
+locking protocol beyond atomic file placement (write to a temp name,
+then ``os.replace``), and no invalidation logic: change anything that
+could change the result and you simply look up a different key.  A
+corrupted entry — truncated JSON, wrong payload shape, a digest that
+does not match its filename — is indistinguishable from a miss: the
+cell re-executes and the entry is rewritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro import __version__ as _REPRO_VERSION
+
+#: Bump when the payload schema changes (old entries become misses).
+STORE_FORMAT = 1
+
+
+def canonical_json(data: Any) -> str:
+    """Deterministic JSON text (sorted keys, no whitespace) for hashing."""
+    return json.dumps(
+        data, sort_keys=True, separators=(",", ":"), allow_nan=True
+    )
+
+
+def cell_key(
+    scenario: Mapping[str, Any],
+    measure: str,
+    measure_params: Mapping[str, Any],
+    seed: int,
+    stream: str,
+    index: int,
+    backend: str,
+) -> str:
+    """The content address of one sweep cell result.
+
+    *scenario* is the cell's realized ``ScenarioSpec.to_dict()`` and
+    *backend* the resolved (never ``None``) topology backend name —
+    batched-churn trajectories are backend-specific, so the resolved
+    name is part of the identity even when the spec leaves it implicit.
+    """
+    identity = {
+        "format": STORE_FORMAT,
+        "version": _REPRO_VERSION,
+        "scenario": dict(scenario),
+        "measure": measure,
+        "measure_params": dict(measure_params),
+        "seed": int(seed),
+        "stream": stream,
+        "cell": int(index),
+        "backend": backend,
+    }
+    return hashlib.sha256(canonical_json(identity).encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """Filesystem-backed content-addressed store of cell results."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The stored payload for *key*, or None on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None  # missing or corrupted — the caller re-executes
+        if (
+            not isinstance(payload, dict)
+            or payload.get("key") != key
+            or payload.get("format") != STORE_FORMAT
+            or "value" not in payload
+        ):
+            return None
+        return payload
+
+    def put(self, key: str, value: Any, elapsed: float, **meta: Any) -> Path:
+        """Atomically persist one cell result (last writer wins)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": STORE_FORMAT,
+            "key": key,
+            "value": value,
+            "elapsed": float(elapsed),
+            **meta,
+        }
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def keys(self) -> Iterator[str]:
+        for path in sorted(self.root.glob("??/*.json")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None

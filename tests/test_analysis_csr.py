@@ -26,6 +26,7 @@ from repro.analysis.expansion import (
     probe_network_expansion,
 )
 from repro.analysis.isolated import count_isolated, isolated_fraction
+from repro.analysis.spectral import cheeger_bounds, normalized_laplacian_lambda2
 from repro.core.csr import (
     candidate_key,
     candidate_key_array,
@@ -188,6 +189,74 @@ class TestCensusParity:
         for snap in crafted:
             view = csr_view_from_snapshot(snap)
             assert component_summary(snap) == component_summary(view)
+
+
+class TestSpectralParity:
+    """λ₂ via the CSR view equals the Snapshot reference path.
+
+    The view path extracts the giant component in the same ascending-id
+    row order the snapshot path uses, so the assembled Laplacians are
+    the same matrix and the eigenvalues agree to solver roundoff.
+    """
+
+    @pytest.fixture(params=["dict", "array"])
+    def graphs(self, request):
+        return [
+            (name, net.snapshot(), net.state.csr_view(net.now))
+            for name, net in seeded_networks(request.param)
+        ]
+
+    def test_lambda2_parity(self, graphs):
+        for name, snap, view in graphs:
+            ref = normalized_laplacian_lambda2(snap)
+            fast = normalized_laplacian_lambda2(view)
+            assert fast == pytest.approx(ref, abs=1e-9), name
+
+    def test_lambda2_parity_from_snapshot_view(self, graphs):
+        for name, snap, _ in graphs:
+            ref = normalized_laplacian_lambda2(snap)
+            fast = normalized_laplacian_lambda2(csr_view_from_snapshot(snap))
+            assert fast == pytest.approx(ref, abs=1e-9), name
+
+    def test_cheeger_parity(self, graphs):
+        for name, snap, view in graphs:
+            ref, fast = cheeger_bounds(snap), cheeger_bounds(view)
+            assert fast.lambda2 == pytest.approx(ref.lambda2, abs=1e-9), name
+            assert fast.conductance_lower == pytest.approx(
+                ref.conductance_lower, abs=1e-9
+            )
+            assert fast.conductance_upper == pytest.approx(
+                ref.conductance_upper, abs=1e-9
+            )
+            assert fast.vertex_expansion_lower == pytest.approx(
+                ref.vertex_expansion_lower, abs=1e-9
+            )
+
+    def test_giant_restriction_on_disconnected_graph(self):
+        snap = snapshot_from_edges(
+            8, [(0, 1), (1, 2), (2, 3), (0, 3), (0, 2), (4, 5), (5, 6)]
+        )
+        view = csr_view_from_snapshot(snap)
+        ref = normalized_laplacian_lambda2(snap, on_giant=True)
+        fast = normalized_laplacian_lambda2(view, on_giant=True)
+        assert fast == pytest.approx(ref, abs=1e-12)
+        assert fast > 0.0
+
+    def test_disconnected_without_giant_restriction_is_zero(self):
+        snap = snapshot_from_edges(
+            8, [(0, 1), (1, 2), (2, 3), (0, 3), (0, 2), (4, 5), (5, 6), (6, 7)]
+        )
+        view = csr_view_from_snapshot(snap)
+        assert normalized_laplacian_lambda2(
+            view, on_giant=False
+        ) == pytest.approx(0.0, abs=1e-9)
+
+    def test_small_component_rejected(self):
+        from repro.errors import AnalysisError
+
+        view = csr_view_from_snapshot(snapshot_from_edges(2, [(0, 1)]))
+        with pytest.raises(AnalysisError):
+            normalized_laplacian_lambda2(view)
 
 
 class TestProbeParity:

@@ -1,0 +1,178 @@
+"""Tests for the declarative sweep grid (repro.sweep.spec)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenario import ScenarioSpec
+from repro.sweep import SweepAxis, SweepSpec
+from repro.util.rng import derive_seed
+
+BASE = ScenarioSpec(churn="streaming", policy="none", n=50, d=2)
+
+
+class TestAxisValidation:
+    def test_plain_field(self):
+        axis = SweepAxis("d", (1, 2, 3))
+        assert axis.values == (1, 2, 3)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepAxis("degree", (1,))
+
+    def test_seed_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepAxis("seed", (1, 2))
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepAxis("d", ())
+
+    def test_dotted_path_needs_param_field(self):
+        SweepAxis("churn_params.lam", (0.5, 1.0))
+        with pytest.raises(ConfigurationError):
+            SweepAxis("horizon.lam", (1,))
+
+    def test_scenario_axis_values_must_be_mappings(self):
+        SweepAxis("scenario", ({"d": 2},))
+        with pytest.raises(ConfigurationError):
+            SweepAxis("scenario", (3,))
+
+    def test_scenario_axis_cannot_nest(self):
+        with pytest.raises(ConfigurationError):
+            SweepAxis("scenario", ({"scenario": {"d": 2}},))
+
+    def test_scenario_axis_validates_inner_fields(self):
+        with pytest.raises(ConfigurationError):
+            SweepAxis("scenario", ({"degree": 2},))
+
+
+class TestGrid:
+    def test_canonical_order_last_axis_fastest(self):
+        sweep = SweepSpec(
+            base=BASE,
+            axes=[("d", (2, 3)), ("n", (40, 50))],
+            replicas=2,
+            measure="network_summary",
+        )
+        assert sweep.num_points == 4
+        assert sweep.num_cells == 8
+        cells = list(sweep.cells())
+        combos = [(c.spec.d, c.spec.n, c.replica) for c in cells]
+        assert combos == [
+            (2, 40, 0), (2, 40, 1),
+            (2, 50, 0), (2, 50, 1),
+            (3, 40, 0), (3, 40, 1),
+            (3, 50, 0), (3, 50, 1),
+        ]
+        assert [c.index for c in cells] == list(range(8))
+
+    def test_dotted_axis_merges_into_params(self):
+        base = ScenarioSpec(churn="poisson", policy="none", n=50)
+        sweep = SweepSpec(base=base, axes=[("churn_params.lam", (0.5, 2.0))])
+        specs = [cell.spec for cell in sweep.cells()]
+        assert [s.churn_params["lam"] for s in specs] == [0.5, 2.0]
+
+    def test_dotted_axis_preserves_other_params(self):
+        base = ScenarioSpec(
+            churn="poisson", policy="none", n=50,
+            churn_params={"warm_time": 10.0},
+        )
+        sweep = SweepSpec(base=base, axes=[("churn_params.lam", (2.0,))])
+        spec = next(sweep.cells()).spec
+        assert spec.churn_params == {"warm_time": 10.0, "lam": 2.0}
+
+    def test_scenario_axis_applies_all_fields(self):
+        sweep = SweepSpec(
+            base=BASE,
+            axes=[
+                (
+                    "scenario",
+                    (
+                        {"churn": "streaming", "horizon": 50},
+                        {"churn": "poisson", "horizon": 0},
+                    ),
+                )
+            ],
+        )
+        specs = [cell.spec for cell in sweep.cells()]
+        assert [(s.churn, s.horizon) for s in specs] == [
+            ("streaming", 50), ("poisson", 0),
+        ]
+
+    def test_cell_accessor_matches_iteration(self):
+        sweep = SweepSpec(base=BASE, axes=[("d", (2, 3))], replicas=2)
+        for cell in sweep.cells():
+            assert sweep.cell(cell.index).spec == cell.spec
+        with pytest.raises(ConfigurationError):
+            sweep.cell(99)
+
+    def test_invalid_point_fails_at_declaration(self):
+        # policy "capped" without max_in_degree is invalid — the typo
+        # must surface when the sweep is declared, not inside a worker.
+        with pytest.raises(ConfigurationError):
+            SweepSpec(base=BASE, axes=[("policy", ("capped",))])
+
+    def test_base_seed_is_ignored(self):
+        sweep = SweepSpec(base=BASE.with_(seed=123), axes=[("d", (2,))])
+        assert next(sweep.cells()).spec.seed is None
+
+
+class TestSeeding:
+    def test_cell_seeds_come_from_the_named_stream(self):
+        sweep = SweepSpec(base=BASE, replicas=4, seed=9, stream="my-study")
+        for index in range(4):
+            expected = derive_seed(9, "my-study", index)
+            got = sweep.cell_seed(index)
+            assert (
+                got.generate_state(2).tolist()
+                == expected.generate_state(2).tolist()
+            )
+
+    def test_distinct_cells_distinct_seeds(self):
+        sweep = SweepSpec(base=BASE, axes=[("d", (2, 3))], replicas=8)
+        states = {
+            tuple(sweep.cell_seed(i).generate_state(2).tolist())
+            for i in range(sweep.num_cells)
+        }
+        assert len(states) == sweep.num_cells
+
+    def test_replicas_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(base=BASE, replicas=0)
+
+    def test_seed_must_be_integer(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(base=BASE, seed=np.random.default_rng(0))
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self):
+        sweep = SweepSpec(
+            base=BASE,
+            axes=[
+                ("d", (2, 3)),
+                ("scenario", ({"policy": "regen"}, {"policy": "none"})),
+            ],
+            replicas=3,
+            seed=7,
+            stream="study",
+            measure="flood_stats",
+            measure_params={"extra": 1},
+        )
+        clone = SweepSpec.from_json(sweep.to_json())
+        assert clone == sweep
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec.from_dict({"base": BASE.to_dict(), "reps": 3})
+
+    def test_base_required(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec.from_dict({"replicas": 3})
+
+    def test_non_object_document_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec.from_json("[1, 2]")
