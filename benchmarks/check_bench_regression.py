@@ -43,8 +43,11 @@ DEFAULT_BOUNDED_BASELINE = REPO_ROOT / "BENCH_bounded.json"
 DEFAULT_ANALYSIS_BASELINE = REPO_ROOT / "BENCH_analysis.json"
 DEFAULT_SWEEP_BASELINE = REPO_ROOT / "BENCH_sweep.json"
 
-#: The speedup fields tracked in the analysis-plane payload.
-ANALYSIS_KEYS = ("probe_speedup", "census_speedup")
+#: The speedup fields tracked in the analysis-plane payload.  The
+#: incremental probe is only benchmarked at sizes with dense cadences
+#: (see bench_analysis.py); sizes where *neither* side carries a key
+#: skip it, a key present on one side only is a hard failure.
+ANALYSIS_KEYS = ("probe_speedup", "census_speedup", "incremental_speedup")
 
 #: The speedup fields tracked in the sweep-plane payload.
 SWEEP_KEYS = ("parallel_speedup", "resume_speedup")
@@ -76,6 +79,25 @@ def compare(
                 print(
                     f"n={n:>7} {key:>14}: skipped (measured on fewer "
                     "cores than workers on at least one side)"
+                )
+                continue
+            in_base = key in base_rows[n]
+            in_current = key in current_rows[n]
+            if not in_base and not in_current:
+                continue  # key not tracked at this size on either side
+            if not in_base:
+                problems.append(
+                    f"baseline has no {key!r} at n={n} but the current "
+                    f"run reports one ({current_rows[n][key]}x) — the "
+                    "committed baseline predates this metric; regenerate "
+                    "it (bench --output) and commit the refreshed file"
+                )
+                continue
+            if not in_current:
+                problems.append(
+                    f"current run has no {key!r} at n={n} (baseline "
+                    f"tracks {base_rows[n][key]}x) — the bench no longer "
+                    "emits a guarded metric"
                 )
                 continue
             base_speedup = base_rows[n][key]

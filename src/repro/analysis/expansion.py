@@ -64,6 +64,32 @@ GraphLike = Union[Snapshot, CSRView]
 #: Sources per vectorized multi-source BFS chunk (bounds the mask buffer).
 _BALL_CHUNK = 512
 
+#: Byte budget of the chunked BFS ``visited`` mask: at large vert spaces
+#: the chunk shrinks so the mask never exceeds this (a (512, 2M) boolean
+#: buffer would otherwise cost ~1 GB at n = 1e6).
+_BALL_SCRATCH_BYTES = 128 << 20
+
+# One reusable all-False visited buffer, shared by every ball sweep in
+# the process (the kernels clear exactly the bits they set, so reuse is
+# free).  Probes run on the simulation thread; this scratch is not
+# thread-safe, like the backends themselves.
+_ball_visited: np.ndarray | None = None
+
+
+def _ball_scratch(chunk: int, space: int) -> np.ndarray:
+    global _ball_visited
+    buf = _ball_visited
+    if buf is None or buf.shape[0] < chunk or buf.shape[1] != space:
+        buf = np.zeros((chunk, space), dtype=bool)
+        _ball_visited = buf
+    return buf[:chunk]
+
+
+def _drop_ball_scratch() -> None:
+    """Discard the shared mask (it may hold stale bits after an error)."""
+    global _ball_visited
+    _ball_visited = None
+
 
 @dataclass(frozen=True)
 class ExpansionProbe:
@@ -417,6 +443,75 @@ def _greedy_grow(
 # ----------------------------------------------------------------------
 
 
+class BallRecorder:
+    """Raw ball-phase candidate stream, recorded instead of scored inline.
+
+    Attached to a :class:`_CSRProbe`, the ball kernels append every
+    ``(root id, radius, |B_r|, xor, ratio)`` entry the inline path would
+    have offered — *before* dedupe, because deduplication context changes
+    between observation windows — plus each root's final kept-ball
+    radius.  The incremental plane
+    (:mod:`repro.analysis.incremental`) caches these per root, replays
+    the entries of balls churn did not reach, and scores the merged
+    stream with :meth:`_CSRProbe.score_recorded`, reproducing the cold
+    probe bit for bit.
+    """
+
+    def __init__(self) -> None:
+        self._roots: list[np.ndarray] = []
+        self._radii: list[np.ndarray] = []
+        self._e_root: list[np.ndarray] = []
+        self._e_radius: list[np.ndarray] = []
+        self._e_size: list[np.ndarray] = []
+        self._e_xor: list[np.ndarray] = []
+        self._e_ratio: list[np.ndarray] = []
+
+    def add_entries(
+        self,
+        roots: np.ndarray,
+        radii: np.ndarray,
+        sizes: np.ndarray,
+        xors: np.ndarray,
+        ratios: np.ndarray,
+    ) -> None:
+        """Record one radius step's pending candidates (pre-dedupe)."""
+        self._e_root.append(np.asarray(roots, dtype=np.int64))
+        self._e_radius.append(np.asarray(radii, dtype=np.int64))
+        self._e_size.append(np.asarray(sizes, dtype=np.int64))
+        self._e_xor.append(np.asarray(xors, dtype=np.uint64))
+        self._e_ratio.append(np.asarray(ratios, dtype=np.float64))
+
+    def add_roots(self, roots: np.ndarray, kept_radii: np.ndarray) -> None:
+        """Record a chunk's roots with their final kept-ball radii."""
+        self._roots.append(np.asarray(roots, dtype=np.int64))
+        self._radii.append(np.asarray(kept_radii, dtype=np.int64))
+
+    @staticmethod
+    def _concat(parts: list[np.ndarray], dtype: type) -> np.ndarray:
+        if not parts:
+            return np.empty(0, dtype=dtype)
+        return np.concatenate(parts)
+
+    def roots(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(root ids, final kept radii)`` across all recorded chunks."""
+        return (
+            self._concat(self._roots, np.int64),
+            self._concat(self._radii, np.int64),
+        )
+
+    def entries(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(root, radius, size, xor, ratio)`` entry arrays, concatenated."""
+        return (
+            self._concat(self._e_root, np.int64),
+            self._concat(self._e_radius, np.int64),
+            self._concat(self._e_size, np.int64),
+            self._concat(self._e_xor, np.uint64),
+            self._concat(self._e_ratio, np.float64),
+        )
+
+
 class _CSRProbe:
     """One probe run on a :class:`CSRView`: phases + shared dedupe/minimum.
 
@@ -425,13 +520,38 @@ class _CSRProbe:
     sweeps instead of per-set Python evaluation.
     """
 
-    def __init__(self, view: CSRView, min_size: int, max_size: int) -> None:
+    def __init__(
+        self,
+        view: CSRView,
+        min_size: int,
+        max_size: int,
+        recorder: BallRecorder | None = None,
+    ) -> None:
         self.view = view
         self.min_size = min_size
         self.max_size = max_size
         self.best = _BestCandidate()
         self.seen: set[int] = set()
         self.checked = 0
+        # With a recorder attached, ball kernels record their candidate
+        # stream instead of scoring it; score_recorded() later registers
+        # the deduplicated keys here so the greedy/random phases skip
+        # (and count) exactly what the inline path would have.
+        self.recorder = recorder
+        self._ball_keys: np.ndarray | None = None
+
+    def _register(self, key: int) -> bool:
+        """Dedupe one candidate key; True when it is fresh (and counted)."""
+        if key in self.seen:
+            return False
+        keys = self._ball_keys
+        if keys is not None:
+            pos = int(np.searchsorted(keys, np.uint64(key)))
+            if pos < keys.size and int(keys[pos]) == key:
+                return False
+        self.seen.add(key)
+        self.checked += 1
+        return True
 
     def result(self) -> ExpansionProbe:
         if self.checked == 0:
@@ -451,39 +571,51 @@ class _CSRProbe:
         if not (self.min_size <= size <= self.max_size):
             return
         xor = int(np.bitwise_xor.reduce(self.view.mix[verts]))
-        key = candidate_key(size, xor)
-        if key in self.seen:
+        if not self._register(candidate_key(size, xor)):
             return
-        self.seen.add(key)
-        self.checked += 1
         ratio = self.view.boundary_count(verts) / size
         self.best.offer(ratio, size, lambda: self.view.ids_sorted(verts))
 
     # -- multi-source BFS balls (covers singletons + neighbourhoods) ---
 
-    def ball_phase(self) -> None:
+    def ball_phase(self, sources: np.ndarray | None = None) -> None:
         """Balls of every radius around every node, via mask frontiers.
 
         Covers portfolio phases 1+2 of the reference path: the radius-0
         ball is the singleton, radius 1 the closed neighbourhood.  Each
         ball ``B_r`` is scored with ``|∂B_r| = |shell_{r+1}|`` — the next
         BFS shell *is* the outer boundary — so scoring costs nothing
-        beyond the BFS itself.  Sources advance in lockstep chunks; the
-        per-chunk ``visited`` mask is reused and cleared selectively.
+        beyond the BFS itself.  Sources advance in lockstep chunks over
+        one shared, selectively-cleared ``visited`` mask; the chunk
+        shrinks at large vert spaces so the mask stays within
+        :data:`_BALL_SCRATCH_BYTES`.  Chunking cannot change results:
+        dedupe keys and the tie-break are evaluation-order independent.
+
+        *sources* defaults to every alive vert; the incremental plane
+        passes only the roots whose cached balls churn invalidated.
         """
         view = self.view
-        sources = view.alive_verts
+        if sources is None:
+            sources = view.alive_verts
         if sources.size == 0:
             return
-        chunk = min(_BALL_CHUNK, sources.size)
-        visited = np.zeros((chunk, view.space), dtype=bool)
-        for start in range(0, sources.size, chunk):
-            self._ball_chunk(sources[start : start + chunk], visited)
+        space = max(view.space, 1)
+        budget_rows = max(_BALL_SCRATCH_BYTES // space, 16)
+        chunk = int(min(_BALL_CHUNK, sources.size, budget_rows))
+        visited = _ball_scratch(chunk, view.space)
+        try:
+            for start in range(0, sources.size, chunk):
+                self._ball_chunk(sources[start : start + chunk], visited)
+        except BaseException:
+            # The mask may hold uncleared bits mid-sweep; never reuse it.
+            _drop_ball_scratch()
+            raise
 
     def _ball_chunk(self, src_verts: np.ndarray, visited: np.ndarray) -> None:
         view = self.view
         space = view.space
         mixv = view.mix
+        recorder = self.recorder
         count = src_verts.size
         rows = np.arange(count, dtype=np.int64)
 
@@ -501,6 +633,7 @@ class _CSRProbe:
         pend_xor = ball_xor.copy()
         pend_radius = np.zeros(count, dtype=np.int64)
         grow = np.full(count, 1 < self.max_size)
+        kept_radius = np.zeros(count, dtype=np.int64)
         radius = 0
 
         while frontier_vert.size:
@@ -522,27 +655,38 @@ class _CSRProbe:
             # Score pending balls: ratio = |shell_{r+1}| / |B_r|.
             pending = np.nonzero(pend_active)[0]
             if pending.size:
-                keys = candidate_key_array(
-                    pend_size[pending].astype(np.uint64),
-                    pend_xor[pending],
-                )
-                ratios = shell_count[pending] / pend_size[pending]
-                for local, key, ratio in zip(
-                    pending.tolist(), keys.tolist(), ratios.tolist()
-                ):
-                    if key in self.seen:
-                        continue
-                    self.seen.add(key)
-                    self.checked += 1
-                    self.best.offer(
-                        ratio,
-                        int(pend_size[local]),
-                        lambda local=local: view.ids_sorted(
-                            self._ball_members(
-                                int(src_verts[local]), int(pend_radius[local])
-                            )
-                        ),
+                if recorder is not None:
+                    # Incremental mode: hand the raw (pre-dedupe) stream
+                    # to the recorder; score_recorded() evaluates the
+                    # merged cached+fresh stream later.
+                    recorder.add_entries(
+                        view.vert_ids[src_verts[pending]],
+                        pend_radius[pending],
+                        pend_size[pending],
+                        pend_xor[pending],
+                        shell_count[pending] / pend_size[pending],
                     )
+                else:
+                    keys = candidate_key_array(
+                        pend_size[pending].astype(np.uint64),
+                        pend_xor[pending],
+                    )
+                    ratios = shell_count[pending] / pend_size[pending]
+                    for local, key, ratio in zip(
+                        pending.tolist(), keys.tolist(), ratios.tolist()
+                    ):
+                        if not self._register(key):
+                            continue
+                        self.best.offer(
+                            ratio,
+                            int(pend_size[local]),
+                            lambda local=local: view.ids_sorted(
+                                self._ball_members(
+                                    int(src_verts[local]),
+                                    int(pend_radius[local]),
+                                )
+                            ),
+                        )
 
             # Continuation: a source keeps its frontier while it still
             # grows (|B| < max) or the grown ball needs one more shell
@@ -564,10 +708,14 @@ class _CSRProbe:
             np.bitwise_xor.at(ball_xor, shell_src, mixv[shell_vert])
             ball_size = np.where(keep, new_size, ball_size)
             radius += 1
+            kept_radius = np.where(keep, radius, kept_radius)
             pend_size = np.where(pend_active, ball_size, pend_size)
             pend_xor = np.where(pend_active, ball_xor, pend_xor)
             pend_radius = np.where(pend_active, radius, pend_radius)
             frontier_src, frontier_vert = shell_src, shell_vert
+
+        if recorder is not None:
+            recorder.add_roots(view.vert_ids[src_verts], kept_radius)
 
         for mark_src, mark_vert in marks:
             visited[mark_src, mark_vert] = False
@@ -588,6 +736,48 @@ class _CSRProbe:
                 break
             frontier = shell
         return np.fromiter(ball, dtype=np.int64, count=len(ball))
+
+    def score_recorded(
+        self,
+        roots: np.ndarray,
+        radii: np.ndarray,
+        sizes: np.ndarray,
+        xors: np.ndarray,
+        ratios: np.ndarray,
+    ) -> None:
+        """Score a merged ball-candidate stream in one vectorized pass.
+
+        The incremental counterpart of the inline scoring loop: the
+        stream mixes freshly-recorded entries with entries replayed from
+        a previous window's cache, in arbitrary order — dedupe keys, the
+        distinct-candidate count, and the ``(ratio, size, members)``
+        tie-break are all evaluation-order independent, so the outcome
+        is bit-identical to the cold inline path.  Must run before the
+        greedy/random phases (their dedupe consults the registered ball
+        keys); only candidates achieving the stream's minimal
+        ``(ratio, size)`` are offered, with members recomputed by a
+        per-root BFS exactly as the inline path does for contenders.
+        """
+        if roots.size == 0:
+            return
+        keys = candidate_key_array(sizes.astype(np.uint64), xors)
+        uniq, first = np.unique(keys, return_index=True)
+        self._ball_keys = uniq
+        self.checked += int(uniq.size)
+        rep_ratio = ratios[first]
+        sel = first[rep_ratio == rep_ratio.min()]
+        sel_sizes = sizes[sel]
+        sel = sel[sel_sizes == sel_sizes.min()]
+        view = self.view
+        for i in sel.tolist():
+            root, radius = int(roots[i]), int(radii[i])
+            self.best.offer(
+                float(ratios[i]),
+                int(sizes[i]),
+                lambda root=root, radius=radius: view.ids_sorted(
+                    self._ball_members(view.vert_of(root), radius)
+                ),
+            )
 
     # -- vectorized greedy boundary-minimising sweep -------------------
 
@@ -643,11 +833,8 @@ class _CSRProbe:
         """Score a set whose boundary size is maintained incrementally."""
         if not (self.min_size <= size <= self.max_size):
             return
-        key = candidate_key(size, xor)
-        if key in self.seen:
+        if not self._register(candidate_key(size, xor)):
             return
-        self.seen.add(key)
-        self.checked += 1
         ratio = boundary_size / size
         self.best.offer(
             ratio,

@@ -10,12 +10,16 @@ as a user-facing diagnostic toolkit.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Union
 
 import numpy as np
 
+from repro.core.csr import CSRView
 from repro.core.snapshot import Snapshot
 from repro.errors import AnalysisError
 from repro.models.base import DynamicNetwork
+
+GraphLike = Union[Snapshot, CSRView]
 
 
 @dataclass(frozen=True)
@@ -63,18 +67,22 @@ def edge_lifetime_stats(
     )
 
 
-def snapshot_jaccard(a: Snapshot, b: Snapshot) -> float:
-    """Jaccard similarity of the two snapshots' edge sets.
+def snapshot_jaccard(a: GraphLike, b: GraphLike) -> float:
+    """Jaccard similarity of the two graphs' edge sets.
 
     1.0 = identical topology, 0.0 = disjoint.  The decay of this value
     with time lag measures how fast the dynamic graph decorrelates.
+    Accepts snapshots and CSR views in any combination — views are read
+    straight off their arrays (one ``u < v`` mask plus a sort), so the
+    array backend never freezes a dict to compare two windows.
     """
-    edges_a = _edge_set(a)
-    edges_b = _edge_set(b)
-    union = edges_a | edges_b
-    if not union:
+    keys_a = _edge_keys(a)
+    keys_b = _edge_keys(b)
+    intersection = np.intersect1d(keys_a, keys_b, assume_unique=True).size
+    union = keys_a.size + keys_b.size - intersection
+    if union == 0:
         return 1.0
-    return len(edges_a & edges_b) / len(union)
+    return intersection / union
 
 
 def node_survival_curve(
@@ -149,10 +157,28 @@ def _key(u: int, v: int) -> tuple[int, int]:
     return (u, v) if u < v else (v, u)
 
 
-def _edge_set(snapshot: Snapshot) -> set[tuple[int, int]]:
-    return {
-        (u, v)
-        for u, nbrs in snapshot.adjacency.items()
+def _edge_keys(graph: GraphLike) -> np.ndarray:
+    """Sorted uint64 keys (``u << 32 | v`` with ``u < v``) of the distinct
+    undirected edges — one comparable array per graph, either path."""
+    if isinstance(graph, CSRView):
+        owner = np.repeat(
+            np.arange(graph.space, dtype=np.int64), np.diff(graph.indptr)
+        )
+        u = graph.vert_ids[owner].astype(np.int64)
+        v = graph.vert_ids[graph.indices].astype(np.int64)
+        keep = u < v
+        u, v = u[keep], v[keep]
+        if u.size and int(v.max()) >= 1 << 32:
+            raise AnalysisError("node ids beyond 2^32 not supported here")
+        keys = (u.astype(np.uint64) << np.uint64(32)) | v.astype(np.uint64)
+        keys.sort()
+        return keys
+    edges = [
+        (u << 32) | v
+        for u, nbrs in graph.adjacency.items()
         for v in nbrs
         if u < v
-    }
+    ]
+    keys = np.asarray(edges, dtype=np.uint64)
+    keys.sort()
+    return keys

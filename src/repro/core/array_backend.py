@@ -32,6 +32,7 @@ remains the readable reference implementation.
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -43,28 +44,52 @@ from repro.core.snapshot import Snapshot
 from repro.errors import SimulationError
 
 
+#: Largest node id / CSR offset representable in the compact (int32) mode.
+_INT32_MAX = np.iinfo(np.int32).max
+
+
+def _compact_default() -> bool:
+    """The ``REPRO_COMPACT_CSR`` environment default for new backends."""
+    value = os.environ.get("REPRO_COMPACT_CSR", "").strip().lower()
+    return value not in ("", "0", "false", "no")
+
+
 class ArraySlotBackend(GraphBackend):
     """Vectorized slot store with free-list node recycling."""
 
     supports_vectorized_frontier = True
     supports_bulk_placement = True
 
-    def __init__(self, initial_capacity: int = 1024, slot_width: int = 4) -> None:
+    def __init__(
+        self,
+        initial_capacity: int = 1024,
+        slot_width: int = 4,
+        compact_csr: bool | None = None,
+    ) -> None:
         super().__init__()
         self._cap = max(int(initial_capacity), 1)
         self._width = max(int(slot_width), 1)
+        # Compact mode halves the footprint of the analysis plane's
+        # hottest arrays (CSR indptr/indices and the id column) by
+        # storing them as int32 — valid while capacity, node ids, and
+        # directed edge counts stay below 2^31 (guarded at the growth
+        # and id-assignment sites).  Opt-in: ``compact_csr=True`` or the
+        # REPRO_COMPACT_CSR environment variable.
+        self.compact_csr = (
+            _compact_default() if compact_csr is None else bool(compact_csr)
+        )
+        self._id_dtype = np.int32 if self.compact_csr else np.int64
         self._slots = np.full((self._cap, self._width), -1, dtype=np.int64)
         self._num_slots = np.zeros(self._cap, dtype=np.int32)
         self._birth = np.zeros(self._cap, dtype=np.float64)
-        self._id_of = np.full(self._cap, -1, dtype=np.int64)
+        self._id_of = np.full(self._cap, -1, dtype=self._id_dtype)
         self._alive_rows = np.zeros(self._cap, dtype=bool)
         self._in_refs: list[set[tuple[int, int]]] = [set() for _ in range(self._cap)]
         self._in_count = np.zeros(self._cap, dtype=np.int32)
         self._row_of: dict[int, int] = {}
         self._free: list[int] = []
         self._high = 0  # rows [0, _high) have been used at least once
-        self._version = 0
-        self._csr_version = -1
+        self._csr_epoch = -1
         self._csr_indptr: np.ndarray | None = None
         self._csr_indices: np.ndarray | None = None
         self._csr_edge_count = 0
@@ -122,6 +147,11 @@ class ArraySlotBackend(GraphBackend):
         return row
 
     def _grow_rows(self, new_cap: int) -> None:
+        if self.compact_csr and new_cap > _INT32_MAX:
+            raise SimulationError(
+                f"compact (int32) mode cannot grow to {new_cap} rows; "
+                "rebuild the backend with compact_csr=False"
+            )
         old_cap = self._cap
         self._cap = new_cap
         grown = np.full((new_cap, self._width), -1, dtype=np.int64)
@@ -133,7 +163,7 @@ class ArraySlotBackend(GraphBackend):
         birth_grown = np.zeros(new_cap, dtype=np.float64)
         birth_grown[:old_cap] = self._birth
         self._birth = birth_grown
-        id_grown = np.full(new_cap, -1, dtype=np.int64)
+        id_grown = np.full(new_cap, -1, dtype=self._id_dtype)
         id_grown[:old_cap] = self._id_of
         self._id_of = id_grown
         alive_grown = np.zeros(new_cap, dtype=bool)
@@ -219,6 +249,10 @@ class ArraySlotBackend(GraphBackend):
     def add_node(self, node_id: int, birth_time: float, num_slots: int) -> NodeRecord:
         if node_id in self._row_of:
             raise SimulationError(f"node id {node_id} already exists")
+        if self.compact_csr and node_id > _INT32_MAX:
+            raise SimulationError(
+                f"node id {node_id} does not fit the compact (int32) id store"
+            )
         if num_slots > self._width:
             self._grow_cols(num_slots)
         row = self._take_row()
@@ -231,7 +265,7 @@ class ArraySlotBackend(GraphBackend):
         self._in_count[row] = 0
         self._row_of[node_id] = row
         self.alive.add(node_id)
-        self._version += 1
+        self._note_mutation((node_id,))
         return NodeRecord(
             node_id=node_id, birth_time=birth_time, out_slots=[None] * num_slots
         )
@@ -257,7 +291,7 @@ class ArraySlotBackend(GraphBackend):
         self._slots[srow, slot_index] = trow
         self._in_refs[trow].add((source, slot_index))
         self._in_count[trow] += 1
-        self._version += 1
+        self._note_mutation((source, target))
 
     def clear_slot(self, source: int, slot_index: int) -> int | None:
         srow = self._row_of[source]
@@ -271,8 +305,9 @@ class ArraySlotBackend(GraphBackend):
         self._slots[srow, slot_index] = -1
         self._in_refs[trow].discard((source, slot_index))
         self._in_count[trow] -= 1
-        self._version += 1
-        return int(self._id_of[trow])
+        target = int(self._id_of[trow])
+        self._note_mutation((source, target))
+        return target
 
     def remove_node(self, node_id: int, death_time: float) -> list[tuple[int, int]]:
         """Kill *node_id*; its row returns to the free list for recycling."""
@@ -282,6 +317,7 @@ class ArraySlotBackend(GraphBackend):
         row = self._row_of[node_id]
         self.alive.discard(node_id)
         self._alive_rows[row] = False
+        touched = [node_id]
 
         # Drop the dying node's own requests.
         for slot_index in range(int(self._num_slots[row])):
@@ -289,6 +325,7 @@ class ArraySlotBackend(GraphBackend):
             if trow >= 0:
                 self._in_refs[trow].discard((node_id, slot_index))
                 self._in_count[trow] -= 1
+                touched.append(int(self._id_of[trow]))
         self._slots[row, :] = -1
 
         # Orphan the requests of others pointing here (sorted, matching the
@@ -296,6 +333,7 @@ class ArraySlotBackend(GraphBackend):
         orphaned = sorted(self._in_refs[row])
         for source, slot_index in orphaned:
             self._slots[self._row_of[source], slot_index] = -1
+            touched.append(source)
         self._in_refs[row] = set()
         self._in_count[row] = 0
 
@@ -304,7 +342,7 @@ class ArraySlotBackend(GraphBackend):
         self._num_slots[row] = 0
         self._birth[row] = 0.0
         self._free.append(row)
-        self._version += 1
+        self._note_mutation(touched)
         return orphaned
 
     # ------------------------------------------------------------------
@@ -351,6 +389,11 @@ class ArraySlotBackend(GraphBackend):
         self._high += fresh
 
         ids = np.asarray(node_ids, dtype=np.int64)
+        if self.compact_csr and ids.size and int(ids.max()) > _INT32_MAX:
+            raise SimulationError(
+                "birth batch contains node ids beyond the compact "
+                "(int32) id store"
+            )
         self._slots[rows, :] = -1
         self._num_slots[rows] = num_slots
         self._birth[rows] = np.asarray(times_list, dtype=np.float64)
@@ -359,7 +402,7 @@ class ArraySlotBackend(GraphBackend):
         self._in_count[rows] = 0
         self._row_of.update(zip(ids.tolist(), rows.tolist()))
         self.alive.extend_unique(node_ids)
-        self._version += 1
+        self._note_mutation(ids.tolist() if self._touched is not None else ())
         return rows
 
     def apply_births(
@@ -408,7 +451,11 @@ class ArraySlotBackend(GraphBackend):
             in_refs[trow].add((source, slot_index))
         if target_rows.size:
             np.add.at(self._in_count, target_rows, 1)
-        self._version += 1
+        self._note_mutation(
+            self._id_of[target_rows].tolist()
+            if self._touched is not None
+            else ()
+        )
 
     # ------------------------------------------------------------------
     # bulk capped placement (RAES / capped-regeneration fast path)
@@ -549,7 +596,10 @@ class ArraySlotBackend(GraphBackend):
                     in_refs[trow].add((s, j))
                 placed[hit] = self._id_of[accepted_rows]
             pending = pending[~accepted]
-        self._version += 1
+        if self._touched is not None:
+            self._touched.update(source_ids.tolist())
+            self._touched.update(placed[placed >= 0].tolist())
+        self._note_mutation()
         return placed
 
     # ------------------------------------------------------------------
@@ -557,7 +607,7 @@ class ArraySlotBackend(GraphBackend):
     # ------------------------------------------------------------------
 
     def _ensure_csr(self) -> None:
-        if self._csr_version == self._version:
+        if self._csr_epoch == self._mutation_epoch:
             return
         cap = self._cap
         mask = self._slots >= 0
@@ -571,10 +621,21 @@ class ArraySlotBackend(GraphBackend):
         counts = np.bincount(uu, minlength=cap)
         indptr = np.zeros(cap + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
+        if self.compact_csr:
+            # Row capacity is int32-guarded at growth time; directed
+            # entries (2·edges ≤ capacity·width) therefore fit too once
+            # the total is checked here.
+            if len(keys) > _INT32_MAX:
+                raise SimulationError(
+                    "compact (int32) mode cannot index "
+                    f"{len(keys)} directed CSR entries"
+                )
+            indptr = indptr.astype(np.int32)
+            vv = vv.astype(np.int32)
         self._csr_indptr = indptr
         self._csr_indices = vv
         self._csr_edge_count = len(keys) // 2
-        self._csr_version = self._version
+        self._csr_epoch = self._mutation_epoch
 
     def adjacency_csr(self) -> tuple[np.ndarray, np.ndarray]:
         """``(indptr, indices)`` of the distinct-neighbour adjacency over

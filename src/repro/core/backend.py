@@ -70,6 +70,57 @@ class GraphBackend(ABC):
     def __init__(self) -> None:
         self.alive = IndexedSet()
         self._next_id = 0
+        self._mutation_epoch = 0
+        self._touched: set[int] | None = None
+
+    # ------------------------------------------------------------------
+    # mutation tracking (the incremental analysis plane's dirty set)
+    # ------------------------------------------------------------------
+
+    def mutation_epoch(self) -> int:
+        """Monotone counter, bumped once per topology mutation.
+
+        Two equal epochs guarantee the topology has not changed in
+        between; this is what lets cached analyses (CSR rebuilds, the
+        incremental :class:`~repro.analysis.incremental.ProbeCache`)
+        skip work without inspecting the graph.
+        """
+        return self._mutation_epoch
+
+    def track_mutations(self) -> None:
+        """Start accumulating the ids of nodes touched by mutations.
+
+        Idempotent.  Once enabled, every mutation records the node ids
+        whose incident topology it changed — for an edge change both
+        endpoints, for a death the dead node plus every former
+        neighbour, for a birth the newborn plus its targets — until
+        :meth:`drain_touched` collects them.  Tracking costs one set
+        update per mutation and nothing when disabled.
+        """
+        if self._touched is None:
+            self._touched = set()
+
+    def drain_touched(self) -> set[int]:
+        """Return and reset the ids touched since the last drain.
+
+        The returned set is a conservative dirty set: any node whose
+        incident edges, existence, or neighbourhood membership changed
+        since the previous drain appears in it (possibly alongside ids
+        that have since died).  Requires :meth:`track_mutations`.
+        """
+        if self._touched is None:
+            raise ConfigurationError(
+                "drain_touched() needs track_mutations() enabled first"
+            )
+        touched = self._touched
+        self._touched = set()
+        return touched
+
+    def _note_mutation(self, ids: Iterable[int] = ()) -> None:
+        """Bump the epoch; record *ids* as touched when tracking."""
+        self._mutation_epoch += 1
+        if self._touched is not None:
+            self._touched.update(ids)
 
     # ------------------------------------------------------------------
     # basic queries (shared: both backends keep `alive` as an IndexedSet)

@@ -186,6 +186,26 @@ class CSRView:
         """Number of distinct undirected edges."""
         return int(self.indices.size) // 2
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes addressed by the view's arrays (lazy caches once built).
+
+        Aliased backend storage is counted as-is: the hook reports what
+        the analysis plane actually touches per window, which is what
+        the array backend's compact (int32) mode shrinks.
+        """
+        total = (
+            self.indptr.nbytes
+            + self.indices.nbytes
+            + self.vert_ids.nbytes
+            + self.birth.nbytes
+            + self.alive_verts.nbytes
+        )
+        for cached in (self._ids, self._degrees, self._mix):
+            if cached is not None:
+                total += cached.nbytes
+        return total
+
     def vert_of(self, node_id: int) -> int:
         """Vert of an alive node id."""
         if self._vert_of is None:

@@ -113,6 +113,7 @@ class DictBackend(GraphBackend):
         self.alive.add(node_id)
         self.in_refs[node_id] = set()
         self.adj[node_id] = {}
+        self._note_mutation((node_id,))
         return record
 
     def assign_slot(self, source: int, slot_index: int, target: int) -> None:
@@ -129,6 +130,7 @@ class DictBackend(GraphBackend):
         record.out_slots[slot_index] = target
         self.in_refs[target].add((source, slot_index))
         self._adj_increment(source, target)
+        self._note_mutation((source, target))
 
     def clear_slot(self, source: int, slot_index: int) -> int | None:
         """Empty ``source``'s slot *slot_index*; returns the old target."""
@@ -141,6 +143,7 @@ class DictBackend(GraphBackend):
         if refs is not None:
             refs.discard((source, slot_index))
         self._adj_decrement(source, target)
+        self._note_mutation((source, target))
         return target
 
     def remove_node(self, node_id: int, death_time: float) -> list[tuple[int, int]]:
@@ -156,6 +159,7 @@ class DictBackend(GraphBackend):
         record = self.records[node_id]
         record.death_time = death_time
         self.alive.discard(node_id)
+        touched = [node_id]
 
         # Drop the dying node's own requests.
         for slot_index, target in enumerate(record.out_slots):
@@ -165,6 +169,7 @@ class DictBackend(GraphBackend):
                 if refs is not None:
                     refs.discard((node_id, slot_index))
                 self._adj_decrement(node_id, target)
+                touched.append(target)
 
         # Orphan the requests of others pointing here; clear them from the
         # topology — the policy may immediately re-assign them.
@@ -172,12 +177,14 @@ class DictBackend(GraphBackend):
         for source, slot_index in orphaned:
             self.records[source].out_slots[slot_index] = None
             self._adj_decrement(source, node_id)
+            touched.append(source)
 
         leftovers = self.adj.pop(node_id, {})
         if leftovers:
             raise SimulationError(
                 f"node {node_id} died with dangling adjacency: {leftovers}"
             )
+        self._note_mutation(touched)
         return orphaned
 
     # ------------------------------------------------------------------

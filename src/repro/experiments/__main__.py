@@ -54,6 +54,14 @@ def main(argv: list[str] | None = None) -> int:
         "a registered experiment",
     )
     parser.add_argument(
+        "--sweep",
+        metavar="FILE",
+        default=None,
+        help="run a JSON-defined parameter sweep (a SweepSpec document, "
+        "see repro.sweep) and print its cell values as JSON; honors "
+        "--jobs/--store/--resume and --backend",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=None,
@@ -81,6 +89,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.resume and args.store is None:
         parser.error("--resume needs --store DIR")
 
+    if args.scenario is not None and args.sweep is not None:
+        parser.error("--scenario and --sweep are mutually exclusive")
+
     if args.scenario is not None:
         if (
             args.experiment_ids
@@ -98,6 +109,20 @@ def main(argv: list[str] | None = None) -> int:
             )
         return run_scenario_file(
             args.scenario, seed=args.seed, backend=args.backend
+        )
+
+    if args.sweep is not None:
+        if args.experiment_ids or args.all or args.full or args.csv:
+            parser.error(
+                "--sweep cannot be combined with experiment ids, "
+                "--all, --full, or --csv"
+            )
+        return run_sweep_file(
+            args.sweep,
+            backend=args.backend,
+            jobs=args.jobs,
+            store=args.store,
+            resume=args.resume or None,
         )
 
     if args.list or (not args.experiment_ids and not args.all):
@@ -133,6 +158,44 @@ def main(argv: list[str] | None = None) -> int:
             failures += 1
     if failures:
         print(f"{failures} experiment(s) had failing verdict entries")
+    return 1 if failures else 0
+
+
+def run_sweep_file(
+    path: str,
+    backend: str | None = None,
+    jobs: int | None = None,
+    store: str | None = None,
+    resume: bool | None = None,
+) -> int:
+    """Run one JSON sweep document and print its cell values as JSON."""
+    from dataclasses import replace
+    from pathlib import Path
+
+    from repro.sweep import SweepSpec, run_sweep
+
+    sweep = SweepSpec.from_json(Path(path).read_text(encoding="utf-8"))
+    if backend is not None:
+        sweep = replace(sweep, base=sweep.base.with_(backend=backend))
+
+    result = run_sweep(sweep, jobs=jobs, store=store, resume=resume)
+    failures = result.failures
+    print(f"sweep: {path}", file=sys.stderr)
+    print(
+        f"cells: {len(result.cells)} "
+        f"(executed {result.executed}, cached {result.from_cache}, "
+        f"failed {len(failures)})",
+        file=sys.stderr,
+    )
+    for cell_result in failures:
+        print(
+            f"FAILED cell {cell_result.index} "
+            f"{dict(cell_result.cell.overrides)!r}:\n{cell_result.error}",
+            file=sys.stderr,
+        )
+    if not failures:
+        # The machine-readable payload (stdout): canonical grid order.
+        print(json.dumps(result.values(), indent=2, default=str))
     return 1 if failures else 0
 
 

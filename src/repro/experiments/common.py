@@ -8,7 +8,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
-from repro.util.rng import child_seeds
+from repro.errors import ExperimentError
 from repro.util.tables import render_kv, render_table
 
 
@@ -92,14 +92,18 @@ class Stopwatch:
 
 
 def trial_seeds(seed: int, count: int) -> list[Any]:
-    """Independent child seeds for repeated trials.
+    """Removed in 1.5 — raises with migration instructions.
 
-    .. deprecated:: 1.4
-        Positional derivation forced experiments needing several trial
-        families into ad-hoc offsets (``trial_seeds(seed + 1, ...)``),
-        which alias across master seeds.  New code should name its
-        streams with :func:`repro.util.rng.derive_seeds` instead —
-        every experiment module has been ported; this wrapper remains
-        for external callers only.
+    Positional derivation forced experiments needing several trial
+    families into ad-hoc offsets (``trial_seeds(seed + 1, ...)``), which
+    alias across master seeds.  The shim was deprecated in 1.4 and now
+    fails loudly; this stub (and its message) will be dropped entirely
+    in the next release.
     """
-    return child_seeds(seed, count)
+    raise ExperimentError(
+        "trial_seeds() was removed in 1.5: positional seed derivation "
+        "aliases across master seeds.  Use named streams instead — "
+        "repro.util.rng.derive_seeds(seed, 'your-stream-name', "
+        f"{count}) gives {count} independent seeds for one family, and "
+        "distinct stream names give independent families."
+    )

@@ -38,6 +38,7 @@ from typing import Any
 
 from repro.analysis.degrees import degree_summary
 from repro.analysis.expansion import adversarial_expansion_upper_bound
+from repro.analysis.incremental import ProbeCache
 from repro.analysis.isolated import count_isolated
 from repro.core.csr import CSRView
 from repro.core.snapshot import Snapshot
@@ -170,6 +171,12 @@ class ExpansionObserver(Observer):
     :func:`~repro.analysis.expansion.adversarial_expansion_upper_bound`
     — bound ``max_size`` (and trim ``num_random_sets``) to keep large-n
     cadenced probes tractable; the defaults probe the full size range.
+
+    With ``incremental=True`` the probes run through a
+    :class:`~repro.analysis.incremental.ProbeCache`: BFS balls untouched
+    by churn since the previous window replay from the cache, so dense
+    cadences with small churn deltas cost a fraction of a cold probe —
+    while every recorded value stays bit-identical to the cold path.
     """
 
     name = "expansion"
@@ -184,6 +191,7 @@ class ExpansionObserver(Observer):
         greedy_restarts: int = 8,
         min_size: int = 1,
         max_size: int | None = None,
+        incremental: bool = False,
     ) -> None:
         super().__init__(every=every)
         self.seed = seed
@@ -191,20 +199,36 @@ class ExpansionObserver(Observer):
         self.greedy_restarts = greedy_restarts
         self.min_size = min_size
         self.max_size = max_size
+        self.incremental = bool(incremental)
+        self._cache: ProbeCache | None = None
         self.series: list[dict[str, float]] = []
+
+    def _probe_cache(self) -> ProbeCache:
+        if self._cache is None:
+            self._cache = ProbeCache(
+                self.simulation.network.state,
+                num_random_sets=self.num_random_sets,
+                greedy_restarts=self.greedy_restarts,
+                min_size=self.min_size,
+                max_size=self.max_size,
+            )
+        return self._cache
 
     def on_view(self, report: RoundReport | None, view: CSRView) -> None:
         del report
         if view.n < 2:
             return
-        probe = adversarial_expansion_upper_bound(
-            view,
-            seed=self.seed,
-            num_random_sets=self.num_random_sets,
-            greedy_restarts=self.greedy_restarts,
-            min_size=self.min_size,
-            max_size=self.max_size,
-        )
+        if self.incremental:
+            probe = self._probe_cache().probe(view, seed=self.seed)
+        else:
+            probe = adversarial_expansion_upper_bound(
+                view,
+                seed=self.seed,
+                num_random_sets=self.num_random_sets,
+                greedy_restarts=self.greedy_restarts,
+                min_size=self.min_size,
+                max_size=self.max_size,
+            )
         self.series.append(
             {
                 "time": view.time,

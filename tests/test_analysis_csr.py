@@ -25,7 +25,15 @@ from repro.analysis.expansion import (
     large_set_expansion_probe,
     probe_network_expansion,
 )
+from repro.analysis.distances import (
+    average_shortest_path_sample,
+    bfs_distances,
+    eccentricity,
+    giant_component_diameter,
+)
+from repro.analysis.incremental import ProbeCache
 from repro.analysis.isolated import count_isolated, isolated_fraction
+from repro.analysis.temporal import snapshot_jaccard
 from repro.analysis.spectral import cheeger_bounds, normalized_laplacian_lambda2
 from repro.core.csr import (
     candidate_key,
@@ -406,6 +414,130 @@ class TestBallProperty:
             max_size=max_size,
         )
         assert_probe_equal(fast, reference)
+
+
+class TestDistanceParity:
+    """CSR mask-frontier BFS equals the dict reference, ties included."""
+
+    @pytest.fixture(params=["dict", "array"])
+    def graphs(self, request):
+        return [
+            (name, net.snapshot(), net.state.csr_view(net.now))
+            for name, net in seeded_networks(request.param)
+        ]
+
+    def test_bfs_distances_and_eccentricity(self, graphs):
+        for name, snap, view in graphs:
+            for source in sorted(snap.nodes)[:5]:
+                assert bfs_distances(snap, source) == bfs_distances(
+                    view, source
+                ), name
+                assert eccentricity(snap, source) == eccentricity(
+                    view, source
+                ), name
+
+    def test_unknown_source_rejected_on_view(self):
+        from repro.errors import AnalysisError
+
+        view = csr_view_from_snapshot(path_snapshot(4))
+        with pytest.raises(AnalysisError):
+            bfs_distances(view, 99)
+
+    def test_giant_component_diameter(self, graphs):
+        for name, snap, view in graphs:
+            assert giant_component_diameter(
+                snap, seed=2
+            ) == giant_component_diameter(view, seed=2), name
+            # Double-sweep path (exact_limit below component size): same
+            # RNG draws, same canonical far-node tie-break.
+            assert giant_component_diameter(
+                snap, exact_limit=1, seed=4
+            ) == giant_component_diameter(view, exact_limit=1, seed=4), name
+
+    def test_average_shortest_path_sample(self, graphs):
+        for name, snap, view in graphs:
+            assert average_shortest_path_sample(
+                snap, seed=9
+            ) == average_shortest_path_sample(view, seed=9), name
+
+    def test_diameter_on_crafted_graphs(self):
+        for snap in (path_snapshot(9), cycle_snapshot(10),
+                     snapshot_from_edges(7, [(0, 1), (1, 2), (2, 3), (5, 6)])):
+            view = csr_view_from_snapshot(snap)
+            assert giant_component_diameter(snap) == giant_component_diameter(
+                view
+            )
+
+    def test_snapshot_jaccard_mixed_paths(self, graphs):
+        (_, snap_a, view_a), (_, snap_b, view_b) = graphs[:2]
+        reference = snapshot_jaccard(snap_a, snap_b)
+        assert snapshot_jaccard(view_a, view_b) == reference
+        assert snapshot_jaccard(snap_a, view_b) == reference
+        assert snapshot_jaccard(view_a, snap_b) == reference
+        assert snapshot_jaccard(view_a, view_a) == 1.0
+
+
+class TestIncrementalParity:
+    """ProbeCache replays are bit-identical to cold recomputes."""
+
+    PARAMS = dict(num_random_sets=16, greedy_restarts=4, max_size=25)
+
+    @pytest.mark.parametrize("backend", ["dict", "array"])
+    def test_incremental_equals_cold_across_windows(self, backend):
+        net = SDGR(n=200, d=4, seed=7, backend=backend)
+        net.run_rounds(200)
+        cache = ProbeCache(net.state, **self.PARAMS)
+        replayed_any = False
+        for _ in range(5):
+            view = net.state.csr_view(net.now)
+            incremental = cache.probe(view, seed=1)
+            cold = adversarial_expansion_upper_bound(
+                net.state.csr_view(net.now), seed=1, **self.PARAMS
+            )
+            assert_probe_equal(incremental, cold)
+            replayed_any |= cache.last_stats["replayed"] > 0
+            net.run_rounds(3)
+        assert replayed_any  # the cache actually reused balls
+
+    def test_zero_churn_window_is_full_replay(self):
+        net = SDGR(n=150, d=4, seed=3, backend="array")
+        net.run_rounds(150)
+        cache = ProbeCache(net.state, **self.PARAMS)
+        first = cache.probe(net.state.csr_view(net.now), seed=5)
+        again = cache.probe(net.state.csr_view(net.now), seed=5)
+        assert cache.last_stats["replayed"] == 150
+        assert cache.last_stats["recomputed"] == 0
+        assert_probe_equal(first, again)
+
+    def test_changed_size_window_flushes(self):
+        net = SDGR(n=100, d=4, seed=2, backend="array")
+        net.run_rounds(100)
+        cache = ProbeCache(net.state, num_random_sets=8, greedy_restarts=2)
+        cache.probe(net.state.csr_view(net.now), seed=0)
+        cache.max_size = 10  # narrower window: every trajectory changes
+        probe = cache.probe(net.state.csr_view(net.now), seed=0)
+        assert cache.last_stats["recomputed"] == 100
+        cold = adversarial_expansion_upper_bound(
+            net.state.csr_view(net.now),
+            seed=0,
+            num_random_sets=8,
+            greedy_restarts=2,
+            max_size=10,
+        )
+        assert_probe_equal(probe, cold)
+
+    def test_incremental_observer_matches_cold_observer(self):
+        def run(incremental):
+            spec = ScenarioSpec(
+                churn="streaming", policy="regen", n=120, d=4, horizon=30
+            )
+            observer = ExpansionObserver(
+                every=5, seed=2, incremental=incremental, **self.PARAMS
+            )
+            Simulation(spec, observers=[observer], seed=5).run()
+            return observer.result()
+
+        assert run(True) == run(False)
 
 
 class TestObserverSharing:

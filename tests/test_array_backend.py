@@ -147,12 +147,12 @@ class TestVectorizedReads:
     def test_csr_is_rebuilt_lazily(self):
         state = build_triangle()
         state.num_edges()
-        first_version = state._csr_version
+        first_epoch = state._csr_epoch
         state.num_edges()
-        assert state._csr_version == first_version  # cached, no rebuild
+        assert state._csr_epoch == first_epoch  # cached, no rebuild
         state.clear_slot(0, 0)
         state.num_edges()
-        assert state._csr_version != first_version  # mutation invalidates
+        assert state._csr_epoch != first_epoch  # mutation invalidates
 
     def test_snapshot_equals_dict_snapshot(self):
         rng_a, rng_b = np.random.default_rng(5), np.random.default_rng(5)

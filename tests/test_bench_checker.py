@@ -1,0 +1,110 @@
+"""Unit tests for benchmarks/check_bench_regression.py's compare logic.
+
+The checker lives outside the package (it is a CI script), so it is
+loaded by file path via importlib.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_spec = importlib.util.spec_from_file_location(
+    "check_bench_regression",
+    REPO_ROOT / "benchmarks" / "check_bench_regression.py",
+)
+checker = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(checker)
+
+
+def payload(rows):
+    return {"results": rows}
+
+
+class TestCompare:
+    def test_healthy_run_passes(self):
+        base = payload([{"n": 1000, "probe_speedup": 8.0}])
+        current = payload([{"n": 1000, "probe_speedup": 7.5}])
+        assert (
+            checker.compare(
+                base, current, tolerance=0.4, keys=("probe_speedup",)
+            )
+            == []
+        )
+
+    def test_regression_flagged(self):
+        base = payload([{"n": 1000, "probe_speedup": 8.0}])
+        current = payload([{"n": 1000, "probe_speedup": 1.0}])
+        problems = checker.compare(
+            base, current, tolerance=0.4, keys=("probe_speedup",)
+        )
+        assert len(problems) == 1
+        assert "n=1000" in problems[0]
+
+    def test_no_overlapping_sizes(self):
+        base = payload([{"n": 1000, "probe_speedup": 8.0}])
+        current = payload([{"n": 2000, "probe_speedup": 8.0}])
+        assert checker.compare(
+            base, current, tolerance=0.4, keys=("probe_speedup",)
+        ) == ["no overlapping sizes between baseline and current run"]
+
+    def test_key_missing_from_baseline_is_clear_failure(self):
+        """A metric the current bench emits but the committed baseline
+        lacks must produce a pointed message, not a KeyError."""
+        base = payload([{"n": 1000, "probe_speedup": 8.0}])
+        current = payload(
+            [{"n": 1000, "probe_speedup": 8.0, "incremental_speedup": 5.0}]
+        )
+        problems = checker.compare(
+            base,
+            current,
+            tolerance=0.4,
+            keys=("probe_speedup", "incremental_speedup"),
+        )
+        assert len(problems) == 1
+        assert "incremental_speedup" in problems[0]
+        assert "regenerate" in problems[0]
+
+    def test_key_missing_from_current_is_clear_failure(self):
+        base = payload(
+            [{"n": 1000, "probe_speedup": 8.0, "incremental_speedup": 5.0}]
+        )
+        current = payload([{"n": 1000, "probe_speedup": 8.0}])
+        problems = checker.compare(
+            base,
+            current,
+            tolerance=0.4,
+            keys=("probe_speedup", "incremental_speedup"),
+        )
+        assert len(problems) == 1
+        assert "no longer emits" in problems[0]
+
+    def test_key_absent_on_both_sides_is_skipped(self):
+        """Sizes without a metric on either side (e.g. the incremental
+        probe is only benchmarked at dense-cadence sizes) pass clean."""
+        base = payload([{"n": 1000, "probe_speedup": 8.0}])
+        current = payload([{"n": 1000, "probe_speedup": 8.0}])
+        assert (
+            checker.compare(
+                base,
+                current,
+                tolerance=0.4,
+                keys=("probe_speedup", "incremental_speedup"),
+            )
+            == []
+        )
+
+    def test_parallel_speedup_skipped_when_not_meaningful(self):
+        base = payload(
+            [{"n": 500, "parallel_speedup": 3.0, "parallel_meaningful": False}]
+        )
+        current = payload(
+            [{"n": 500, "parallel_speedup": 0.5, "parallel_meaningful": True}]
+        )
+        assert (
+            checker.compare(
+                base, current, tolerance=0.4, keys=("parallel_speedup",)
+            )
+            == []
+        )

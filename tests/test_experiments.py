@@ -8,6 +8,7 @@ from repro.errors import ExperimentError
 from repro.experiments import all_experiments, get_experiment, run_experiment
 from repro.experiments.__main__ import main as cli_main
 from repro.experiments.common import ExperimentResult, Stopwatch, trial_seeds
+from repro.util.rng import derive_seeds
 
 
 class TestRegistry:
@@ -29,8 +30,12 @@ class TestRegistry:
 
 
 class TestCommon:
-    def test_trial_seeds_independent(self):
-        seeds = trial_seeds(0, 4)
+    def test_trial_seeds_removed_with_pointed_message(self):
+        with pytest.raises(ExperimentError, match="derive_seeds"):
+            trial_seeds(0, 4)
+
+    def test_named_streams_are_the_replacement(self):
+        seeds = derive_seeds(0, "trials", 4)
         assert len(seeds) == 4
         states = [s.generate_state(1)[0] for s in seeds]
         assert len(set(states)) == 4
@@ -97,3 +102,55 @@ class TestCli:
         assert cli_main(["EXP-01", "--seed", "1"]) == 0
         out = capsys.readouterr().out
         assert "verdict" in out
+
+
+class TestSweepCli:
+    def _spec(self):
+        from repro.scenario import ScenarioSpec
+        from repro.sweep import SweepSpec
+
+        return SweepSpec(
+            base=ScenarioSpec(
+                churn="streaming", policy="regen", n=30, d=3, horizon=10
+            ),
+            axes=[("d", [2, 3])],
+            replicas=2,
+            seed=7,
+        )
+
+    def test_sweep_round_trip(self, tmp_path, capsys):
+        """A SweepSpec serialized with to_json runs through --sweep and
+        prints exactly the values run_sweep computes for that spec."""
+        import json
+
+        from repro.sweep import SweepSpec, run_sweep
+
+        sweep = self._spec()
+        path = tmp_path / "sweep.json"
+        path.write_text(sweep.to_json(), encoding="utf-8")
+        assert SweepSpec.from_json(path.read_text(encoding="utf-8")) == sweep
+
+        assert cli_main(["--sweep", str(path)]) == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed == run_sweep(sweep).values()
+
+    def test_sweep_conflicts_with_experiment_ids(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(self._spec().to_json(), encoding="utf-8")
+        with pytest.raises(SystemExit):
+            cli_main(["EXP-01", "--sweep", str(path)])
+        with pytest.raises(SystemExit):
+            cli_main(["--sweep", str(path), "--scenario", str(path)])
+
+    def test_sweep_honors_store_and_resume(self, tmp_path, capsys):
+        path = tmp_path / "sweep.json"
+        path.write_text(self._spec().to_json(), encoding="utf-8")
+        store = tmp_path / "store"
+        assert cli_main(["--sweep", str(path), "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert (
+            cli_main(
+                ["--sweep", str(path), "--store", str(store), "--resume"]
+            )
+            == 0
+        )
