@@ -10,8 +10,8 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 BENCH_FILES := $(wildcard benchmarks/bench_*.py)
 
 .PHONY: test test-dict test-array test-backends bench bench-backend \
-	bench-bounded bench-analysis bench-sweep bench-check experiments \
-	scenario-smoke sweep-smoke
+	bench-bounded bench-analysis bench-sweep bench-service bench-check \
+	experiments scenario-smoke sweep-smoke service-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -43,16 +43,23 @@ bench-analysis:
 bench-sweep:
 	$(PYTHON) benchmarks/bench_sweep.py
 
+# Checkpoint cadence overhead + restore vs cold rebuild at n=1e5;
+# writes BENCH_service.json.
+bench-service:
+	$(PYTHON) benchmarks/bench_service.py
+
 # Fresh sweeps compared against the committed BENCH_*.json baselines.
 bench-check:
 	$(PYTHON) benchmarks/bench_backend_scaling.py --output /tmp/bench_current.json
 	$(PYTHON) benchmarks/bench_bounded_degree.py --output /tmp/bench_bounded_current.json
 	$(PYTHON) benchmarks/bench_analysis.py --output /tmp/bench_analysis_current.json
 	$(PYTHON) benchmarks/bench_sweep.py --output /tmp/bench_sweep_current.json
+	$(PYTHON) benchmarks/bench_service.py --output /tmp/bench_service_current.json
 	$(PYTHON) benchmarks/check_bench_regression.py --current /tmp/bench_current.json \
 		--current-bounded /tmp/bench_bounded_current.json \
 		--current-analysis /tmp/bench_analysis_current.json \
-		--current-sweep /tmp/bench_sweep_current.json
+		--current-sweep /tmp/bench_sweep_current.json \
+		--current-service /tmp/bench_service_current.json
 
 # Every registered protocol x both backends through the scenario layer.
 scenario-smoke:
@@ -68,6 +75,20 @@ sweep-smoke:
 	rm -rf /tmp/repro-sweep-store
 	$(PYTHON) -m repro.experiments EXP-01 --jobs 2 --store /tmp/repro-sweep-store
 	$(PYTHON) -m repro.experiments EXP-01 --jobs 2 --store /tmp/repro-sweep-store --resume
+
+# Service plane: checkpoint/trace/metrics suites, a trace-replay
+# scenario, and a CLI kill-and-resume round trip (run with checkpoints,
+# then restore the latest one and finish the horizon).
+service-smoke:
+	$(PYTHON) -m pytest tests/test_service_checkpoint.py \
+		tests/test_service_trace.py tests/test_service_metrics.py \
+		tests/test_examples_roundtrip.py -q
+	$(PYTHON) -m repro.experiments --scenario examples/trace_replay.json
+	rm -rf /tmp/repro-service-ckpt && mkdir -p /tmp/repro-service-ckpt
+	cd /tmp/repro-service-ckpt && PYTHONPATH=$(CURDIR)/src $(PYTHON) \
+		-m repro.experiments --scenario $(CURDIR)/examples/service_checkpoint.json
+	cd /tmp/repro-service-ckpt && PYTHONPATH=$(CURDIR)/src $(PYTHON) \
+		-m repro.experiments --restore /tmp/repro-service-ckpt/checkpoints
 
 experiments:
 	$(PYTHON) -m repro.experiments --all

@@ -18,10 +18,10 @@ size.
         --current-analysis /tmp/analysis.json
 
 Pass any combination of ``--current`` / ``--current-bounded`` /
-``--current-analysis`` / ``--current-sweep`` to check several files in
-one invocation (each against its committed baseline).  Exit status 1 on
-regression (CI converts it into a warning, matching the informational
-stance of the benchmark jobs).
+``--current-analysis`` / ``--current-sweep`` / ``--current-service``
+to check several files in one invocation (each against its committed
+baseline).  Exit status 1 on regression (CI converts it into a warning,
+matching the informational stance of the benchmark jobs).
 
 The sweep-plane payload carries a per-row ``parallel_meaningful`` flag
 (process-pool scaling can only be demonstrated on a machine with at
@@ -42,6 +42,7 @@ DEFAULT_BASELINE = REPO_ROOT / "BENCH_backend.json"
 DEFAULT_BOUNDED_BASELINE = REPO_ROOT / "BENCH_bounded.json"
 DEFAULT_ANALYSIS_BASELINE = REPO_ROOT / "BENCH_analysis.json"
 DEFAULT_SWEEP_BASELINE = REPO_ROOT / "BENCH_sweep.json"
+DEFAULT_SERVICE_BASELINE = REPO_ROOT / "BENCH_service.json"
 
 #: The speedup fields tracked in the analysis-plane payload.  The
 #: incremental probe is only benchmarked at sizes with dense cadences
@@ -51,6 +52,10 @@ ANALYSIS_KEYS = ("probe_speedup", "census_speedup", "incremental_speedup")
 
 #: The speedup fields tracked in the sweep-plane payload.
 SWEEP_KEYS = ("parallel_speedup", "resume_speedup")
+
+#: The speedup fields tracked in the service-plane payload: restoring a
+#: checkpoint vs cold-rebuilding the same seeded state from scratch.
+SERVICE_KEYS = ("restore_speedup",)
 
 
 def _by_size(payload: dict) -> dict[int, dict]:
@@ -158,6 +163,16 @@ def main(argv: list[str] | None = None) -> int:
         "is skipped on machines with fewer cores than workers)",
     )
     parser.add_argument(
+        "--baseline-service", type=Path, default=DEFAULT_SERVICE_BASELINE,
+        help="committed service-plane results (default: repo "
+        "BENCH_service.json)",
+    )
+    parser.add_argument(
+        "--current-service", type=Path, default=None,
+        help="freshly produced bench_service.py output (restore-vs-cold-"
+        "rebuild speedup checked against --baseline-service)",
+    )
+    parser.add_argument(
         "--tolerance", type=float, default=0.4,
         help="minimum acceptable fraction of the baseline speedup "
         "(default 0.4 — generous, shared runners are noisy)",
@@ -196,10 +211,19 @@ def main(argv: list[str] | None = None) -> int:
                 SWEEP_KEYS,
             )
         )
+    if args.current_service is not None:
+        checks.append(
+            (
+                "service plane",
+                args.baseline_service,
+                args.current_service,
+                SERVICE_KEYS,
+            )
+        )
     if not checks:
         parser.error(
             "nothing to check: pass --current, --current-bounded, "
-            "--current-analysis and/or --current-sweep"
+            "--current-analysis, --current-sweep and/or --current-service"
         )
 
     problems: list[str] = []

@@ -76,7 +76,7 @@ from repro.models import (
 )
 from repro.scenario import ScenarioSpec, Simulation, simulate
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "PDG",

@@ -1,0 +1,184 @@
+"""Recorded churn traces: validated join/leave logs for replay.
+
+A trace is an ordered log of churn events, one JSON object per line:
+
+    {"t": 3.25, "op": "join", "id": 17}
+    {"t": 4.0, "op": "leave", "id": 4}
+
+Times are non-decreasing, ids are non-negative integers, and the log must
+be *consistent*: a node joins at most while absent and leaves at most
+while present.  :class:`ChurnTrace` validates on construction, so a
+malformed log fails at load time rather than mid-replay.
+
+Traces model real user populations (in the spirit of the evolving-graph
+adversary of Clementi et al., arXiv:1111.0583): record one with the
+``record_trace`` observer (:mod:`repro.service.recorder`) or write the
+JSONL by hand, then replay it with ``churn="trace"`` composed with any
+edge policy and spreading protocol.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import ConfigurationError
+
+#: The two churn operations a trace may contain.
+TRACE_OPS = ("join", "leave")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One churn event: node *node_id* joins or leaves at time *time*."""
+
+    time: float
+    op: str
+    node_id: int
+
+
+class ChurnTrace:
+    """An immutable, validated sequence of :class:`TraceEvent`."""
+
+    def __init__(self, events: Iterable[TraceEvent]) -> None:
+        self.events: tuple[TraceEvent, ...] = tuple(events)
+        self._validate()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ChurnTrace):
+            return NotImplemented
+        return self.events == other.events
+
+    @property
+    def max_id(self) -> int:
+        """Largest node id in the trace (-1 when empty)."""
+        return max((e.node_id for e in self.events), default=-1)
+
+    @property
+    def end_time(self) -> float:
+        """Timestamp of the last event (0.0 when empty)."""
+        return self.events[-1].time if self.events else 0.0
+
+    def _validate(self) -> None:
+        alive: set[int] = set()
+        last_time = float("-inf")
+        for position, event in enumerate(self.events):
+            if event.op not in TRACE_OPS:
+                raise ConfigurationError(
+                    f"trace event {position}: unknown op {event.op!r} "
+                    f"(expected one of {TRACE_OPS})"
+                )
+            if not isinstance(event.node_id, int) or event.node_id < 0:
+                raise ConfigurationError(
+                    f"trace event {position}: id must be a non-negative "
+                    f"integer, got {event.node_id!r}"
+                )
+            if event.time < last_time:
+                raise ConfigurationError(
+                    f"trace event {position}: time {event.time} goes "
+                    f"backwards (previous event at {last_time})"
+                )
+            last_time = event.time
+            if event.op == "join":
+                if event.node_id in alive:
+                    raise ConfigurationError(
+                        f"trace event {position}: node {event.node_id} "
+                        "joins while already present"
+                    )
+                alive.add(event.node_id)
+            else:
+                if event.node_id not in alive:
+                    raise ConfigurationError(
+                        f"trace event {position}: node {event.node_id} "
+                        "leaves while absent"
+                    )
+                alive.discard(event.node_id)
+
+    # ------------------------------------------------------------------
+    # construction / serialization
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_dicts(cls, records: Iterable[Mapping]) -> "ChurnTrace":
+        """Build a trace from ``{"t", "op", "id"}`` mappings."""
+        events = []
+        for position, record in enumerate(records):
+            if not isinstance(record, Mapping):
+                raise ConfigurationError(
+                    f"trace record {position} is not a mapping: {record!r}"
+                )
+            extra = set(record) - {"t", "op", "id"}
+            missing = {"t", "op", "id"} - set(record)
+            if extra or missing:
+                raise ConfigurationError(
+                    f"trace record {position} must have exactly the keys "
+                    f"t/op/id (missing {sorted(missing)}, "
+                    f"unexpected {sorted(extra)})"
+                )
+            node_id = record["id"]
+            if isinstance(node_id, bool) or not isinstance(node_id, int):
+                raise ConfigurationError(
+                    f"trace record {position}: id must be an integer, "
+                    f"got {node_id!r}"
+                )
+            events.append(
+                TraceEvent(
+                    time=float(record["t"]),
+                    op=str(record["op"]),
+                    node_id=node_id,
+                )
+            )
+        return cls(events)
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "ChurnTrace":
+        """Parse a JSONL trace (blank lines are skipped)."""
+        records = []
+        for line_number, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise ConfigurationError(
+                    f"trace line {line_number} is not valid JSON: {error}"
+                ) from error
+        return cls.from_dicts(records)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ChurnTrace":
+        """Load a JSONL trace file."""
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError as error:
+            raise ConfigurationError(
+                f"cannot read trace file {path}: {error}"
+            ) from error
+        return cls.from_jsonl(text)
+
+    def to_dicts(self) -> list[dict]:
+        """The trace as ``{"t", "op", "id"}`` dicts (JSON-able)."""
+        return [
+            {"t": e.time, "op": e.op, "id": e.node_id} for e in self.events
+        ]
+
+    def to_jsonl(self) -> str:
+        """The trace as JSONL text (one event per line)."""
+        return "".join(
+            json.dumps(record) + "\n" for record in self.to_dicts()
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the trace as a JSONL file; returns the path."""
+        target = Path(path)
+        target.write_text(self.to_jsonl(), encoding="utf-8")
+        return target

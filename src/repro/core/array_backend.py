@@ -685,6 +685,83 @@ class ArraySlotBackend(GraphBackend):
         return {int(i) for i in self._id_of[np.nonzero(boundary)[0]]}
 
     # ------------------------------------------------------------------
+    # state serialization (service plane)
+    # ------------------------------------------------------------------
+
+    def dump_state(self) -> dict:
+        """Serialize the full mutable state to a JSON-able dict.
+
+        Only the touched row prefix ``[:_high]`` of each dense array is
+        emitted; the free-list order is preserved verbatim because
+        :meth:`_take_row` pops from its end (row assignment order is
+        RNG-visible through batched births).  The lazy CSR cache is not
+        serialized — restore marks it stale and it rebuilds on demand.
+        """
+        high = self._high
+        return {
+            "kind": "array",
+            "next_id": self._next_id,
+            "mutation_epoch": self._mutation_epoch,
+            "capacity": self._cap,
+            "width": self._width,
+            "high": high,
+            "compact_csr": self.compact_csr,
+            "free": [int(row) for row in self._free],
+            "alive": [int(u) for u in self.alive],
+            "slots": self._slots[:high],
+            "num_slots": self._num_slots[:high],
+            "birth": self._birth[:high],
+            "id_of": self._id_of[:high],
+            "alive_rows": self._alive_rows[:high],
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Restore state previously produced by :meth:`dump_state`."""
+        from repro.util.sampling import IndexedSet
+
+        self._cap = int(payload["capacity"])
+        self._width = int(payload["width"])
+        self.compact_csr = bool(payload["compact_csr"])
+        self._id_dtype = np.int32 if self.compact_csr else np.int64
+        high = int(payload["high"])
+        self._high = high
+        self._slots = np.full((self._cap, self._width), -1, dtype=np.int64)
+        self._num_slots = np.zeros(self._cap, dtype=np.int32)
+        self._birth = np.zeros(self._cap, dtype=np.float64)
+        self._id_of = np.full(self._cap, -1, dtype=self._id_dtype)
+        self._alive_rows = np.zeros(self._cap, dtype=bool)
+        self._slots[:high] = np.asarray(payload["slots"], dtype=np.int64)
+        self._num_slots[:high] = np.asarray(payload["num_slots"], dtype=np.int32)
+        self._birth[:high] = np.asarray(payload["birth"], dtype=np.float64)
+        self._id_of[:high] = np.asarray(payload["id_of"], dtype=self._id_dtype)
+        self._alive_rows[:high] = np.asarray(payload["alive_rows"], dtype=bool)
+        self._free = [int(row) for row in payload["free"]]
+        # Derived indices: _row_of from the id column, _in_refs/_in_count
+        # from the slot matrix (sets carry no RNG-visible order).
+        self._row_of = {
+            int(self._id_of[row]): int(row)
+            for row in np.nonzero(self._alive_rows)[0]
+        }
+        self._in_refs = [set() for _ in range(self._cap)]
+        self._in_count = np.zeros(self._cap, dtype=np.int32)
+        rows, slot_cols = np.nonzero(self._slots >= 0)
+        for row, col in zip(rows.tolist(), slot_cols.tolist()):
+            target = int(self._slots[row, col])
+            self._in_refs[target].add((int(self._id_of[row]), col))
+        if len(rows):
+            self._in_count[: self._high] = np.bincount(
+                self._slots[rows, slot_cols], minlength=self._high
+            ).astype(np.int32)[: self._high]
+        self.alive = IndexedSet(payload["alive"])
+        self._next_id = int(payload["next_id"])
+        self._mutation_epoch = int(payload["mutation_epoch"])
+        self._csr_epoch = -1
+        self._csr_indptr = None
+        self._csr_indices = None
+        self._csr_edge_count = 0
+        self._touched = None
+
+    # ------------------------------------------------------------------
     # snapshot / verification
     # ------------------------------------------------------------------
 

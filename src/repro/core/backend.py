@@ -148,6 +148,36 @@ class GraphBackend(ABC):
         self._next_id += count
         return list(range(first, self._next_id))
 
+    def ensure_id_floor(self, next_id: int) -> None:
+        """Guarantee future :meth:`allocate_id` calls return >= *next_id*.
+
+        Used by externally-driven drivers (trace replay) whose node ids
+        come from the input rather than the allocator.
+        """
+        self._next_id = max(self._next_id, int(next_id))
+
+    # ------------------------------------------------------------------
+    # state serialization (service plane)
+    # ------------------------------------------------------------------
+
+    def dump_state(self) -> dict:
+        """Serialize the full mutable backend state to a JSON-able dict.
+
+        The payload must capture everything that influences future
+        seeded trajectories — including iteration orders that feed RNG
+        draws (alive-set order, adjacency order) — so that
+        :meth:`restore_state` reproduces the run bit-identically.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support checkpointing"
+        )
+
+    def restore_state(self, payload: dict) -> None:
+        """Restore state previously produced by :meth:`dump_state`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support checkpointing"
+        )
+
     # ------------------------------------------------------------------
     # abstract topology interface
     # ------------------------------------------------------------------

@@ -188,6 +188,67 @@ class DictBackend(GraphBackend):
         return orphaned
 
     # ------------------------------------------------------------------
+    # state serialization (service plane)
+    # ------------------------------------------------------------------
+
+    def dump_state(self) -> dict:
+        """Serialize the full mutable state to a JSON-able dict.
+
+        Adjacency is emitted as ordered pair-lists — both the row order
+        and the within-row neighbour order are RNG-visible (they feed
+        :meth:`random_neighbor` draws in the gossip/lossy protocols), so
+        plain JSON objects (which would also stringify the int keys)
+        cannot carry them faithfully.  Dead-node records are dropped:
+        nothing on a seeded trajectory reads them after the fact.
+        """
+        nodes = [
+            [
+                int(u),
+                float(self.records[u].birth_time),
+                [None if t is None else int(t) for t in self.records[u].out_slots],
+            ]
+            for u in self.adj
+        ]
+        adjacency = [
+            [int(u), [[int(v), int(m)] for v, m in row.items()]]
+            for u, row in self.adj.items()
+        ]
+        return {
+            "kind": "dict",
+            "next_id": self._next_id,
+            "mutation_epoch": self._mutation_epoch,
+            "alive": [int(u) for u in self.alive],
+            "nodes": nodes,
+            "adjacency": adjacency,
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Restore state previously produced by :meth:`dump_state`."""
+        from repro.util.sampling import IndexedSet
+
+        self.records = {}
+        self.in_refs = {}
+        self.adj = {}
+        for u, birth_time, out_slots in payload["nodes"]:
+            self.records[u] = NodeRecord(
+                node_id=u,
+                birth_time=birth_time,
+                out_slots=list(out_slots),
+            )
+            self.in_refs[u] = set()
+        for u, row in payload["adjacency"]:
+            self.adj[u] = {v: m for v, m in row}
+        for u in self.adj:
+            for slot_index, target in enumerate(self.records[u].out_slots):
+                if target is not None:
+                    self.in_refs[target].add((u, slot_index))
+        self._edge_count = sum(len(row) for row in self.adj.values()) // 2
+        self.alive = IndexedSet(payload["alive"])
+        self._next_id = int(payload["next_id"])
+        self._mutation_epoch = int(payload["mutation_epoch"])
+        self._touched = None
+
+    # ------------------------------------------------------------------
     # snapshot / verification
     # ------------------------------------------------------------------
 

@@ -36,6 +36,16 @@ class ExperimentError(ReproError):
     """An experiment id is unknown or an experiment was misconfigured."""
 
 
+class CheckpointError(ReproError):
+    """A checkpoint could not be written, read, or restored.
+
+    Raised for corrupted or truncated checkpoint files (the content hash
+    is verified on load), unsupported format versions, and attempts to
+    checkpoint drivers or observers whose state the service plane cannot
+    serialize.
+    """
+
+
 class SweepError(ReproError):
     """A sweep could not run, or one of its cells failed.
 

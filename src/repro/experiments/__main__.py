@@ -82,15 +82,65 @@ def main(argv: list[str] | None = None) -> int:
         help="serve sweep cells already present in --store instead of "
         "re-running them (a fully warm store executes zero cells)",
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="service plane: dump resumable simulation checkpoints into "
+        "DIR (combine with --checkpoint-every; restore with --restore)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="service plane: checkpoint cadence in completed rounds "
+        "(needs --checkpoint-dir)",
+    )
+    parser.add_argument(
+        "--restore",
+        metavar="PATH",
+        default=None,
+        help="resume a checkpointed scenario session from a checkpoint "
+        "file (or the most advanced ckpt-*.json in a directory) and run "
+        "it to its horizon",
+    )
     args = parser.parse_args(argv)
 
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
     if args.resume and args.store is None:
         parser.error("--resume needs --store DIR")
+    if args.checkpoint_every is not None and args.checkpoint_every < 0:
+        parser.error("--checkpoint-every must be >= 0")
+    if args.checkpoint_every and args.checkpoint_dir is None:
+        parser.error("--checkpoint-every needs --checkpoint-dir DIR")
 
     if args.scenario is not None and args.sweep is not None:
         parser.error("--scenario and --sweep are mutually exclusive")
+
+    if args.restore is not None:
+        if (
+            args.experiment_ids
+            or args.all
+            or args.full
+            or args.csv
+            or args.scenario is not None
+            or args.sweep is not None
+            or args.jobs is not None
+            or args.store is not None
+            or args.resume
+        ):
+            parser.error(
+                "--restore cannot be combined with experiment ids, "
+                "--all, --full, --csv, --scenario, --sweep, or the "
+                "sweep flags (--jobs/--store/--resume)"
+            )
+        return run_restore(
+            args.restore,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
+        )
 
     if args.scenario is not None:
         if (
@@ -108,7 +158,11 @@ def main(argv: list[str] | None = None) -> int:
                 "(--jobs/--store/--resume)"
             )
         return run_scenario_file(
-            args.scenario, seed=args.seed, backend=args.backend
+            args.scenario,
+            seed=args.seed,
+            backend=args.backend,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
         )
 
     if args.sweep is not None:
@@ -148,6 +202,8 @@ def main(argv: list[str] | None = None) -> int:
             jobs=args.jobs,
             store=args.store,
             resume=args.resume or None,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
         )
         print(result.to_text())
         if args.csv:
@@ -200,7 +256,11 @@ def run_sweep_file(
 
 
 def run_scenario_file(
-    path: str, seed: int | None = None, backend: str | None = None
+    path: str,
+    seed: int | None = None,
+    backend: str | None = None,
+    checkpoint_every: int | None = None,
+    checkpoint_dir: str | None = None,
 ) -> int:
     """Run one JSON scenario document and print its report."""
     from repro.scenario import Simulation, load_scenario_document
@@ -215,10 +275,46 @@ def run_scenario_file(
 
     print(f"scenario: {path}")
     print(spec.to_json())
-    simulation = Simulation(spec, observers=document.observers)
+    simulation = Simulation(
+        spec,
+        observers=document.observers,
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
+    )
     simulation.run()
+    return _report_session(simulation, flood=document.should_flood)
+
+
+def run_restore(
+    source: str,
+    checkpoint_every: int | None = None,
+    checkpoint_dir: str | None = None,
+) -> int:
+    """Resume a checkpointed session and run it to its spec horizon."""
+    from repro.scenario import Simulation
+
+    simulation = Simulation.restore(
+        source,
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
+    )
+    print(f"restored: {simulation.restored_from}")
+    print(
+        f"resuming at t={simulation.network.now:g} "
+        f"({simulation.rounds_completed} rounds already run, "
+        f"horizon {simulation.spec.horizon:g})"
+    )
+    print(simulation.spec.to_json())
+    simulation.run()
+    return _report_session(
+        simulation, flood=simulation.spec.protocol is not None
+    )
+
+
+def _report_session(simulation, flood: bool) -> int:
+    """Print a finished session's report (shared by run and restore)."""
     flood_failed = False
-    if document.should_flood:
+    if flood:
         result = simulation.flood()
         status = (
             f"completed in {result.completion_round} rounds"
@@ -227,7 +323,7 @@ def run_scenario_file(
         )
         flood_failed = not result.completed
         print(
-            f"flooding [{spec.protocol}]: {status}; "
+            f"flooding [{simulation.spec.protocol}]: {status}; "
             f"informed {result.final_informed}/{result.final_network_size} "
             f"(peak {result.max_informed})"
         )

@@ -82,6 +82,8 @@ def run_experiment(
     jobs: int | None = None,
     store: str | Path | None = None,
     resume: bool | None = None,
+    checkpoint_every: int | None = None,
+    checkpoint_dir: str | Path | None = None,
 ) -> ExperimentResult:
     """Run one experiment by id.
 
@@ -92,10 +94,18 @@ def run_experiment(
     same way (:func:`repro.sweep.use_sweep_options`): every replication
     sweep the runner declares executes on *jobs* worker processes
     against the content-addressed result store at *store*, serving warm
-    cells from it when *resume* is set.
+    cells from it when *resume* is set.  *checkpoint_every* and
+    *checkpoint_dir* set the ambient service options
+    (:func:`repro.service.use_service_options`), so every scenario
+    session the runner builds dumps resumable checkpoints at that
+    cadence.
     """
+    from repro.service import use_service_options
+
     with use_backend(backend), use_sweep_options(
         jobs=jobs, store=store, resume=resume
+    ), use_service_options(
+        checkpoint_every=checkpoint_every, checkpoint_dir=checkpoint_dir
     ):
         return get_experiment(experiment_id).runner(quick=quick, seed=seed)
 

@@ -26,6 +26,7 @@ from repro.models.static import (
 )
 from repro.models.streaming import SDG, SDGR, StreamingNetwork
 from repro.models.threshold import TSDG, ThresholdStreamingNetwork
+from repro.models.trace import TraceNetwork
 
 __all__ = [
     "GDG",
@@ -42,6 +43,7 @@ __all__ = [
     "RoundReport",
     "StreamingNetwork",
     "ThresholdStreamingNetwork",
+    "TraceNetwork",
     "erdos_renyi_snapshot",
     "random_regular_snapshot",
     "static_d_out_snapshot",

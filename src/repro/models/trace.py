@@ -1,0 +1,88 @@
+"""Trace-driven network: replay a recorded join/leave log (service plane).
+
+Instead of sampling churn from a stochastic model, :class:`TraceNetwork`
+applies the exact join/leave events of a :class:`~repro.churn.trace.ChurnTrace`
+at their recorded timestamps — the population trajectory is fully
+determined by the trace, while edge wiring still flows through the
+composed :class:`~repro.core.edge_policy.EdgePolicy` (and therefore the
+seeded RNG).  A trace recorded from any scenario by the ``record_trace``
+observer replays its population trajectory exactly; traces of real user
+populations slot into the same driver.
+"""
+
+from __future__ import annotations
+
+from repro.churn.trace import ChurnTrace
+from repro.core.backend import GraphBackend
+from repro.core.edge_policy import EdgePolicy
+from repro.errors import SimulationError
+from repro.models.base import DynamicNetwork, RoundReport
+from repro.util.rng import SeedLike
+
+
+class TraceNetwork(DynamicNetwork):
+    """Replays a recorded churn trace through an edge policy.
+
+    Args:
+        trace: the validated join/leave log to replay.
+        policy: edge policy applied at each join/leave.
+        seed: RNG seed (consumed only by the policy's target sampling).
+    """
+
+    def __init__(
+        self,
+        trace: ChurnTrace,
+        policy: EdgePolicy,
+        seed: SeedLike = None,
+        backend: str | GraphBackend | None = None,
+    ) -> None:
+        super().__init__(policy, seed, backend=backend)
+        self.trace = trace
+        self.round_number = 0
+        self._pos = 0
+        # Trace ids are external: keep the allocator above them so any
+        # id allocated later (by a protocol or composed driver) is fresh.
+        self.state.ensure_id_floor(trace.max_id + 1)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every trace event has been applied."""
+        return self._pos >= len(self.trace.events)
+
+    def advance_round(self) -> RoundReport:
+        """Advance one time unit, applying trace events at their times."""
+        self.round_number += 1
+        start = self.now
+        target = start + 1.0
+        report = RoundReport(start_time=start, end_time=start)
+        events = self.trace.events
+        while self._pos < len(events) and events[self._pos].time <= target:
+            event = events[self._pos]
+            self._pos += 1
+            if event.time > self.now:
+                self.clock.advance_to(event.time)
+            if event.op == "join":
+                if self.state.is_alive(event.node_id):
+                    raise SimulationError(
+                        f"trace join of already-present node {event.node_id} "
+                        f"at t={event.time}"
+                    )
+                report.events.append(
+                    self.policy.handle_birth(
+                        self.state, event.node_id, self.now, self.rng
+                    )
+                )
+            else:
+                if not self.state.is_alive(event.node_id):
+                    raise SimulationError(
+                        f"trace leave of absent node {event.node_id} "
+                        f"at t={event.time}"
+                    )
+                report.events.append(
+                    self.policy.handle_death(
+                        self.state, event.node_id, self.now, self.rng
+                    )
+                )
+        self.clock.advance_to(target)
+        report.end_time = self.now
+        return report

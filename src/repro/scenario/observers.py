@@ -97,6 +97,28 @@ class Observer:
         """What this observer measured (JSON-friendly)."""
         return {}
 
+    def state_dict(self) -> dict[str, Any]:
+        """The observer's resumable state (service-plane checkpoints).
+
+        The default captures every public instance attribute except the
+        session binding — which covers every stock observer, whose
+        accumulated series and parameters are all public and JSON-able.
+        Observers holding non-serializable public state (open handles,
+        caches) must override this pair; private (``_``-prefixed) caches
+        are skipped and must be rebuildable after
+        :meth:`load_state_dict` + :meth:`bind`.
+        """
+        return {
+            key: value
+            for key, value in vars(self).items()
+            if not key.startswith("_") and key != "simulation"
+        }
+
+    def load_state_dict(self, state: dict[str, Any]) -> None:
+        """Restore :meth:`state_dict` output (called before :meth:`bind`)."""
+        for key, value in state.items():
+            setattr(self, key, value)
+
 
 class SizeObserver(Observer):
     """Alive-node counts and cumulative churn volume over time."""
@@ -333,13 +355,28 @@ for _cls in (
     register_observer(_cls)
 
 
+def _load_service_observers() -> None:
+    """Register the service-plane observers (lazy import-cycle guard).
+
+    ``repro.service`` imports this module for the :class:`Observer` base
+    class, so the service observers cannot be imported at module scope
+    here; importing them on first registry lookup keeps ``metrics`` and
+    ``record_trace`` addressable from JSON scenario documents.
+    """
+    import repro.service.metrics  # noqa: F401  (registers on import)
+    import repro.service.recorder  # noqa: F401
+
+
 def observer_names() -> list[str]:
     """All registered observer names, sorted."""
+    _load_service_observers()
     return sorted(OBSERVERS)
 
 
 def make_observer(name: str, **params: Any) -> Observer:
     """Instantiate a registered observer by name."""
+    if name not in OBSERVERS:
+        _load_service_observers()
     try:
         observer_cls = OBSERVERS[name]
     except KeyError:

@@ -40,6 +40,7 @@ from repro.core.edge_policy import (
     RAESPolicy,
     RegenerationPolicy,
 )
+from repro.churn.trace import ChurnTrace
 from repro.errors import ConfigurationError
 from repro.models.adversarial import AdversarialStreamingNetwork
 from repro.models.base import DynamicNetwork
@@ -47,6 +48,7 @@ from repro.models.general import GeneralChurnNetwork
 from repro.models.poisson import PoissonNetwork
 from repro.models.streaming import StreamingNetwork
 from repro.models.threshold import ThresholdStreamingNetwork, default_threshold
+from repro.models.trace import TraceNetwork
 from repro.p2p import BitcoinLikeNetwork
 from repro.util.rng import SeedLike
 
@@ -144,6 +146,7 @@ CHURN_PARAM_KEYS: dict[str, tuple[str, ...]] = {
     "general": ("lam", "warm_time", "fast_warm", "lifetime", "lifetime_mean",
                 "lifetime_params"),
     "adversarial": ("strategy", "warm"),
+    "trace": ("path", "events"),
     "central_cache": ("cache_size", "rotation"),
     "tokens": ("tokens_per_node", "mixing_steps"),
     "bitcoin": ("max_inbound", "dns_seed_size", "addr_capacity",
@@ -174,6 +177,19 @@ def validate_churn_params(spec: "ScenarioSpec") -> None:
             float(spec.churn_params.get("lifetime_mean", spec.n)),
             spec.churn_params.get("lifetime_params", {}),
         )
+    if spec.churn == "trace":
+        has_path = spec.churn_params.get("path") is not None
+        has_events = spec.churn_params.get("events") is not None
+        if has_path == has_events:
+            raise ConfigurationError(
+                "trace churn needs exactly one of churn_params['path'] "
+                "(a JSONL trace file) or churn_params['events'] (inline "
+                "{'t','op','id'} records)"
+            )
+        if has_events:
+            # Inline events validate eagerly (cheap); a path is only read
+            # at build time so specs stay serializable and portable.
+            ChurnTrace.from_dicts(spec.churn_params["events"])
 
 
 def _build_streaming(spec: "ScenarioSpec", seed: SeedLike) -> DynamicNetwork:
@@ -254,6 +270,21 @@ def _build_adversarial(spec: "ScenarioSpec", seed: SeedLike) -> DynamicNetwork:
     )
 
 
+def _build_trace(spec: "ScenarioSpec", seed: SeedLike) -> DynamicNetwork:
+    params = spec.churn_params
+    _check_keys(params, CHURN_PARAM_KEYS["trace"] + _RUN_KEYS, "trace churn")
+    if params.get("path") is not None:
+        trace = ChurnTrace.load(str(params["path"]))
+    else:
+        trace = ChurnTrace.from_dicts(params["events"])
+    return TraceNetwork(
+        trace,
+        make_policy(spec),
+        seed=seed,
+        backend=spec.backend,
+    )
+
+
 def _require_protocol_managed(spec: "ScenarioSpec") -> None:
     if spec.policy != "none":
         raise ConfigurationError(
@@ -317,6 +348,7 @@ CHURN_MODELS: dict[str, ChurnBuilder] = {
     "poisson": _build_poisson,
     "general": _build_general,
     "adversarial": _build_adversarial,
+    "trace": _build_trace,
     "central_cache": _build_central_cache,
     "tokens": _build_tokens,
     "bitcoin": _build_bitcoin,

@@ -25,11 +25,20 @@ Observation windows build topology access **at most once each**: one
 observer (zero-copy on the array backend — this is the cheap analysis
 plane) and, only when a due observer still asks for it, one frozen dict
 :class:`Snapshot`.  Neither is built when no due observer wants it.
+
+Service plane (see :mod:`repro.service`): a session checkpoints itself
+every ``checkpoint_every`` rounds into ``checkpoint_dir`` (resolved from
+the constructor, the spec, or the ambient
+:func:`~repro.service.options.use_service_options`), and
+``Simulation.restore(path)`` resumes one bit-identically — the restored
+session's remaining rounds, observer reports, and flood results match an
+uninterrupted seeded run exactly.
 """
 
 from __future__ import annotations
 
 import math
+from pathlib import Path
 from typing import Any, Iterable
 
 from repro.core.csr import CSRView
@@ -50,24 +59,35 @@ class _ObserverFeed:
     An observer at cadence ``every=k`` receives a single
     :class:`RoundReport` covering *all* k rounds since its previous
     ``on_round`` — no events are dropped between reads, whichever
-    stepping mode produced them.
+    stepping mode produced them.  Feeds persist for the session's
+    lifetime (windows span ``run()`` calls and checkpoints), and
+    ``last_flush_round`` records the round count of the latest flush so
+    the finish notification can tell whether an observer already saw the
+    horizon state.
     """
 
     def __init__(self, observer: Observer, start_time: float) -> None:
         self.observer = observer
         self.window = RoundReport(start_time=start_time, end_time=start_time)
+        self.last_flush_round: int | None = None
 
     def feed(self, report: RoundReport) -> None:
         self.window.events.extend(report.events)
         self.window.end_time = report.end_time
 
-    def flush(self, snapshot: Snapshot | None, view: CSRView | None) -> None:
+    def flush(
+        self,
+        snapshot: Snapshot | None,
+        view: CSRView | None,
+        rounds_completed: int,
+    ) -> None:
         self.observer.on_round(self.window, snapshot)
         if self.observer.needs_view:
             self.observer.on_view(self.window, view)
         self.window = RoundReport(
             start_time=self.window.end_time, end_time=self.window.end_time
         )
+        self.last_flush_round = rounds_completed
 
 
 def resolve_observer(declaration: Any) -> Observer:
@@ -102,24 +122,139 @@ class Simulation:
     """One scenario session: driver + observers + protocol.
 
     Args:
-        spec: the scenario to realize.
+        spec: the scenario to realize (omit when restoring).
         observers: observer declarations (instances, names, or mappings).
+            When restoring they are optional — the checkpoint's observers
+            are rebuilt by registry name — but custom observer classes
+            must be re-declared (names must match the checkpoint).
         seed: overrides ``spec.seed`` for this session (the sweep hook).
+        checkpoint_every: dump a checkpoint every this many completed
+            rounds (0 disables).  Falls back to the spec's
+            ``checkpoint_every``, then the ambient
+            :func:`~repro.service.options.use_service_options` value.
+        checkpoint_dir: directory for cadence checkpoints (same
+            resolution order).
+        restore_from: a checkpoint file — or a directory, whose most
+            advanced ``ckpt-*.json`` is used — to resume from instead of
+            building a fresh network.
     """
 
     def __init__(
         self,
-        spec: ScenarioSpec,
+        spec: ScenarioSpec | None = None,
         observers: Iterable[Any] = (),
         seed: SeedLike = None,
+        checkpoint_every: int | None = None,
+        checkpoint_dir: str | Path | None = None,
+        restore_from: str | Path | None = None,
     ) -> None:
-        self.spec = spec
-        self.observers: list[Observer] = [resolve_observer(o) for o in observers]
-        self.network: DynamicNetwork = build_network(spec, seed=seed)
-        self.rounds_completed = 0
         self.flood_results: list[FloodingResult] = []
+        self.restored_from: Path | None = None
+        self._checkpoint_tag: str | None = None
+        if restore_from is not None:
+            if spec is not None:
+                raise ConfigurationError(
+                    "pass either spec or restore_from, not both (the "
+                    "checkpoint carries its own spec)"
+                )
+            if seed is not None:
+                raise ConfigurationError(
+                    "seed cannot be overridden when restoring (the "
+                    "checkpoint carries the RNG state)"
+                )
+            self._restore(restore_from, tuple(observers))
+        else:
+            if spec is None:
+                raise ConfigurationError(
+                    "Simulation needs a spec (or restore_from=)"
+                )
+            self.spec = spec
+            self.observers: list[Observer] = [
+                resolve_observer(o) for o in observers
+            ]
+            self.network: DynamicNetwork = build_network(spec, seed=seed)
+            self.rounds_completed = 0
+            self._feeds = [
+                _ObserverFeed(o, self.network.now)
+                for o in self.observers
+                if o.every > 0
+            ]
+            for observer in self.observers:
+                observer.bind(self)
+        self.checkpoint_every, self.checkpoint_dir = self._service_settings(
+            checkpoint_every, checkpoint_dir
+        )
+
+    def _restore(self, source: str | Path, declarations: tuple) -> None:
+        from repro.service import checkpoint as checkpoint_io
+
+        checkpoint = checkpoint_io.load_checkpoint(source)
+        self.restored_from = checkpoint.path
+        self.spec = checkpoint.spec
+        self.network = checkpoint_io.rebuild_network(checkpoint)
+        self.rounds_completed = checkpoint.rounds_completed
+        self.observers = checkpoint_io.restore_observers(
+            checkpoint, declarations
+        )
+        self._feeds = []
+        for entry in checkpoint.payload["feeds"]:
+            observer = self.observers[int(entry["observer"])]
+            feed = _ObserverFeed(observer, self.network.now)
+            feed.window = checkpoint_io.decode_report(entry["window"])
+            last = entry["last_flush_round"]
+            feed.last_flush_round = None if last is None else int(last)
+            self._feeds.append(feed)
+        # Bind after load_state_dict: sinks re-emit their recorded lines
+        # into fresh files here, so streamed output stays exactly-once.
         for observer in self.observers:
             observer.bind(self)
+
+    def _service_settings(
+        self,
+        checkpoint_every: int | None,
+        checkpoint_dir: str | Path | None,
+    ) -> tuple[int, str | None]:
+        from repro.service.options import current_service_options
+
+        ambient = current_service_options()
+        every = checkpoint_every
+        if every is None and self.spec.checkpoint_every:
+            every = self.spec.checkpoint_every
+        if every is None:
+            every = ambient.checkpoint_every
+        every = int(every or 0)
+        if every < 0:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 0, got {every}"
+            )
+        directory = checkpoint_dir
+        if directory is None:
+            directory = self.spec.checkpoint_dir
+        if directory is None:
+            directory = ambient.checkpoint_dir
+        if every and directory is None:
+            raise ConfigurationError(
+                "checkpoint_every needs a checkpoint directory (pass "
+                "checkpoint_dir=, set spec.checkpoint_dir, or enter "
+                "use_service_options)"
+            )
+        return every, None if directory is None else str(directory)
+
+    @classmethod
+    def restore(
+        cls,
+        source: str | Path,
+        observers: Iterable[Any] = (),
+        checkpoint_every: int | None = None,
+        checkpoint_dir: str | Path | None = None,
+    ) -> "Simulation":
+        """Resume a session from a checkpoint file (or directory)."""
+        return cls(
+            observers=observers,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
+            restore_from=source,
+        )
 
     # ------------------------------------------------------------------
     # convenience accessors
@@ -143,17 +278,51 @@ class Simulation:
         return self.network.state.csr_view(self.network.now)
 
     # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def save_checkpoint(self, path: str | Path | None = None) -> Path:
+        """Write a checkpoint of the session's current state.
+
+        With no *path*, writes a cadence-named file into the session's
+        checkpoint directory.  Returns the written path.
+        """
+        from repro.service import checkpoint as checkpoint_io
+
+        if path is None:
+            if self.checkpoint_dir is None:
+                raise ConfigurationError(
+                    "save_checkpoint() needs a path or a configured "
+                    "checkpoint directory"
+                )
+            if self._checkpoint_tag is None:
+                self._checkpoint_tag = checkpoint_io.next_session_tag()
+            path = Path(self.checkpoint_dir) / checkpoint_io.checkpoint_filename(
+                self._checkpoint_tag, self.rounds_completed
+            )
+        return checkpoint_io.write_checkpoint(self, path)
+
+    def _maybe_checkpoint(self) -> None:
+        if (
+            self.checkpoint_every
+            and self.rounds_completed > 0
+            and self.rounds_completed % self.checkpoint_every == 0
+        ):
+            self.save_checkpoint()
+
+    # ------------------------------------------------------------------
     # churn stepping
     # ------------------------------------------------------------------
 
     def run(self, rounds: float | None = None) -> "Simulation":
-        """Advance *rounds* unit-time rounds (default: the spec horizon),
-        feeding observers at their cadences, then fire ``on_finish``.
+        """Advance *rounds* unit-time rounds (default: the rounds left to
+        the spec horizon — so a restored session completes its original
+        run), feeding observers at their cadences, then fire ``on_finish``.
 
         Returns self, so ``Simulation(spec).run()`` chains.
         """
         if rounds is None:
-            rounds = self.spec.horizon
+            rounds = max(float(self.spec.horizon) - self.rounds_completed, 0.0)
         if rounds < 0:
             raise ConfigurationError(f"rounds must be >= 0, got {rounds}")
         if self.spec.churn_params.get("batch", False):
@@ -172,15 +341,9 @@ class Simulation:
         self._notify_finish()
         return self
 
-    def _observer_feeds(self) -> list[_ObserverFeed]:
-        now = self.network.now
-        return [
-            _ObserverFeed(o, now) for o in self.observers if o.every > 0
-        ]
-
-    def _dispatch(self, feeds: list[_ObserverFeed], report: RoundReport) -> None:
+    def _dispatch(self, report: RoundReport) -> None:
         due: list[_ObserverFeed] = []
-        for feed in feeds:
+        for feed in self._feeds:
             feed.feed(report)
             if feed.observer.due(self.rounds_completed):
                 due.append(feed)
@@ -198,14 +361,14 @@ class Simulation:
                 else None
             )
             for feed in due:
-                feed.flush(snapshot, view)
+                feed.flush(snapshot, view, self.rounds_completed)
 
     def _run_per_event(self, rounds: int) -> None:
-        feeds = self._observer_feeds()
         for _ in range(rounds):
             report = self.network.advance_round()
             self.rounds_completed += 1
-            self._dispatch(feeds, report)
+            self._dispatch(report)
+            self._maybe_checkpoint()
 
     def _run_batched(self, rounds: float) -> None:
         network = self.network
@@ -215,11 +378,14 @@ class Simulation:
                 "drop churn_params['batch']"
             )
         advance = network.advance_to_time_batched
-        feeds = self._observer_feeds()
-        # Observer reads happen at window boundaries: the stride is the
-        # gcd of the attached cadences so every cadence is hit exactly.
-        if feeds:
-            stride = math.gcd(*(f.observer.every for f in feeds))
+        # Observer reads (and checkpoints) happen at window boundaries:
+        # the stride is the gcd of the attached cadences so every cadence
+        # is hit exactly.
+        cadences = [f.observer.every for f in self._feeds]
+        if self.checkpoint_every:
+            cadences.append(self.checkpoint_every)
+        if cadences:
+            stride = math.gcd(*cadences)
         else:
             stride = max(int(math.ceil(rounds)), 1)
         window = float(self.spec.churn_params.get("window", 0.0)) or None
@@ -228,22 +394,35 @@ class Simulation:
             target = min(network.now + stride, end)
             report = advance(target, window=window)
             self.rounds_completed += int(round(target - report.start_time))
-            self._dispatch(feeds, report)
+            self._dispatch(report)
+            self._maybe_checkpoint()
 
     def _notify_finish(self) -> None:
         if not self.observers:
             return
+        # Observers whose cadence landed exactly on the horizon already
+        # saw the final state in their last flush: re-notifying them
+        # would double-count the final window (the cadence edge case).
+        flushed_now = {
+            id(feed.observer)
+            for feed in self._feeds
+            if feed.last_flush_round == self.rounds_completed
+            and self.rounds_completed > 0
+        }
+        finishing = [o for o in self.observers if id(o) not in flushed_now]
+        if not finishing:
+            return
         view = (
             self.csr_view()
-            if any(o.needs_view for o in self.observers)
+            if any(o.needs_view for o in finishing)
             else None
         )
         snapshot = (
             self.snapshot()
-            if any(o.needs_snapshot for o in self.observers)
+            if any(o.needs_snapshot for o in finishing)
             else None
         )
-        for observer in self.observers:
+        for observer in finishing:
             observer.on_finish(snapshot)
             if observer.needs_view:
                 observer.on_view(None, view)

@@ -47,6 +47,8 @@ _SPEC_FIELDS = (
     "horizon",
     "seed",
     "backend",
+    "checkpoint_every",
+    "checkpoint_dir",
 )
 
 
@@ -79,6 +81,11 @@ class ScenarioSpec:
             and measurement (:meth:`Simulation.run`'s default).
         seed: default RNG seed (overridable per run for sweeps).
         backend: topology backend name, or None for the process default.
+        checkpoint_every: service-plane checkpoint cadence in completed
+            rounds; ``0`` (the default) disables cadence checkpoints.
+        checkpoint_dir: directory for cadence checkpoints (required when
+            ``checkpoint_every`` > 0, unless supplied at session
+            construction or through the ambient service options).
     """
 
     churn: str = "streaming"
@@ -92,6 +99,8 @@ class ScenarioSpec:
     horizon: float = 0.0
     seed: int | None = None
     backend: str | None = None
+    checkpoint_every: int = 0
+    checkpoint_dir: str | None = None
 
     def __post_init__(self) -> None:
         # JSON documents use null for "absent" (like backend), so None
@@ -129,6 +138,22 @@ class ScenarioSpec:
             raise ConfigurationError(
                 f"unknown backend {self.backend!r}; choose from {BACKEND_NAMES}"
             )
+        if not isinstance(self.checkpoint_every, int):
+            if float(self.checkpoint_every).is_integer():
+                object.__setattr__(
+                    self, "checkpoint_every", int(self.checkpoint_every)
+                )
+            else:
+                raise ConfigurationError(
+                    "checkpoint_every must be an integer round count, got "
+                    f"{self.checkpoint_every}"
+                )
+        if self.checkpoint_every < 0:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
+        if self.checkpoint_dir is not None:
+            object.__setattr__(self, "checkpoint_dir", str(self.checkpoint_dir))
         make_policy(self)  # validates the policy name and its parameters
         validate_churn_params(self)  # churn param keys + policy/model fit
         if self.protocol is not None:
@@ -160,6 +185,8 @@ class ScenarioSpec:
             "horizon": self.horizon,
             "seed": self.seed,
             "backend": self.backend,
+            "checkpoint_every": self.checkpoint_every,
+            "checkpoint_dir": self.checkpoint_dir,
         }
 
     @classmethod

@@ -1,0 +1,57 @@
+"""Service plane: checkpoint/restore, trace recording, metrics streaming.
+
+Three pillars turn the experiment harness into a long-lived simulation
+service (see ``docs/architecture.md``, "Service plane"):
+
+* :mod:`repro.service.checkpoint` — versioned, content-hashed
+  :class:`Checkpoint` files capturing full backend + driver + RNG +
+  observer state; a restored run is bit-identical to an uninterrupted
+  seeded run.
+* :mod:`repro.service.recorder` — the ``record_trace`` observer, turning
+  any scenario into a replayable join/leave log (``churn="trace"``).
+* :mod:`repro.service.metrics` — the ``metrics`` observer, streaming
+  per-window JSONL counters with a Prometheus-text exposition helper.
+
+This ``__init__`` stays import-light: :mod:`repro.scenario.simulation`
+imports :mod:`repro.service.options` from inside its checkpointing code
+paths (which executes this package module), so anything heavier is
+exposed lazily via module ``__getattr__``.
+"""
+
+from __future__ import annotations
+
+from repro.service.options import (
+    ServiceOptions,
+    current_service_options,
+    use_service_options,
+)
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointError",
+    "MetricsSink",
+    "ServiceOptions",
+    "TraceRecorder",
+    "current_service_options",
+    "load_checkpoint",
+    "prometheus_text",
+    "use_service_options",
+]
+
+_LAZY = {
+    "Checkpoint": "repro.service.checkpoint",
+    "CheckpointError": "repro.errors",
+    "load_checkpoint": "repro.service.checkpoint",
+    "MetricsSink": "repro.service.metrics",
+    "prometheus_text": "repro.service.metrics",
+    "TraceRecorder": "repro.service.recorder",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

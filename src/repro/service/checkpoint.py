@@ -1,0 +1,543 @@
+"""Versioned, content-hashed checkpoints of running simulations.
+
+A checkpoint is a single JSON file:
+
+    {"format": "repro-checkpoint", "version": 1,
+     "sha256": "<hash of the canonical payload encoding>",
+     "payload": {...}}
+
+The payload serializes everything that determines the rest of a seeded
+trajectory: the :class:`~repro.scenario.spec.ScenarioSpec`, the backend
+state (:meth:`~repro.core.backend.GraphBackend.dump_state` — including
+RNG-visible iteration orders), the driver's bookkeeping (round counters,
+jump-chain position, the pending-death event queue, lifetime timers), the
+NumPy bit-generator state, and each observer's accumulated measurements
+plus its partially filled observation window.  NumPy arrays are embedded
+as base64 blobs with dtype/shape, so the file is plain JSON end to end.
+
+The restore contract (enforced by ``tests/test_service_checkpoint.py``
+as a hypothesis property over random checkpoint times, on both
+backends): a run restored at time T and advanced to the horizon is
+**bit-identical** — events, observer reports, flood results, final RNG
+state — to the same seeded run left uninterrupted.
+
+The content hash is verified on load; a flipped byte or truncated file
+raises :class:`~repro.errors.CheckpointError` instead of silently
+resuming from garbage.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import itertools
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.errors import CheckpointError
+from repro.models.adversarial import AdversarialStreamingNetwork
+from repro.models.base import DynamicNetwork, RoundReport
+from repro.models.general import GeneralChurnNetwork
+from repro.models.poisson import PoissonNetwork
+from repro.models.streaming import StreamingNetwork
+from repro.models.threshold import ThresholdStreamingNetwork
+from repro.models.trace import TraceNetwork
+from repro.scenario.registry import build_network
+from repro.scenario.spec import ScenarioSpec
+from repro.sim.events import (
+    EdgeCreated,
+    EdgeDestroyed,
+    EventRecord,
+    NodeBorn,
+    NodeDied,
+    NodesBorn,
+    NodesDied,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.scenario.observers import Observer
+    from repro.scenario.simulation import Simulation
+
+FORMAT = "repro-checkpoint"
+VERSION = 1
+
+#: Filename prefix of directory-managed checkpoints.
+FILE_PREFIX = "ckpt-"
+
+
+# ----------------------------------------------------------------------
+# JSON codec (NumPy arrays as base64 blobs, canonical hashing)
+# ----------------------------------------------------------------------
+
+
+def encode_value(value: Any) -> Any:
+    """Recursively convert *value* into plain JSON-able structures."""
+    if isinstance(value, np.ndarray):
+        return {
+            "__ndarray__": True,
+            "dtype": str(value.dtype),
+            "shape": list(value.shape),
+            "data": base64.b64encode(np.ascontiguousarray(value).tobytes()).decode(
+                "ascii"
+            ),
+        }
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, dict):
+        return {str(key): encode_value(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [encode_value(item) for item in value]
+    return value
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value` (applied after ``json.loads``)."""
+    if isinstance(value, dict):
+        if value.get("__ndarray__"):
+            raw = base64.b64decode(value["data"])
+            return np.frombuffer(raw, dtype=np.dtype(value["dtype"])).reshape(
+                value["shape"]
+            )
+        return {key: decode_value(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    return value
+
+
+def _canonical_text(encoded_payload: Any) -> str:
+    try:
+        return json.dumps(
+            encoded_payload, sort_keys=True, separators=(",", ":")
+        )
+    except (TypeError, ValueError) as error:
+        raise CheckpointError(
+            f"checkpoint payload is not JSON-serializable: {error}"
+        ) from error
+
+
+def _payload_hash(encoded_payload: Any) -> str:
+    return hashlib.sha256(
+        _canonical_text(encoded_payload).encode("utf-8")
+    ).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# event / report codec (observer windows in flight)
+# ----------------------------------------------------------------------
+
+_KIND_CODEC = {
+    "born": NodeBorn,
+    "died": NodeDied,
+    "batch_born": NodesBorn,
+    "batch_died": NodesDied,
+}
+_KIND_NAMES = {cls: name for name, cls in _KIND_CODEC.items()}
+
+
+def encode_event(event: EventRecord) -> dict:
+    """Serialize one :class:`EventRecord` to a JSON-able dict."""
+    kind_name = _KIND_NAMES[type(event.kind)]
+    if isinstance(event.kind, (NodesBorn, NodesDied)):
+        ids: Any = [int(u) for u in event.kind.node_ids]
+    else:
+        ids = int(event.kind.node_id)
+    return {
+        "t": event.time,
+        "kind": kind_name,
+        "ids": ids,
+        "created": [[e.source, e.target] for e in event.edges_created],
+        "destroyed": [[e.source, e.target] for e in event.edges_destroyed],
+    }
+
+
+def decode_event(data: dict) -> EventRecord:
+    """Inverse of :func:`encode_event`."""
+    kind_cls = _KIND_CODEC[data["kind"]]
+    if kind_cls in (NodesBorn, NodesDied):
+        kind = kind_cls(node_ids=tuple(int(u) for u in data["ids"]))
+    else:
+        kind = kind_cls(node_id=int(data["ids"]))
+    return EventRecord(
+        time=float(data["t"]),
+        kind=kind,
+        edges_created=[EdgeCreated(s, t) for s, t in data["created"]],
+        edges_destroyed=[EdgeDestroyed(s, t) for s, t in data["destroyed"]],
+    )
+
+
+def encode_report(report: RoundReport) -> dict:
+    """Serialize a (possibly partially filled) observation window."""
+    return {
+        "start_time": report.start_time,
+        "end_time": report.end_time,
+        "events": [encode_event(event) for event in report.events],
+    }
+
+
+def decode_report(data: dict) -> RoundReport:
+    """Inverse of :func:`encode_report`."""
+    return RoundReport(
+        start_time=float(data["start_time"]),
+        end_time=float(data["end_time"]),
+        events=[decode_event(event) for event in data["events"]],
+    )
+
+
+# ----------------------------------------------------------------------
+# driver (de)serializers
+# ----------------------------------------------------------------------
+
+
+def _dump_streaming(network: StreamingNetwork) -> dict:
+    return {"round_number": network.round_number}
+
+
+def _restore_streaming(network: StreamingNetwork, data: dict) -> None:
+    network.round_number = int(data["round_number"])
+
+
+def _dump_threshold(network: ThresholdStreamingNetwork) -> dict:
+    return {
+        "round_number": network.round_number,
+        "swept_all": network._swept_all,
+        "grace_id": network._grace_id,
+    }
+
+
+def _restore_threshold(network: ThresholdStreamingNetwork, data: dict) -> None:
+    network.round_number = int(data["round_number"])
+    network._swept_all = bool(data["swept_all"])
+    grace_id = data["grace_id"]
+    network._grace_id = None if grace_id is None else int(grace_id)
+
+
+def _dump_adversarial(network: AdversarialStreamingNetwork) -> dict:
+    return {"round_number": network.round_number}
+
+
+def _restore_adversarial(
+    network: AdversarialStreamingNetwork, data: dict
+) -> None:
+    network.round_number = int(data["round_number"])
+
+
+def _dump_poisson(network: PoissonNetwork) -> dict:
+    return {"event_count": network.event_count}
+
+
+def _restore_poisson(network: PoissonNetwork, data: dict) -> None:
+    network.event_count = int(data["event_count"])
+
+
+def _dump_general(network: GeneralChurnNetwork) -> dict:
+    return {
+        "event_count": network.event_count,
+        "next_birth_time": network._next_birth_time,
+        "pending_deaths": [
+            list(entry) for entry in network.deaths.dump_pending()
+        ],
+    }
+
+
+def _restore_general(network: GeneralChurnNetwork, data: dict) -> None:
+    network.event_count = int(data["event_count"])
+    network._next_birth_time = float(data["next_birth_time"])
+    network.deaths.restore_pending(data["pending_deaths"])
+
+
+def _dump_trace(network: TraceNetwork) -> dict:
+    return {"round_number": network.round_number, "pos": network._pos}
+
+
+def _restore_trace(network: TraceNetwork, data: dict) -> None:
+    network.round_number = int(data["round_number"])
+    network._pos = int(data["pos"])
+
+
+#: Exact driver type -> (kind tag, dump, restore).  Drivers absent here
+#: (the protocol-managed baselines) cannot be checkpointed.
+_DRIVER_CODECS: dict[type, tuple[str, Any, Any]] = {
+    StreamingNetwork: ("streaming", _dump_streaming, _restore_streaming),
+    ThresholdStreamingNetwork: (
+        "threshold", _dump_threshold, _restore_threshold,
+    ),
+    AdversarialStreamingNetwork: (
+        "adversarial", _dump_adversarial, _restore_adversarial,
+    ),
+    PoissonNetwork: ("poisson", _dump_poisson, _restore_poisson),
+    GeneralChurnNetwork: ("general", _dump_general, _restore_general),
+    TraceNetwork: ("trace", _dump_trace, _restore_trace),
+}
+
+
+def _driver_codec(network: DynamicNetwork) -> tuple[str, Any, Any]:
+    codec = _DRIVER_CODECS.get(type(network))
+    if codec is None:
+        supported = sorted(kind for kind, _, _ in _DRIVER_CODECS.values())
+        raise CheckpointError(
+            f"driver {type(network).__name__} does not support "
+            f"checkpointing (supported churn models: {supported})"
+        )
+    return codec
+
+
+def _skeleton_spec(spec: ScenarioSpec, backend_kind: str) -> ScenarioSpec:
+    """The spec used to rebuild an *empty, unwarmed* driver skeleton.
+
+    Restore overwrites the backend, RNG, clock, and driver bookkeeping
+    afterwards, so warm-up must be disabled — it would burn RNG draws
+    and wall-clock for state that is discarded.  The backend is pinned to
+    the recorded kind: a checkpoint taken under ``REPRO_BACKEND=array``
+    restores as an array backend regardless of the restoring process's
+    environment.
+    """
+    params = dict(spec.churn_params)
+    if spec.churn in ("streaming", "threshold", "adversarial"):
+        params["warm"] = False
+        params.pop("fast_warm", None)
+    elif spec.churn in ("poisson", "general"):
+        params["warm_time"] = 0.0
+        params.pop("fast_warm", None)
+    return spec.with_(churn_params=params, backend=backend_kind)
+
+
+# ----------------------------------------------------------------------
+# the checkpoint object
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A parsed, hash-verified checkpoint payload."""
+
+    payload: dict
+    path: Path | None = None
+
+    @property
+    def spec(self) -> ScenarioSpec:
+        return ScenarioSpec.from_dict(self.payload["spec"])
+
+    @property
+    def time(self) -> float:
+        return float(self.payload["time"])
+
+    @property
+    def rounds_completed(self) -> int:
+        return int(self.payload["rounds_completed"])
+
+    @property
+    def observer_names(self) -> list[str]:
+        return [entry["name"] for entry in self.payload["observers"]]
+
+
+def build_payload(simulation: "Simulation") -> dict:
+    """Capture a :class:`Simulation`'s full resumable state as a dict."""
+    network = simulation.network
+    kind, dump, _ = _driver_codec(network)
+    observers = []
+    for observer in simulation.observers:
+        state = observer.state_dict()
+        try:
+            _canonical_text(encode_value(state))
+        except CheckpointError as error:
+            raise CheckpointError(
+                f"observer {observer.name!r} has non-serializable state: "
+                f"{error}"
+            ) from error
+        observers.append({"name": observer.name, "state": state})
+    return {
+        "spec": simulation.spec.to_dict(),
+        "time": network.now,
+        "rounds_completed": simulation.rounds_completed,
+        "backend": network.state.dump_state(),
+        "driver": {"kind": kind, **dump(network)},
+        "rng": network.rng.bit_generator.state,
+        "observers": observers,
+        "feeds": [
+            {
+                "observer": index,
+                "window": encode_report(feed.window),
+                "last_flush_round": feed.last_flush_round,
+            }
+            for index, feed in enumerate(simulation._feeds)
+        ],
+    }
+
+
+def write_checkpoint(simulation: "Simulation", path: str | Path) -> Path:
+    """Write *simulation*'s state to *path* atomically; returns the path."""
+    target = Path(path)
+    encoded = encode_value(build_payload(simulation))
+    envelope = {
+        "format": FORMAT,
+        "version": VERSION,
+        "sha256": _payload_hash(encoded),
+        "payload": encoded,
+    }
+    target.parent.mkdir(parents=True, exist_ok=True)
+    scratch = target.with_name(target.name + ".tmp")
+    scratch.write_text(json.dumps(envelope, sort_keys=True), encoding="utf-8")
+    os.replace(scratch, target)
+    return target
+
+
+def latest_checkpoint(directory: str | Path) -> Path:
+    """The most advanced ``ckpt-*.json`` file in *directory*.
+
+    Files are ranked by the round count embedded in the name (the
+    ``-r<rounds>`` suffix written by :meth:`Simulation.save_checkpoint`),
+    then by name, so "latest" means furthest along, not newest mtime.
+    """
+    candidates = sorted(
+        Path(directory).glob(f"{FILE_PREFIX}*.json"),
+        key=lambda p: (_rounds_in_name(p.name), p.name),
+    )
+    if not candidates:
+        raise CheckpointError(
+            f"no {FILE_PREFIX}*.json checkpoint files in {directory}"
+        )
+    return candidates[-1]
+
+
+def _rounds_in_name(name: str) -> int:
+    stem = name.rsplit(".", 1)[0]
+    tail = stem.rsplit("-r", 1)
+    try:
+        return int(tail[1])
+    except (IndexError, ValueError):
+        return -1
+
+
+def load_checkpoint(source: str | Path) -> Checkpoint:
+    """Load and verify a checkpoint file (or the latest in a directory)."""
+    path = Path(source)
+    if path.is_dir():
+        path = latest_checkpoint(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise CheckpointError(
+            f"cannot read checkpoint {path}: {error}"
+        ) from error
+    try:
+        envelope = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise CheckpointError(
+            f"checkpoint {path} is not valid JSON (truncated write?): "
+            f"{error}"
+        ) from error
+    if not isinstance(envelope, dict) or envelope.get("format") != FORMAT:
+        raise CheckpointError(f"{path} is not a {FORMAT} file")
+    if envelope.get("version") != VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has format version "
+            f"{envelope.get('version')!r}; this build reads version "
+            f"{VERSION}"
+        )
+    recorded = envelope.get("sha256")
+    actual = _payload_hash(envelope["payload"])
+    if recorded != actual:
+        raise CheckpointError(
+            f"checkpoint {path} failed content-hash verification "
+            f"(recorded {recorded!r}, computed {actual!r}) — the file is "
+            "corrupted"
+        )
+    return Checkpoint(payload=decode_value(envelope["payload"]), path=path)
+
+
+# ----------------------------------------------------------------------
+# restore
+# ----------------------------------------------------------------------
+
+
+def rebuild_network(checkpoint: Checkpoint) -> DynamicNetwork:
+    """Reconstruct the driver + backend + RNG at the checkpointed instant."""
+    spec = checkpoint.spec
+    driver = checkpoint.payload["driver"]
+    backend_payload = checkpoint.payload["backend"]
+    network = build_network(
+        _skeleton_spec(spec, str(backend_payload["kind"])), seed=0
+    )
+    kind, _, restore = _driver_codec(network)
+    if kind != driver["kind"]:
+        raise CheckpointError(
+            f"checkpoint records a {driver['kind']!r} driver but the spec "
+            f"builds {kind!r}"
+        )
+    network.state.restore_state(backend_payload)
+    network.rng.bit_generator.state = checkpoint.payload["rng"]
+    restore(network, driver)
+    network.clock.advance_to(checkpoint.time)
+    return network
+
+
+def restore_observers(
+    checkpoint: Checkpoint, declarations: tuple = ()
+) -> "list[Observer]":
+    """Rebuild the checkpoint's observers with their recorded state.
+
+    With no *declarations*, each observer is re-created by registry name
+    (every stock observer is no-argument constructible; cadence and
+    parameters are part of the recorded state).  Explicit declarations
+    (for custom observer classes) must match the recorded names
+    one-for-one, in order.
+    """
+    from repro.scenario.observers import make_observer
+    from repro.scenario.simulation import resolve_observer
+
+    entries = checkpoint.payload["observers"]
+    if declarations:
+        observers = [resolve_observer(d) for d in declarations]
+        names = [observer.name for observer in observers]
+        recorded = [entry["name"] for entry in entries]
+        if names != recorded:
+            raise CheckpointError(
+                f"observer declarations {names} do not match the "
+                f"checkpoint's recorded observers {recorded}"
+            )
+    else:
+        observers = []
+        for entry in entries:
+            try:
+                observers.append(make_observer(entry["name"]))
+            except Exception as error:
+                raise CheckpointError(
+                    f"cannot rebuild observer {entry['name']!r} from the "
+                    f"registry ({error}); pass observers= declarations "
+                    "to Simulation.restore for custom observer classes"
+                ) from error
+    for observer, entry in zip(observers, entries):
+        observer.load_state_dict(entry["state"])
+    return observers
+
+
+# ----------------------------------------------------------------------
+# filenames
+# ----------------------------------------------------------------------
+
+_SESSION_COUNTER = itertools.count(1)
+
+
+def next_session_tag() -> str:
+    """A per-process-unique tag for one Simulation's checkpoint series.
+
+    Combines the pid with a process-local counter so concurrent
+    processes (and multiple simulations in one process, e.g. an
+    experiment's replication loop) can share a checkpoint directory
+    without overwriting each other's files.
+    """
+    return f"{os.getpid():x}-{next(_SESSION_COUNTER):04d}"
+
+
+def checkpoint_filename(tag: str, rounds_completed: int) -> str:
+    """Canonical checkpoint filename for a session tag + round count."""
+    return f"{FILE_PREFIX}{tag}-r{int(rounds_completed):010d}.json"

@@ -1,0 +1,71 @@
+"""Ambient checkpointing options (service plane).
+
+Mirrors the sweep plane's ``use_sweep_options``: the experiment layer
+wraps whole experiment runs in :func:`use_service_options` so every
+:class:`~repro.scenario.simulation.Simulation` built underneath inherits
+a checkpoint directory and cadence without threading kwargs through all
+seventeen experiment modules.  Explicit ``Simulation``/spec settings
+always win over the ambient value.
+
+Stdlib-only on purpose: :mod:`repro.scenario.simulation` imports this
+module from inside its hot construction path.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class ServiceOptions:
+    """Ambient defaults for checkpointing simulations."""
+
+    checkpoint_every: int | None = None
+    checkpoint_dir: str | None = None
+
+
+_OPTIONS: ContextVar[ServiceOptions] = ContextVar(
+    "repro_service_options", default=ServiceOptions()
+)
+
+
+def current_service_options() -> ServiceOptions:
+    """The ambient :class:`ServiceOptions` for this context."""
+    return _OPTIONS.get()
+
+
+@contextmanager
+def use_service_options(
+    checkpoint_every: int | None = None,
+    checkpoint_dir: str | None = None,
+) -> Iterator[None]:
+    """Override the ambient checkpointing options within a ``with`` block.
+
+    ``None`` arguments leave the corresponding ambient value untouched,
+    so nested scopes compose.
+    """
+    if checkpoint_every is None and checkpoint_dir is None:
+        yield
+        return
+    base = _OPTIONS.get()
+    token = _OPTIONS.set(
+        ServiceOptions(
+            checkpoint_every=(
+                base.checkpoint_every
+                if checkpoint_every is None
+                else int(checkpoint_every)
+            ),
+            checkpoint_dir=(
+                base.checkpoint_dir
+                if checkpoint_dir is None
+                else str(checkpoint_dir)
+            ),
+        )
+    )
+    try:
+        yield
+    finally:
+        _OPTIONS.reset(token)

@@ -94,6 +94,36 @@ class EventEngine:
             handler(self.pop())
             dispatched += 1
 
+    def dump_pending(self) -> list[tuple[float, int, Any]]:
+        """Serialize the pending queue as sorted (time, sequence, payload).
+
+        Sequences are preserved verbatim — they break equal-time ties, so
+        a restored engine must pop simultaneous events in the original
+        insertion order.  Payloads must be JSON-able for checkpointing.
+        """
+        return [
+            (event.time, event.sequence, event.payload)
+            for event in sorted(self._heap)
+            if not event.cancelled
+        ]
+
+    def restore_pending(self, entries: list) -> None:
+        """Rebuild the queue from :meth:`dump_pending` output.
+
+        The insertion counter resumes past the largest pending sequence:
+        relative order among pending events is preserved exactly, and any
+        newly scheduled event sorts after all pending ones at equal times
+        — the same order an uninterrupted run would produce.
+        """
+        self._heap = [
+            ScheduledEvent(time=float(t), sequence=int(seq), payload=payload)
+            for t, seq, payload in entries
+        ]
+        heapq.heapify(self._heap)
+        self._live = len(self._heap)
+        next_sequence = max((e.sequence for e in self._heap), default=-1) + 1
+        self._counter = itertools.count(next_sequence)
+
     def _drop_cancelled(self) -> None:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)

@@ -103,8 +103,9 @@ class TestSession:
         sim = simulate(spec, seed=2, observers=[SizeObserver(every=10)])
         sim.state.check_invariants()
         sizes = sim.results()["size"]["sizes"]
-        # three windows + the on_finish reading
-        assert len(sizes) == 4
+        # three windows (rounds 10/20/30); the last lands on the horizon,
+        # so the finish notification is suppressed — no duplicate reading.
+        assert len(sizes) == 3
         assert all(s > 0 for s in sizes)
         assert sim.network.now == pytest.approx(3 * 80 + 30)
 
@@ -123,8 +124,10 @@ class TestObserverPipeline:
         )
         results = sim.results()
         assert results["isolated"]["final"]["fraction"] == 0.0
-        assert len(results["degrees"]["series"]) == 2 + 1  # rounds 10, 20 + finish
-        assert len(results["size"]["sizes"]) == 4 + 1
+        # Cadences divide the horizon, so each observer's final window IS
+        # its horizon reading (on_finish adds nothing for them).
+        assert len(results["degrees"]["series"]) == 2  # rounds 10, 20
+        assert len(results["size"]["sizes"]) == 4
         assert results["size"]["total_births"] == 20
 
     def test_coverage_observer_sees_floods(self):
@@ -138,6 +141,38 @@ class TestObserverPipeline:
         coverage = sim.results()["coverage"]
         assert len(coverage["runs"]) == 2
         assert coverage["all_completed"] is True
+
+    @pytest.mark.parametrize("batch", [False, True])
+    def test_window_on_horizon_emits_exactly_once(self, batch):
+        """The cadence edge case: a window boundary landing exactly on
+        the horizon must produce its final report once — not zero times,
+        not twice — on both stepping paths."""
+        spec = ScenarioSpec(
+            churn="poisson", policy="regen", n=50, d=3, horizon=20,
+            churn_params={"batch": True} if batch else {},
+        )
+        sim = simulate(spec, seed=6, observers=[SizeObserver(every=5)])
+        result = sim.results()["size"]
+        # Windows at rounds 5/10/15/20 — the round-20 reading IS the
+        # horizon reading; no duplicate from on_finish.
+        assert len(result["sizes"]) == 4
+        assert result["times"][-1] == sim.network.now
+        assert result["final_size"] == sim.network.num_alive()
+
+    @pytest.mark.parametrize("batch", [False, True])
+    def test_horizon_off_cadence_still_reports_final_state(self, batch):
+        """When the horizon is NOT on the cadence, on_finish still
+        delivers the final state exactly once."""
+        spec = ScenarioSpec(
+            churn="poisson", policy="regen", n=50, d=3, horizon=22,
+            churn_params={"batch": True} if batch else {},
+        )
+        sim = simulate(spec, seed=6, observers=[SizeObserver(every=5)])
+        result = sim.results()["size"]
+        # Windows at 5/10/15/20 plus the distinct finish reading at 22.
+        assert len(result["sizes"]) == 5
+        assert result["times"][-1] == sim.network.now
+        assert result["times"][-1] != result["times"][-2]
 
     def test_duplicate_observer_names_keep_both(self):
         spec = ScenarioSpec(churn="streaming", n=40, d=2, horizon=4)
