@@ -33,6 +33,7 @@ import hashlib
 import itertools
 import json
 import os
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
@@ -354,6 +355,10 @@ def build_payload(simulation: "Simulation") -> dict:
                 f"{error}"
             ) from error
         observers.append({"name": observer.name, "state": state})
+    # Feeds exist only for observers with every > 0, so a feed's position
+    # in _feeds is NOT its observer's position in simulation.observers —
+    # record the observer-list index, which is what restore resolves.
+    slot_of = {id(obs): i for i, obs in enumerate(simulation.observers)}
     return {
         "spec": simulation.spec.to_dict(),
         "time": network.now,
@@ -364,17 +369,22 @@ def build_payload(simulation: "Simulation") -> dict:
         "observers": observers,
         "feeds": [
             {
-                "observer": index,
+                "observer": slot_of[id(feed.observer)],
                 "window": encode_report(feed.window),
                 "last_flush_round": feed.last_flush_round,
             }
-            for index, feed in enumerate(simulation._feeds)
+            for feed in simulation._feeds
         ],
     }
 
 
 def write_checkpoint(simulation: "Simulation", path: str | Path) -> Path:
-    """Write *simulation*'s state to *path* atomically; returns the path."""
+    """Write *simulation*'s state to *path* atomically; returns the path.
+
+    The scratch file is fsynced before the rename (and the directory
+    after it, where the platform allows), so a crash or power loss never
+    leaves *path* pointing at a partially written envelope.
+    """
     target = Path(path)
     encoded = encode_value(build_payload(simulation))
     envelope = {
@@ -385,22 +395,39 @@ def write_checkpoint(simulation: "Simulation", path: str | Path) -> Path:
     }
     target.parent.mkdir(parents=True, exist_ok=True)
     scratch = target.with_name(target.name + ".tmp")
-    scratch.write_text(json.dumps(envelope, sort_keys=True), encoding="utf-8")
+    with scratch.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps(envelope, sort_keys=True))
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(scratch, target)
+    try:  # best effort: persist the rename itself
+        dir_fd = os.open(target.parent, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    else:
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
     return target
 
 
-def latest_checkpoint(directory: str | Path) -> Path:
-    """The most advanced ``ckpt-*.json`` file in *directory*.
+def ranked_checkpoints(directory: str | Path) -> list[Path]:
+    """``ckpt-*.json`` files in *directory*, least advanced first.
 
     Files are ranked by the round count embedded in the name (the
     ``-r<rounds>`` suffix written by :meth:`Simulation.save_checkpoint`),
-    then by name, so "latest" means furthest along, not newest mtime.
+    then by name, so the last entry is furthest along, not newest mtime.
     """
-    candidates = sorted(
+    return sorted(
         Path(directory).glob(f"{FILE_PREFIX}*.json"),
         key=lambda p: (_rounds_in_name(p.name), p.name),
     )
+
+
+def latest_checkpoint(directory: str | Path) -> Path:
+    """The most advanced ``ckpt-*.json`` file in *directory*."""
+    candidates = ranked_checkpoints(directory)
     if not candidates:
         raise CheckpointError(
             f"no {FILE_PREFIX}*.json checkpoint files in {directory}"
@@ -418,10 +445,40 @@ def _rounds_in_name(name: str) -> int:
 
 
 def load_checkpoint(source: str | Path) -> Checkpoint:
-    """Load and verify a checkpoint file (or the latest in a directory)."""
+    """Load and verify a checkpoint file (or the latest in a directory).
+
+    For a directory, candidates are tried from most to least advanced:
+    if the furthest-along file fails verification (corrupted, truncated,
+    wrong version), a warning is emitted and the next one is tried, so a
+    single damaged file never makes a directory of good checkpoints
+    unrestorable.
+    """
     path = Path(source)
-    if path.is_dir():
-        path = latest_checkpoint(path)
+    if not path.is_dir():
+        return _load_checkpoint_file(path)
+    candidates = ranked_checkpoints(path)
+    if not candidates:
+        raise CheckpointError(
+            f"no {FILE_PREFIX}*.json checkpoint files in {path}"
+        )
+    failures: list[str] = []
+    for candidate in reversed(candidates):
+        try:
+            return _load_checkpoint_file(candidate)
+        except CheckpointError as error:
+            warnings.warn(
+                f"skipping unusable checkpoint {candidate.name}: {error}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            failures.append(f"{candidate.name}: {error}")
+    raise CheckpointError(
+        f"no loadable checkpoint in {path}; all candidates failed: "
+        + "; ".join(failures)
+    )
+
+
+def _load_checkpoint_file(path: Path) -> Checkpoint:
     try:
         text = path.read_text(encoding="utf-8")
     except OSError as error:

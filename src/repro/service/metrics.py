@@ -42,6 +42,11 @@ class MetricsSink(Observer):
 
     Args:
         path: optional JSONL file to stream into (each line flushed).
+            Must be unique per session: ``bind`` truncates the file to
+            re-emit recorded lines exactly once (the checkpoint-restore
+            contract), so two sessions sharing one path clobber each
+            other.  Sweeps should derive it per replication (e.g. from
+            the seed), the way checkpoint files get per-session tags.
         every: window cadence in rounds.
         probe: also run an expansion probe per window and report its
             minimum ratio (uses the window's shared analysis view).
@@ -93,6 +98,8 @@ class MetricsSink(Observer):
         if self.probe:
             self.needs_view = True
         if self.path is not None:
+            # Truncating keeps restored output exactly-once; it also means
+            # the path must be unique per session (see the class docstring).
             self._fh = Path(self.path).open("w", encoding="utf-8")
             for record in self.lines:
                 self._fh.write(json.dumps(record, sort_keys=True) + "\n")
@@ -232,7 +239,11 @@ def prometheus_text(
         value = metrics[key]
         if isinstance(value, bool) or not isinstance(value, Number):
             continue
+        try:
+            rendered = float(value)  # Number includes e.g. complex
+        except (TypeError, ValueError):
+            continue
         name = f"{prefix}_{key}"
         lines.append(f"# TYPE {name} gauge")
-        lines.append(f"{name} {float(value):g}")
+        lines.append(f"{name} {rendered:g}")
     return "\n".join(lines) + ("\n" if lines else "")

@@ -148,6 +148,25 @@ class TestRestoreParityDeterministic:
             ).run()
         _assert_sessions_identical(restored, baseline)
 
+    def test_mixed_cadence_observer_restore(self, backend_name, tmp_path):
+        # Regression: feeds exist only for every>0 observers, so the
+        # checkpoint must record observer-list indices, not feed-list
+        # positions.  With a cadence-0 observer *ahead* of a cadenced one
+        # the buggy encoding re-attached the feed to the wrong observer
+        # and the cadenced observer lost every post-restore window.
+        spec = _spec("streaming", {}, backend_name)
+        mixed = ("coverage", {"name": "size", "params": {"every": 1}})
+        baseline = Simulation(spec, observers=mixed).run()
+        partial = Simulation(spec, observers=mixed)
+        partial._run_per_event(6)
+        path = partial.save_checkpoint(tmp_path / "ck.json")
+        restored = Simulation.restore(path)
+        assert [f.observer.name for f in restored._feeds] == ["size"]
+        restored.run()
+        assert restored.results() == baseline.results()
+        assert restored.snapshot() == baseline.snapshot()
+        assert len(restored.results()["size"]["sizes"]) == HORIZON
+
     def test_flood_after_restore_matches(self, backend_name):
         spec = _spec(
             "streaming",
@@ -182,6 +201,30 @@ class TestCheckpointFiles:
         # Nothing left to run: the session is already at its horizon.
         resumed.run()
         assert resumed.rounds_completed == HORIZON
+
+    def test_directory_restore_falls_back_past_corrupt_latest(self, tmp_path):
+        # A damaged most-advanced file must not make the directory
+        # unrestorable: load_checkpoint warns and uses the next one.
+        spec = _spec("streaming", {}, "dict")
+        Simulation(
+            spec,
+            observers=OBSERVERS,
+            checkpoint_every=4,
+            checkpoint_dir=tmp_path,
+        ).run()
+        ranked = checkpoint_io.ranked_checkpoints(tmp_path)
+        assert len(ranked) == 4
+        ranked[-1].write_text(ranked[-1].read_text()[:80])
+        with pytest.warns(RuntimeWarning, match="skipping unusable"):
+            checkpoint = checkpoint_io.load_checkpoint(tmp_path)
+        assert checkpoint.path == ranked[-2]
+        assert checkpoint.rounds_completed == 12
+        # Every file damaged -> a CheckpointError naming the failures.
+        for path in ranked:
+            path.write_text("not json")
+        with pytest.warns(RuntimeWarning):
+            with pytest.raises(CheckpointError, match="no loadable"):
+                checkpoint_io.load_checkpoint(tmp_path)
 
     def test_checkpoint_envelope_shape(self, tmp_path):
         sim = Simulation(_spec("streaming", {}, "dict"), observers=OBSERVERS)

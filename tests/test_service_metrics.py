@@ -129,6 +129,14 @@ class TestPrometheusText:
         assert "path" not in text and "flag" not in text
         assert "repro_n 3" in text
 
+    def test_skips_unconvertible_numbers(self):
+        # complex is a numbers.Number but float() raises on it; such
+        # values are skipped, per the "non-numeric values are skipped"
+        # contract, rather than blowing up the exposition.
+        text = prometheus_text({"z": 1 + 2j, "n": 3})
+        assert "repro_z" not in text
+        assert "repro_n 3" in text
+
     def test_custom_prefix_and_empty(self):
         assert prometheus_text({}) == ""
         assert prometheus_text({"x": 1}, prefix="svc").startswith("# TYPE svc_x")
