@@ -10,8 +10,9 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 BENCH_FILES := $(wildcard benchmarks/bench_*.py)
 
 .PHONY: test test-dict test-array test-backends bench bench-backend \
-	bench-bounded bench-analysis bench-sweep bench-service bench-check \
-	experiments scenario-smoke sweep-smoke service-smoke
+	bench-bounded bench-analysis bench-sweep bench-fleet bench-service \
+	bench-check experiments scenario-smoke sweep-smoke fleet-smoke \
+	service-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -43,6 +44,11 @@ bench-analysis:
 bench-sweep:
 	$(PYTHON) benchmarks/bench_sweep.py
 
+# One worker vs two shared-store fleet workers (claim protocol + reduce);
+# merges its row into BENCH_sweep.json at a distinct n.
+bench-fleet:
+	$(PYTHON) benchmarks/bench_fleet.py
+
 # Checkpoint cadence overhead + restore vs cold rebuild at n=1e5;
 # writes BENCH_service.json.
 bench-service:
@@ -54,6 +60,7 @@ bench-check:
 	$(PYTHON) benchmarks/bench_bounded_degree.py --output /tmp/bench_bounded_current.json
 	$(PYTHON) benchmarks/bench_analysis.py --output /tmp/bench_analysis_current.json
 	$(PYTHON) benchmarks/bench_sweep.py --output /tmp/bench_sweep_current.json
+	$(PYTHON) benchmarks/bench_fleet.py --output /tmp/bench_sweep_current.json
 	$(PYTHON) benchmarks/bench_service.py --output /tmp/bench_service_current.json
 	$(PYTHON) benchmarks/check_bench_regression.py --current /tmp/bench_current.json \
 		--current-bounded /tmp/bench_bounded_current.json \
@@ -75,6 +82,29 @@ sweep-smoke:
 	rm -rf /tmp/repro-sweep-store
 	$(PYTHON) -m repro.experiments EXP-01 --jobs 2 --store /tmp/repro-sweep-store
 	$(PYTHON) -m repro.experiments EXP-01 --jobs 2 --store /tmp/repro-sweep-store --resume
+
+# Fleet plane: store/fleet/CLI suites, then a real multi-terminal round
+# trip against one shared store — two concurrent workers drain the
+# example sweep, the reducer writes the artifact, and a sequential run
+# on a second store must produce the identical core digest.
+fleet-smoke:
+	$(PYTHON) -m pytest tests/test_sweep_store.py tests/test_sweep_fleet.py \
+		tests/test_cli_sweep.py -q
+	rm -rf /tmp/repro-fleet-store /tmp/repro-fleet-solo
+	$(PYTHON) -m repro.experiments sweep worker examples/fleet_sweep.json \
+		--store /tmp/repro-fleet-store --wait 30 & \
+	$(PYTHON) -m repro.experiments sweep worker examples/fleet_sweep.json \
+		--store /tmp/repro-fleet-store --wait 30 & \
+	wait
+	$(PYTHON) -m repro.experiments sweep reduce examples/fleet_sweep.json \
+		--store /tmp/repro-fleet-store --timeout 0 > /tmp/repro-fleet-a.json
+	$(PYTHON) -m repro.experiments sweep run examples/fleet_sweep.json \
+		--store /tmp/repro-fleet-solo --workers 1 > /tmp/repro-fleet-b.json
+	$(PYTHON) -c "import json; \
+		a = json.load(open('/tmp/repro-fleet-a.json')); \
+		b = json.load(open('/tmp/repro-fleet-b.json')); \
+		assert a['digest'] == b['digest'], 'fleet digest != sequential'; \
+		print('fleet-smoke: artifact digests identical:', a['digest'])"
 
 # Service plane: checkpoint/trace/metrics suites, a trace-replay
 # scenario, and a CLI kill-and-resume round trip (run with checkpoints,

@@ -50,8 +50,16 @@ DEFAULT_SERVICE_BASELINE = REPO_ROOT / "BENCH_service.json"
 #: skip it, a key present on one side only is a hard failure.
 ANALYSIS_KEYS = ("probe_speedup", "census_speedup", "incremental_speedup")
 
-#: The speedup fields tracked in the sweep-plane payload.
-SWEEP_KEYS = ("parallel_speedup", "resume_speedup")
+#: The speedup fields tracked in the sweep-plane payload.  The fleet
+#: row (bench_fleet.py: two shared-store worker processes vs one) lives
+#: in the same file at its own size, so both benches share one guard.
+SWEEP_KEYS = ("parallel_speedup", "resume_speedup", "fleet_speedup")
+
+#: Speedups that only demonstrate scaling when the measuring machine
+#: has at least as many cores as workers; rows carry a
+#: ``parallel_meaningful`` flag and the comparison is skipped whenever
+#: either side measured on too few cores.
+CORES_GATED_KEYS = ("parallel_speedup", "fleet_speedup")
 
 #: The speedup fields tracked in the service-plane payload: restoring a
 #: checkpoint vs cold-rebuilding the same seeded state from scratch.
@@ -77,7 +85,11 @@ def compare(
         return ["no overlapping sizes between baseline and current run"]
     for n in shared_sizes:
         for key in keys:
-            if key == "parallel_speedup" and not (
+            in_base = key in base_rows[n]
+            in_current = key in current_rows[n]
+            if not in_base and not in_current:
+                continue  # key not tracked at this size on either side
+            if key in CORES_GATED_KEYS and not (
                 base_rows[n].get("parallel_meaningful", True)
                 and current_rows[n].get("parallel_meaningful", True)
             ):
@@ -86,10 +98,6 @@ def compare(
                     "cores than workers on at least one side)"
                 )
                 continue
-            in_base = key in base_rows[n]
-            in_current = key in current_rows[n]
-            if not in_base and not in_current:
-                continue  # key not tracked at this size on either side
             if not in_base:
                 problems.append(
                     f"baseline has no {key!r} at n={n} but the current "

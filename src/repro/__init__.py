@@ -35,8 +35,10 @@ Sub-packages: ``core`` (graph state), ``churn``, ``models``, ``flooding``,
 constructive processes), ``baselines`` (related-work protocols), ``p2p``
 (a Bitcoin-like overlay), ``scenario`` (declarative sessions),
 ``sweep`` (declarative parameter grids: process-pool execution with a
-content-addressed result cache), ``experiments`` (table/figure
-reproduction).
+content-addressed result cache), ``api`` (programmatic sweep lifecycle:
+submit / worker / status / collect over a shared store), ``cli`` (the
+terminal interface, including the ``sweep`` subcommands),
+``experiments`` (table/figure reproduction).
 """
 
 from repro.analysis import (
@@ -76,7 +78,7 @@ from repro.models import (
 )
 from repro.scenario import ScenarioSpec, Simulation, simulate
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "PDG",

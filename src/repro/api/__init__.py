@@ -1,0 +1,59 @@
+"""The programmatic surface of the repro engine — no CLI attached.
+
+Everything here is importable and callable from a script, a notebook,
+or a scheduler; :mod:`repro.cli` is a thin argparse adapter over this
+package and adds nothing you cannot reach from Python.  The fleet-scale
+sweep lifecycle (:func:`submit_sweep` → :func:`run_worker` on N hosts →
+:func:`collect`) lives in :mod:`repro.api.sweeps`; experiment execution
+re-exports from the registry so ``from repro.api import run_experiment``
+works symmetrically.
+
+Single host, one call::
+
+    from repro.api import run_fleet
+
+    result = run_fleet(sweep, store="results", workers=4)
+    groups = result.value_groups()
+
+Many hosts, shared store::
+
+    # host A (and B, C, ...):
+    from repro.api import run_worker
+    run_worker("shared/results", sweep)
+
+    # whoever reduces:
+    from repro.api import collect
+    artifact = collect("shared/results", sweep, timeout=3600)
+"""
+
+from repro.api.sweeps import (
+    SweepStatus,
+    SweepSubmission,
+    WorkerReport,
+    collect,
+    load_submission,
+    run_fleet,
+    run_worker,
+    submit_sweep,
+    sweep_status,
+)
+from repro.experiments.registry import (
+    all_experiments,
+    get_experiment,
+    run_experiment,
+)
+
+__all__ = [
+    "SweepStatus",
+    "SweepSubmission",
+    "WorkerReport",
+    "all_experiments",
+    "collect",
+    "get_experiment",
+    "load_submission",
+    "run_experiment",
+    "run_fleet",
+    "run_worker",
+    "submit_sweep",
+    "sweep_status",
+]

@@ -36,6 +36,12 @@ Quick start::
     groups = run_sweep(sweep, jobs=4).value_groups()  # one list per d
 """
 
+from repro.sweep.artifact import (
+    ARTIFACT_FORMAT,
+    SweepResult,
+    artifact_path,
+    sweep_key,
+)
 from repro.sweep.measurements import (
     Measurement,
     fraction_at_round,
@@ -45,32 +51,53 @@ from repro.sweep.measurements import (
 )
 from repro.sweep.runner import (
     CellResult,
+    CellTask,
     SweepOptions,
     SweepRunner,
     SweepRunResult,
+    cell_tasks,
     current_sweep_options,
+    execute_cell,
     run_sweep,
     use_sweep_options,
 )
 from repro.sweep.spec import SweepAxis, SweepCell, SweepSpec
-from repro.sweep.store import ResultStore, cell_key
+from repro.sweep.store import (
+    DEFAULT_CLAIM_TTL,
+    ResultStore,
+    cell_key,
+    decode_nonfinite,
+    default_host,
+    encode_nonfinite,
+)
 
 __all__ = [
+    "ARTIFACT_FORMAT",
     "CellResult",
+    "CellTask",
+    "DEFAULT_CLAIM_TTL",
     "Measurement",
     "ResultStore",
     "SweepAxis",
     "SweepCell",
     "SweepOptions",
+    "SweepResult",
     "SweepRunResult",
     "SweepRunner",
     "SweepSpec",
+    "artifact_path",
     "cell_key",
+    "cell_tasks",
     "current_sweep_options",
+    "decode_nonfinite",
+    "default_host",
+    "encode_nonfinite",
+    "execute_cell",
     "fraction_at_round",
     "get_measurement",
     "measurement",
     "measurement_names",
     "run_sweep",
+    "sweep_key",
     "use_sweep_options",
 ]

@@ -49,7 +49,12 @@ from repro.errors import SweepError
 from repro.scenario.spec import ScenarioSpec
 from repro.sweep.measurements import get_measurement
 from repro.sweep.spec import SweepCell, SweepSpec
-from repro.sweep.store import ResultStore, cell_key
+from repro.sweep.store import (
+    ResultStore,
+    cell_key,
+    default_host,
+    encode_nonfinite,
+)
 from repro.util.rng import derive_seed
 
 
@@ -107,7 +112,7 @@ def use_sweep_options(
 
 
 @dataclass(frozen=True)
-class _CellTask:
+class CellTask:
     """Everything a worker needs to run one cell (plain picklable data)."""
 
     index: int
@@ -121,17 +126,75 @@ class _CellTask:
     key: str | None = None
 
 
+def cell_tasks(
+    sweep: SweepSpec,
+    backend: str,
+    keyed: bool = True,
+    measure_module: str | None = None,
+) -> list[CellTask]:
+    """The sweep's cells as self-contained tasks, in canonical order.
+
+    This is the single source of cell identity shared by every executor
+    — the in-process runner, pool workers, and multi-host fleet workers
+    (:mod:`repro.api`) all build the same tasks, so they compute the
+    same store keys and the same results.  *keyed* controls whether
+    store keys are computed (uncached runs skip the hashing);
+    *measure_module* overrides the registry lookup for workers that
+    received the module name out-of-band (e.g. from a submitted sweep
+    document) without the measurement registered locally.
+    """
+    if measure_module is None:
+        measure_module = get_measurement(sweep.measure).module
+    tasks: list[CellTask] = []
+    for cell in sweep.cells():
+        spec_dict = cell.spec.to_dict()
+        key = None
+        if keyed:
+            key = cell_key(
+                scenario=spec_dict,
+                measure=sweep.measure,
+                measure_params=sweep.measure_params,
+                seed=int(sweep.seed),
+                stream=sweep.stream,
+                index=cell.index,
+                backend=backend,
+            )
+        tasks.append(
+            CellTask(
+                index=cell.index,
+                spec_dict=spec_dict,
+                backend=backend,
+                seed=int(sweep.seed),
+                stream=sweep.stream,
+                measure=sweep.measure,
+                measure_module=measure_module,
+                measure_params=dict(sweep.measure_params),
+                key=key,
+            )
+        )
+    return tasks
+
+
 def _normalize_value(value: Any) -> Any:
-    """Force the value through JSON so fresh == cached, byte for byte."""
+    """Force the value through JSON so fresh == cached, byte for byte.
+
+    Non-finite floats are sentinel-encoded first (``nan`` → ``"NaN"``,
+    see :func:`repro.sweep.store.encode_nonfinite`): the serialized
+    form stays standard JSON on every implementation, and equality
+    between a fresh and a cached value holds even for results that
+    would otherwise carry ``NaN`` (which never compares equal).
+    """
     try:
-        return json.loads(json.dumps(value, allow_nan=True))
+        return json.loads(
+            json.dumps(encode_nonfinite(value), allow_nan=False)
+        )
     except (TypeError, ValueError) as error:
         raise SweepError(
             f"measurement returned a non-JSON-serializable value: {error}"
         ) from error
 
 
-def _execute_cell(task: _CellTask) -> tuple[int, Any, str | None, float]:
+def execute_cell(task: CellTask) -> tuple[int, Any, str | None, float]:
     """Run one cell; never raises (failures return a traceback string)."""
     start = time.perf_counter()
     try:
@@ -267,39 +330,11 @@ class SweepRunner:
             if self.options.store is None
             else ResultStore(self.options.store)
         )
-        measure = get_measurement(sweep.measure)
-
         cells = list(sweep.cells())
-        tasks: list[_CellTask] = []
-        for cell in cells:
-            spec_dict = cell.spec.to_dict()
-            key = None
-            if store is not None:
-                key = cell_key(
-                    scenario=spec_dict,
-                    measure=sweep.measure,
-                    measure_params=sweep.measure_params,
-                    seed=int(sweep.seed),
-                    stream=sweep.stream,
-                    index=cell.index,
-                    backend=backend,
-                )
-            tasks.append(
-                _CellTask(
-                    index=cell.index,
-                    spec_dict=spec_dict,
-                    backend=backend,
-                    seed=int(sweep.seed),
-                    stream=sweep.stream,
-                    measure=sweep.measure,
-                    measure_module=measure.module,
-                    measure_params=dict(sweep.measure_params),
-                    key=key,
-                )
-            )
+        tasks = cell_tasks(sweep, backend, keyed=store is not None)
 
         outcomes: dict[int, tuple[Any, str | None, float, bool]] = {}
-        pending: list[_CellTask] = []
+        pending: list[CellTask] = []
         for task in tasks:
             payload = (
                 store.get(task.key)
@@ -336,6 +371,7 @@ class SweepRunner:
                     stream=task.stream,
                     cell=task.index,
                     backend=task.backend,
+                    host=default_host(),
                 )
 
         if pending:
@@ -346,7 +382,7 @@ class SweepRunner:
                     initargs=(backend,),
                 ) as pool:
                     futures = {
-                        pool.submit(_execute_cell, task): task
+                        pool.submit(execute_cell, task): task
                         for task in pending
                     }
                     for future in as_completed(futures):
@@ -369,7 +405,7 @@ class SweepRunner:
                             )
             else:
                 for task in pending:
-                    record(*_execute_cell(task))
+                    record(*execute_cell(task))
 
         results = tuple(
             CellResult(
@@ -425,10 +461,13 @@ def run_sweep(
 # dataclasses.
 __all__ = [
     "CellResult",
+    "CellTask",
     "SweepOptions",
     "SweepRunResult",
     "SweepRunner",
+    "cell_tasks",
     "current_sweep_options",
+    "execute_cell",
     "run_sweep",
     "use_sweep_options",
 ]

@@ -1,6 +1,11 @@
-"""Every examples/*.json scenario document must load, round-trip, and
-resolve — the example files are part of the public contract and CI
-catches drift when spec fields or observer registries change.
+"""Every examples/*.json document must load, round-trip, and resolve —
+the example files are part of the public contract and CI catches drift
+when spec fields or observer registries change.
+
+Two document kinds live side by side: scenario documents (a
+``ScenarioSpec`` plus optional observers) and sweep documents (a
+``SweepSpec`` — recognizable by its ``base`` key — as consumed by
+``--sweep`` and the ``sweep run/worker/reduce`` fleet subcommands).
 """
 
 from __future__ import annotations
@@ -12,21 +17,31 @@ import pytest
 
 from repro.scenario import ScenarioSpec, load_scenario_document
 from repro.scenario.simulation import Simulation, resolve_observer
+from repro.sweep import SweepSpec, get_measurement
 
 EXAMPLES = sorted(
     (Path(__file__).resolve().parent.parent / "examples").glob("*.json")
 )
 
 
-def _example_ids():
-    return [path.name for path in EXAMPLES]
+def _is_sweep_document(path: Path) -> bool:
+    return "base" in json.loads(path.read_text(encoding="utf-8"))
+
+
+SCENARIO_EXAMPLES = [p for p in EXAMPLES if not _is_sweep_document(p)]
+SWEEP_EXAMPLES = [p for p in EXAMPLES if _is_sweep_document(p)]
+
+
+def _ids(paths):
+    return [path.name for path in paths]
 
 
 def test_examples_exist():
-    assert EXAMPLES, "examples/*.json disappeared"
+    assert SCENARIO_EXAMPLES, "scenario examples/*.json disappeared"
+    assert SWEEP_EXAMPLES, "sweep examples/*.json disappeared"
 
 
-@pytest.mark.parametrize("path", EXAMPLES, ids=_example_ids())
+@pytest.mark.parametrize("path", SCENARIO_EXAMPLES, ids=_ids(SCENARIO_EXAMPLES))
 def test_document_loads_and_spec_round_trips(path):
     document = load_scenario_document(path)
     spec = document.spec
@@ -35,7 +50,7 @@ def test_document_loads_and_spec_round_trips(path):
     assert ScenarioSpec.from_dict(json.loads(spec.to_json())) == spec
 
 
-@pytest.mark.parametrize("path", EXAMPLES, ids=_example_ids())
+@pytest.mark.parametrize("path", SCENARIO_EXAMPLES, ids=_ids(SCENARIO_EXAMPLES))
 def test_observer_declarations_resolve(path):
     document = load_scenario_document(path)
     for declaration in document.observers:
@@ -43,7 +58,7 @@ def test_observer_declarations_resolve(path):
         assert observer.name
 
 
-@pytest.mark.parametrize("path", EXAMPLES, ids=_example_ids())
+@pytest.mark.parametrize("path", SCENARIO_EXAMPLES, ids=_ids(SCENARIO_EXAMPLES))
 def test_session_constructs(path, tmp_path, monkeypatch):
     # Building the session validates churn x policy x protocol fit and
     # the observer pipeline without paying for the full horizon.
@@ -54,3 +69,17 @@ def test_session_constructs(path, tmp_path, monkeypatch):
     assert simulation.network.num_alive() >= 0
     if document.should_flood:
         assert document.spec.protocol is not None
+
+
+@pytest.mark.parametrize("path", SWEEP_EXAMPLES, ids=_ids(SWEEP_EXAMPLES))
+def test_sweep_document_round_trips(path):
+    text = path.read_text(encoding="utf-8")
+    sweep = SweepSpec.from_json(text)
+    # JSON -> spec -> JSON -> spec must be a fixed point.
+    assert SweepSpec.from_dict(json.loads(json.dumps(sweep.to_dict()))) == sweep
+    # The named measurement resolves, and the sweep's content address is
+    # stable — workers on other hosts derive the same key from this file.
+    assert get_measurement(sweep.measure).name == sweep.measure
+    assert sweep.sweep_key() == sweep.sweep_key()
+    assert len(sweep.sweep_key()) == 64
+    assert sweep.num_cells > 0
