@@ -11,8 +11,8 @@ BENCH_FILES := $(wildcard benchmarks/bench_*.py)
 
 .PHONY: test test-dict test-array test-backends bench bench-backend \
 	bench-bounded bench-analysis bench-sweep bench-fleet bench-service \
-	bench-check experiments scenario-smoke sweep-smoke fleet-smoke \
-	service-smoke
+	bench-churn bench-check experiments scenario-smoke sweep-smoke \
+	fleet-smoke service-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -54,6 +54,11 @@ bench-fleet:
 bench-service:
 	$(PYTHON) benchmarks/bench_service.py
 
+# Fused window rounds vs per-event stepping at n=1e5 (asserts the 5x
+# floor) plus an n=1e6 fused smoke row; writes BENCH_churn.json.
+bench-churn:
+	$(PYTHON) benchmarks/bench_churn.py
+
 # Fresh sweeps compared against the committed BENCH_*.json baselines.
 bench-check:
 	$(PYTHON) benchmarks/bench_backend_scaling.py --output /tmp/bench_current.json
@@ -62,11 +67,13 @@ bench-check:
 	$(PYTHON) benchmarks/bench_sweep.py --output /tmp/bench_sweep_current.json
 	$(PYTHON) benchmarks/bench_fleet.py --output /tmp/bench_sweep_current.json
 	$(PYTHON) benchmarks/bench_service.py --output /tmp/bench_service_current.json
+	$(PYTHON) benchmarks/bench_churn.py --output /tmp/bench_churn_current.json
 	$(PYTHON) benchmarks/check_bench_regression.py --current /tmp/bench_current.json \
 		--current-bounded /tmp/bench_bounded_current.json \
 		--current-analysis /tmp/bench_analysis_current.json \
 		--current-sweep /tmp/bench_sweep_current.json \
-		--current-service /tmp/bench_service_current.json
+		--current-service /tmp/bench_service_current.json \
+		--current-churn /tmp/bench_churn_current.json
 
 # Every registered protocol x both backends through the scenario layer.
 scenario-smoke:

@@ -18,9 +18,9 @@ size.
         --current-analysis /tmp/analysis.json
 
 Pass any combination of ``--current`` / ``--current-bounded`` /
-``--current-analysis`` / ``--current-sweep`` / ``--current-service``
-to check several files in one invocation (each against its committed
-baseline).  Exit status 1 on regression (CI converts it into a warning,
+``--current-analysis`` / ``--current-sweep`` / ``--current-service`` /
+``--current-churn`` to check several files in one invocation (each
+against its committed baseline).  Exit status 1 on regression (CI converts it into a warning,
 matching the informational stance of the benchmark jobs).
 
 The sweep-plane payload carries a per-row ``parallel_meaningful`` flag
@@ -43,6 +43,7 @@ DEFAULT_BOUNDED_BASELINE = REPO_ROOT / "BENCH_bounded.json"
 DEFAULT_ANALYSIS_BASELINE = REPO_ROOT / "BENCH_analysis.json"
 DEFAULT_SWEEP_BASELINE = REPO_ROOT / "BENCH_sweep.json"
 DEFAULT_SERVICE_BASELINE = REPO_ROOT / "BENCH_service.json"
+DEFAULT_CHURN_BASELINE = REPO_ROOT / "BENCH_churn.json"
 
 #: The speedup fields tracked in the analysis-plane payload.  The
 #: incremental probe is only benchmarked at sizes with dense cadences
@@ -64,6 +65,11 @@ CORES_GATED_KEYS = ("parallel_speedup", "fleet_speedup")
 #: The speedup fields tracked in the service-plane payload: restoring a
 #: checkpoint vs cold-rebuilding the same seeded state from scratch.
 SERVICE_KEYS = ("restore_speedup",)
+
+#: The speedup fields tracked in the churn-kernel payload: fused window
+#: rounds vs per-event stepping (the n=1e6 smoke row carries no speedup
+#: — per-event is impractical there — and is skipped automatically).
+CHURN_KEYS = ("fused_speedup",)
 
 
 def _by_size(payload: dict) -> dict[int, dict]:
@@ -181,6 +187,16 @@ def main(argv: list[str] | None = None) -> int:
         "rebuild speedup checked against --baseline-service)",
     )
     parser.add_argument(
+        "--baseline-churn", type=Path, default=DEFAULT_CHURN_BASELINE,
+        help="committed churn-kernel results (default: repo "
+        "BENCH_churn.json)",
+    )
+    parser.add_argument(
+        "--current-churn", type=Path, default=None,
+        help="freshly produced bench_churn.py output (fused-vs-per-event "
+        "round speedup checked against --baseline-churn)",
+    )
+    parser.add_argument(
         "--tolerance", type=float, default=0.4,
         help="minimum acceptable fraction of the baseline speedup "
         "(default 0.4 — generous, shared runners are noisy)",
@@ -228,10 +244,20 @@ def main(argv: list[str] | None = None) -> int:
                 SERVICE_KEYS,
             )
         )
+    if args.current_churn is not None:
+        checks.append(
+            (
+                "churn kernels",
+                args.baseline_churn,
+                args.current_churn,
+                CHURN_KEYS,
+            )
+        )
     if not checks:
         parser.error(
             "nothing to check: pass --current, --current-bounded, "
-            "--current-analysis, --current-sweep and/or --current-service"
+            "--current-analysis, --current-sweep, --current-service "
+            "and/or --current-churn"
         )
 
     problems: list[str] = []

@@ -27,10 +27,12 @@ Many hosts, shared store::
 """
 
 from repro.api.sweeps import (
+    DEFAULT_CLAIM_BATCH,
     SweepStatus,
     SweepSubmission,
     WorkerReport,
     collect,
+    gc_store,
     load_submission,
     run_fleet,
     run_worker,
@@ -44,11 +46,13 @@ from repro.experiments.registry import (
 )
 
 __all__ = [
+    "DEFAULT_CLAIM_BATCH",
     "SweepStatus",
     "SweepSubmission",
     "WorkerReport",
     "all_experiments",
     "collect",
+    "gc_store",
     "get_experiment",
     "load_submission",
     "run_experiment",

@@ -200,6 +200,10 @@ def _resolve_submission(
     )
 
 
+#: Cells a worker claims per grid scan (see :func:`run_worker`).
+DEFAULT_CLAIM_BATCH = 16
+
+
 def run_worker(
     store: str | Path,
     sweep: SweepSpec | SweepSubmission | str,
@@ -209,19 +213,27 @@ def run_worker(
     max_cells: int | None = None,
     wait: float | None = None,
     poll: float = 0.2,
+    claim_batch: int = DEFAULT_CLAIM_BATCH,
 ) -> WorkerReport:
     """Drain claimable cells of *sweep* from *store*; return a report.
 
-    The worker makes passes over the grid in canonical order.  Per pass,
-    each cell without a stored result is either skipped (claimed by a
-    live peer), or claimed, executed, committed, and released.  When a
-    pass finds work left but nothing claimable, the worker returns —
-    unless *wait* seconds of patience remain, in which case it sleeps
-    *poll* and rescans (the path by which expired claims of crashed
-    peers are taken over).  A cell whose measurement raises is recorded
-    in the report and never retried by this worker; the store is left
-    untouched (failures do not poison the cache), so another worker —
-    or a rerun after the bug is fixed — can still claim it.
+    The worker makes passes over the grid in canonical order.  Per pass
+    it claims up to *claim_batch* result-less cells in one scan, then
+    executes the claimed batch — claiming in bulk amortizes the scan
+    (one walk of the grid per *claim_batch* cells instead of per cell)
+    and keeps racing workers off each other's runways.  Claim semantics
+    are unchanged from cell-at-a-time draining: every claim carries the
+    usual TTL, is heartbeat-refreshed while its batch executes, and is
+    released (or taken over after expiry, exactly as before) cell by
+    cell — a worker that dies mid-batch forfeits only its unexecuted
+    claims after one TTL.  When a pass finds work left but nothing
+    claimable, the worker returns — unless *wait* seconds of patience
+    remain, in which case it sleeps *poll* and rescans (the path by
+    which expired claims of crashed peers are taken over).  A cell whose
+    measurement raises is recorded in the report and never retried by
+    this worker; the store is left untouched (failures do not poison the
+    cache), so another worker — or a rerun after the bug is fixed — can
+    still claim it.
 
     *max_cells* bounds how many cells this call executes (None =
     unbounded), which makes a worker preemptible on schedulers that
@@ -232,6 +244,8 @@ def run_worker(
     rstore = ResultStore(submission.store)
     me = host or default_host()
     tasks = submission.tasks()
+    if claim_batch < 1:
+        raise SweepError(f"claim_batch must be >= 1, got {claim_batch}")
 
     executed: list[int] = []
     failures: list[tuple[int, str]] = []
@@ -241,15 +255,16 @@ def run_worker(
     deadline = None if wait is None else time.monotonic() + float(wait)
     first_pass = True
 
-    def budget_left() -> bool:
-        return max_cells is None or len(executed) < max_cells
-
     while True:
         progress = False
         missing = 0
+        batch: list[CellTask] = []
+        budget = (
+            claim_batch
+            if max_cells is None
+            else min(claim_batch, max_cells - len(executed))
+        )
         for task in tasks:
-            if not budget_left():
-                break
             if task.index in failed:
                 continue
             if rstore.get(task.key) is not None:
@@ -257,15 +272,24 @@ def run_worker(
                     cached += 1
                 continue
             missing += 1
+            if len(batch) >= budget:
+                continue  # keep censusing; this scan's claims are full
             if not rstore.claim(task.key, owner=me, ttl=ttl):
                 continue
+            # The result may have landed between our get and claim (a
+            # peer committing is what releases its claim).
+            if rstore.get(task.key) is not None:
+                lost_claims += 1
+                missing -= 1
+                rstore.release(task.key)
+                continue
+            batch.append(task)
+        for position, task in enumerate(batch):
             try:
-                # The result may have landed between our get and claim
-                # (a peer committing is what releases its claim).
-                if rstore.get(task.key) is not None:
-                    lost_claims += 1
-                    continue
-                rstore.heartbeat(task.key, me)
+                # Refresh every claim still waiting behind this cell, so
+                # a long cell cannot expire the rest of the batch.
+                for pending in batch[position:]:
+                    rstore.heartbeat(pending.key, me)
                 index, value, error, elapsed = execute_cell(task)
                 if error is None:
                     rstore.put(
@@ -290,7 +314,8 @@ def run_worker(
             finally:
                 rstore.release(task.key)
         first_pass = False
-        if missing == 0 or not budget_left():
+        budget_left = max_cells is None or len(executed) < max_cells
+        if missing == 0 or not budget_left:
             break
         if not progress:
             if deadline is None or time.monotonic() >= deadline:
@@ -405,16 +430,76 @@ def collect(
     return result
 
 
+def gc_store(store: str | Path, yes: bool = False) -> dict:
+    """Prune result cells unreachable from any submitted sweep.
+
+    Walks every ``sweeps/*.spec.json`` under *store*, unions the cell
+    keys of their grids (exactly what a worker would execute), and
+    flags every stored result — plus its claim file, if any — whose key
+    no submitted sweep can reach: leftovers of re-parameterized sweeps,
+    abandoned experiments, or older measurement versions.  Dry-run by
+    default: nothing is deleted unless *yes*.  Aborts without deleting
+    anything when any spec document fails to load or verify —
+    reachability computed from a partial census would flag live cells.
+
+    Returns a JSON-ready summary: submitted sweep count, reachable and
+    stored cell counts, the unreachable keys, the bytes they occupy
+    (``reclaimed_bytes`` once *yes* deletes them), and whether deletion
+    ran.
+    """
+    root = Path(store)
+    rstore = ResultStore(root)
+    sweeps_dir = root / "sweeps"
+    reachable: set[str] = set()
+    sweep_keys: list[str] = []
+    for spec_path in sorted(sweeps_dir.glob("*.spec.json")):
+        key = spec_path.name[: -len(".spec.json")]
+        submission = load_submission(root, key)  # raises on corruption
+        sweep_keys.append(key)
+        reachable.update(task.key for task in submission.tasks())
+
+    unreachable: list[str] = []
+    reclaimed = 0
+    stored = 0
+    for key in rstore.keys():
+        stored += 1
+        if key in reachable:
+            continue
+        unreachable.append(key)
+        for path in (rstore.path_for(key), rstore.claim_path(key)):
+            try:
+                reclaimed += path.stat().st_size
+            except OSError:
+                continue
+    if yes:
+        for key in unreachable:
+            for path in (rstore.path_for(key), rstore.claim_path(key)):
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    pass
+    return {
+        "store": str(root),
+        "sweeps": len(sweep_keys),
+        "reachable_cells": len(reachable),
+        "stored_cells": stored,
+        "unreachable_cells": len(unreachable),
+        "unreachable_keys": unreachable,
+        "reclaimed_bytes": reclaimed,
+        "deleted": bool(yes),
+    }
+
+
 # ----------------------------------------------------------------------
 # the local fleet (single-host N-worker execution)
 # ----------------------------------------------------------------------
 
 
 def _fleet_worker(
-    store: str, key: str, ttl: float, host: str
+    store: str, key: str, ttl: float, host: str, claim_batch: int
 ) -> WorkerReport:
     """Module-level so ProcessPoolExecutor can pickle it."""
-    return run_worker(store, key, ttl=ttl, host=host)
+    return run_worker(store, key, ttl=ttl, host=host, claim_batch=claim_batch)
 
 
 def run_fleet(
@@ -424,6 +509,7 @@ def run_fleet(
     backend: str | None = None,
     ttl: float = DEFAULT_CLAIM_TTL,
     timeout: float | None = None,
+    claim_batch: int = DEFAULT_CLAIM_BATCH,
 ) -> SweepResult:
     """Submit, drain with *workers* local processes, reduce; one call.
 
@@ -439,7 +525,13 @@ def run_fleet(
     submission = submit_sweep(sweep, store, backend)
     if workers == 1:
         reports = [
-            run_worker(store, submission, ttl=ttl, host=default_host())
+            run_worker(
+                store,
+                submission,
+                ttl=ttl,
+                host=default_host(),
+                claim_batch=claim_batch,
+            )
         ]
     else:
         base_host = default_host()
@@ -451,6 +543,7 @@ def run_fleet(
                     submission.key,
                     ttl,
                     f"{base_host}/w{rank}",
+                    claim_batch,
                 )
                 for rank in range(workers)
             ]
@@ -461,10 +554,12 @@ def run_fleet(
 
 
 __all__ = [
+    "DEFAULT_CLAIM_BATCH",
     "SweepStatus",
     "SweepSubmission",
     "WorkerReport",
     "collect",
+    "gc_store",
     "load_submission",
     "run_fleet",
     "run_worker",

@@ -23,6 +23,12 @@ per API call:
     :func:`~repro.api.sweep_status`: a read-only census (exit 0 when
     complete, 1 while cells remain — pollable from shell loops).
 
+``sweep gc --store DIR [--yes]``
+    :func:`~repro.api.gc_store`: prune result cells no submitted
+    ``sweeps/*.spec.json`` can reach.  Dry-run by default (prints the
+    JSON summary of what *would* go); ``--yes`` deletes and reports
+    the reclaimed bytes.
+
 ``SPEC`` is either a JSON sweep document (a file path) or the bare
 64-hex sweep key of an already-submitted sweep — workers on other
 hosts need only the key and the shared store.
@@ -37,7 +43,9 @@ import sys
 from pathlib import Path
 
 from repro.api import (
+    DEFAULT_CLAIM_BATCH,
     collect,
+    gc_store,
     load_submission,
     run_fleet,
     run_worker,
@@ -110,6 +118,11 @@ def main(argv: list[str] | None = None) -> int:
         help="print the cell values (canonical order) instead of the "
         "artifact summary",
     )
+    run_p.add_argument(
+        "--claim-batch", type=int, default=DEFAULT_CLAIM_BATCH, metavar="K",
+        help="cells each worker claims per grid scan "
+        f"(default {DEFAULT_CLAIM_BATCH})",
+    )
 
     worker_p = commands.add_parser(
         "worker", help="claim and execute pending cells of one sweep"
@@ -133,6 +146,11 @@ def main(argv: list[str] | None = None) -> int:
     worker_p.add_argument(
         "--host", default=None, metavar="ID",
         help="claim owner identity (default: hostname:pid)",
+    )
+    worker_p.add_argument(
+        "--claim-batch", type=int, default=DEFAULT_CLAIM_BATCH, metavar="K",
+        help="cells claimed per grid scan — bulk claims amortize store "
+        f"scans across a fleet (default {DEFAULT_CLAIM_BATCH})",
     )
 
     reduce_p = commands.add_parser(
@@ -158,8 +176,24 @@ def main(argv: list[str] | None = None) -> int:
         help="emit the census as JSON on stdout",
     )
 
+    gc_p = commands.add_parser(
+        "gc", help="prune cells unreachable from any submitted sweep"
+    )
+    gc_p.add_argument(
+        "--store",
+        metavar="DIR",
+        required=True,
+        help="shared content-addressed result store to clean",
+    )
+    gc_p.add_argument(
+        "--yes", action="store_true",
+        help="actually delete (default: dry-run, print what would go)",
+    )
+
     args = parser.parse_args(argv)
     try:
+        if args.command == "gc":
+            return _cmd_gc(args)
         spec = _resolve_spec(args.spec)
         return _COMMANDS[args.command](args, spec)
     except SweepError as error:
@@ -179,6 +213,7 @@ def _cmd_run(args: argparse.Namespace, spec: SweepSpec | str) -> int:
         workers=args.workers,
         backend=backend,
         ttl=args.ttl,
+        claim_batch=args.claim_batch,
     )
     print(
         f"sweep {result.key[:12]}… complete: {len(result.values)} cells, "
@@ -211,6 +246,7 @@ def _cmd_worker(args: argparse.Namespace, spec: SweepSpec | str) -> int:
         ttl=args.ttl,
         max_cells=args.max_cells,
         wait=args.wait,
+        claim_batch=args.claim_batch,
     )
     print(
         f"worker {report.host} on sweep {report.key[:12]}…: "
@@ -270,6 +306,19 @@ def _cmd_status(args: argparse.Namespace, spec: SweepSpec | str) -> int:
     return 0 if status.complete else 1
 
 
+def _cmd_gc(args: argparse.Namespace) -> int:
+    summary = gc_store(args.store, yes=args.yes)
+    if not args.yes and summary["unreachable_cells"]:
+        print(
+            f"dry-run: {summary['unreachable_cells']} unreachable cell(s), "
+            f"{summary['reclaimed_bytes']} bytes — pass --yes to delete",
+            file=sys.stderr,
+        )
+    print(json.dumps(summary, indent=2))
+    return 0
+
+
+# gc is dispatched before SPEC resolution (it has no SPEC operand).
 _COMMANDS = {
     "run": _cmd_run,
     "worker": _cmd_worker,

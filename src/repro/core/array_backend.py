@@ -85,6 +85,13 @@ class ArraySlotBackend(GraphBackend):
         self._id_of = np.full(self._cap, -1, dtype=self._id_dtype)
         self._alive_rows = np.zeros(self._cap, dtype=bool)
         self._in_refs: list[set[tuple[int, int]]] = [set() for _ in range(self._cap)]
+        # The fused round kernel (apply_round_batch) rewrites the whole
+        # slot matrix without maintaining the per-row reverse sets — it
+        # marks them stale instead, and _ensure_in_refs() rebuilds them
+        # from the slot matrix on the next per-event mutation or
+        # neighbour query.  _in_count stays valid at all times (the
+        # kernel recomputes it with one bincount).
+        self._in_refs_stale = False
         self._in_count = np.zeros(self._cap, dtype=np.int32)
         self._row_of: dict[int, int] = {}
         self._free: list[int] = []
@@ -179,12 +186,31 @@ class ArraySlotBackend(GraphBackend):
         self._slots = np.hstack([self._slots, extra])
         self._width = new_width
 
+    def _ensure_in_refs(self) -> None:
+        """Rebuild the per-row reverse-reference sets if a fused window
+        left them stale (one vectorized scan of the slot matrix plus a
+        Python insert per assigned slot)."""
+        if not self._in_refs_stale:
+            return
+        self._in_refs_stale = False
+        in_refs: list[set[tuple[int, int]]] = [set() for _ in range(self._cap)]
+        self._in_refs = in_refs
+        rows, cols = np.nonzero(self._slots >= 0)
+        if rows.size:
+            targets = self._slots[rows, cols]
+            sources = self._id_of[rows]
+            for source, col, trow in zip(
+                sources.tolist(), cols.tolist(), targets.tolist()
+            ):
+                in_refs[trow].add((source, col))
+
     # ------------------------------------------------------------------
     # basic queries
     # ------------------------------------------------------------------
 
     def neighbors(self, node_id: int) -> set[int]:
         """Current undirected neighbours of *node_id* (distinct ids)."""
+        self._ensure_in_refs()
         row = self._row_of[node_id]
         out = self._slots[row, : self._num_slots[row]]
         result = {int(self._id_of[t]) for t in out if t >= 0}
@@ -271,6 +297,7 @@ class ArraySlotBackend(GraphBackend):
         )
 
     def assign_slot(self, source: int, slot_index: int, target: int) -> None:
+        self._ensure_in_refs()
         srow = self._row_of[source]
         if not 0 <= slot_index < self._num_slots[srow]:
             # Matches the dict backend's list IndexError; without this the
@@ -294,6 +321,7 @@ class ArraySlotBackend(GraphBackend):
         self._note_mutation((source, target))
 
     def clear_slot(self, source: int, slot_index: int) -> int | None:
+        self._ensure_in_refs()
         srow = self._row_of[source]
         if not 0 <= slot_index < self._num_slots[srow]:
             raise IndexError(
@@ -312,6 +340,7 @@ class ArraySlotBackend(GraphBackend):
     def remove_node(self, node_id: int, death_time: float) -> list[tuple[int, int]]:
         """Kill *node_id*; its row returns to the free list for recycling."""
         del death_time  # recycled rows keep no tombstone
+        self._ensure_in_refs()
         if node_id not in self.alive:
             raise SimulationError(f"cannot remove node {node_id}: not alive")
         row = self._row_of[node_id]
@@ -422,6 +451,7 @@ class ArraySlotBackend(GraphBackend):
         count = len(node_ids)
         if count == 0:
             return
+        self._ensure_in_refs()
         # Existing alive rows in IndexedSet order, then the new rows: the
         # first m0 + k entries are exactly newborn k's candidate pool.
         m0 = self.num_alive()
@@ -456,6 +486,271 @@ class ArraySlotBackend(GraphBackend):
             if self._touched is not None
             else ()
         )
+
+    def apply_birth_slots(
+        self,
+        node_ids: Sequence[int],
+        times: Sequence[float] | float,
+        targets: np.ndarray,
+    ) -> None:
+        """Vectorized pure-birth batch with pre-drawn target ids.
+
+        Registers the batch via :meth:`add_nodes` and scatters every
+        non-negative target into the slot matrix in one pass; rows may
+        reference earlier newborns of the same batch.  No RNG is consumed
+        (the caller drew from a canonical plan).
+        """
+        count = len(node_ids)
+        if count == 0:
+            return
+        targets = np.asarray(targets, dtype=np.int64)
+        num_slots = targets.shape[1] if targets.ndim == 2 else 0
+        self._ensure_in_refs()
+        rows = self.add_nodes(node_ids, times, num_slots)
+        if num_slots == 0:
+            return
+        flat = targets.reshape(-1)
+        valid = flat >= 0
+        if not np.any(valid):
+            return
+        ids = np.asarray(node_ids, dtype=np.int64)
+        if np.any(flat[valid] == np.repeat(ids, num_slots)[valid]):
+            raise SimulationError("self-loop in pre-drawn birth targets")
+        row_of = self._row_of
+        try:
+            trows = np.fromiter(
+                (row_of[t] for t in flat[valid].tolist()),
+                dtype=np.int64,
+                count=int(np.count_nonzero(valid)),
+            )
+        except KeyError as exc:
+            raise SimulationError(
+                f"pre-drawn birth target {exc.args[0]} is not alive"
+            ) from exc
+        src_rows = np.repeat(rows, num_slots)[valid]
+        src_cols = np.tile(np.arange(num_slots), count)[valid]
+        self._slots[src_rows, src_cols] = trows
+        np.add.at(self._in_count, trows, 1)
+        in_refs = self._in_refs
+        src_ids = np.repeat(ids, num_slots)[valid]
+        for source, col, trow in zip(
+            src_ids.tolist(), src_cols.tolist(), trows.tolist()
+        ):
+            in_refs[trow].add((source, int(col)))
+        self._note_mutation(
+            self._id_of[trows].tolist() if self._touched is not None else ()
+        )
+
+    # ------------------------------------------------------------------
+    # fused streaming rounds (death → regeneration → birth per round)
+    # ------------------------------------------------------------------
+
+    supports_round_batch = True
+
+    def apply_round_batch(
+        self,
+        base: int,
+        rounds: int,
+        num_slots: int,
+        start_time: float,
+        plan,
+        regenerate: bool,
+    ) -> None:
+        """Fused streaming-round kernel (see :class:`GraphBackend` contract).
+
+        Works in a *local-id* coordinate system over the window's node
+        universe (``local = id − base``, length ``L = n + W``): the whole
+        out-slot state becomes one ``(L, d)`` int64 matrix and per-round
+        work reduces to orphan regeneration plus one birth-row scatter —
+        a handful of small-array ops per round (driven by a tombstoned
+        in-edge log, ``entry = source_local·d + slot``).  Without
+        regeneration there is no per-round work at all: the window's
+        births pre-scatter in one vectorized take (a birth at round ``j``
+        only targets locals ``≥ j``, so it can never point at a node that
+        dies before it exists) and dead targets are masked wholesale.  The write-back relabels
+        the ``n`` final survivors into rows ``0..n-1`` in ascending id
+        order and marks the reverse-reference sets stale
+        (:meth:`_ensure_in_refs` rebuilds them only if a per-event
+        operation needs them — steady fused streaming with CSR observers
+        never does).
+        """
+        n = int(plan.n)
+        W = int(rounds)
+        d = int(num_slots)
+        if W < 1:
+            return
+        if plan.rounds < W or plan.d != d:
+            raise SimulationError("window plan does not cover this batch")
+        if self.num_alive() != n:
+            raise SimulationError(
+                f"fused window needs exactly {n} alive nodes, "
+                f"found {self.num_alive()}"
+            )
+        if self.compact_csr and base + W + n - 1 > _INT32_MAX:
+            raise SimulationError(
+                "fused window would allocate node ids beyond the compact "
+                "(int32) id store"
+            )
+        row_of = self._row_of
+        try:
+            rows0 = np.fromiter(
+                (row_of[i] for i in range(base, base + n)),
+                dtype=np.int64,
+                count=n,
+            )
+        except KeyError as exc:
+            raise SimulationError(
+                f"fused window needs the contiguous alive range "
+                f"[{base}, {base + n}); {exc.args[0]} is missing"
+            ) from exc
+        if not np.all(self._num_slots[rows0] == d):
+            raise SimulationError(
+                "fused window needs a uniform out-degree across alive nodes"
+            )
+
+        L = n + W
+        # Local out-slot matrix: row l holds node base+l's targets as
+        # locals (-1 = empty); rows [0, n) seed from live state.  Round
+        # k's newborn (local n+k-1) picks offset v among the post-death
+        # survivors [k, k+n-1), i.e. local k+v.
+        out = np.full((L, d), -1, dtype=np.int64)
+        current = self._slots[rows0, :d]
+        valid0 = current >= 0
+        if np.any(valid0):
+            out[:n][valid0] = (
+                self._id_of[current[valid0]].astype(np.int64) - base
+            )
+        out_flat = out.reshape(-1)
+
+        surv = out[W:]
+        if regenerate:
+            # Births interleave with the per-round regeneration draws
+            # (the plan's canonical order), so they scatter in-loop.
+            self._fused_regen_rounds(out_flat, n, W, d, plan)
+            if np.any((surv >= 0) & (surv < W)):
+                raise SimulationError(
+                    "fused regeneration left a slot pointing at a dead node"
+                )
+        else:
+            # No regeneration draws to interleave: pre-scatter the whole
+            # window's births in one take.  A birth at round j only
+            # targets locals >= j, never a pending death, and nothing
+            # rewrites a slot — a target is simply dead at window end iff
+            # its local id < W.
+            out[n:] = plan.take_birth(W) + np.arange(
+                1, W + 1, dtype=np.int64
+            )[:, None]
+            surv[(surv >= 0) & (surv < W)] = -1
+
+        # ---- write-back: relabel the n survivors into rows 0..n-1 ----
+        keep = max(n - W, 0)  # original nodes still alive at window end
+        old_birth = self._birth[rows0[n - keep :]].copy()
+        final_ids = np.arange(base + W, base + W + n, dtype=np.int64)
+        final_slots = np.where(surv >= 0, surv - W, -1)
+        self._slots[:, :] = -1
+        self._slots[:n, :d] = final_slots
+        self._num_slots[:] = 0
+        self._num_slots[:n] = d
+        birth = np.empty(n, dtype=np.float64)
+        birth[:keep] = old_birth
+        # Newborn base+n+k-1 joined at time start_time + k.
+        birth[keep:] = start_time + (final_ids[keep:] - (base + n) + 1)
+        self._birth[:] = 0.0
+        self._birth[:n] = birth
+        self._id_of[:] = -1
+        self._id_of[:n] = final_ids.astype(self._id_dtype)
+        self._alive_rows[:] = False
+        self._alive_rows[:n] = True
+        self._in_count[:] = 0
+        assigned = final_slots[final_slots >= 0]
+        if assigned.size:
+            self._in_count[:n] = np.bincount(assigned, minlength=n).astype(
+                np.int32
+            )[:n]
+        self._row_of = dict(zip(final_ids.tolist(), range(n)))
+        self._free = list(range(self._high - 1, n - 1, -1))
+        from repro.util.sampling import IndexedSet
+
+        self.alive = IndexedSet.from_unique_list(final_ids.tolist())
+        self._in_refs_stale = True
+        self._note_mutation(
+            range(base, base + n + W) if self._touched is not None else ()
+        )
+
+    def _fused_regen_rounds(
+        self, out_flat: np.ndarray, n: int, W: int, d: int, plan
+    ) -> None:
+        """Per-round regeneration + birth over the local out-slot matrix.
+
+        Maintains a tombstoned in-edge log: ``in_list[t, :in_cnt[t]]``
+        holds every entry (``source_local·d + slot``) that *ever* pointed
+        at local ``t``; an entry is live iff its slot still targets ``t``
+        and its source outlives ``t`` (targets of one slot strictly
+        increase over the window, so no entry can be re-created — the
+        liveness test has no ABA case).  The log is seeded with one
+        stable argsort over the prefilled entries; regeneration rewrites
+        and each round's birth append to it.  Draws consume in the plan's
+        canonical per-round order — the round's regenerations, then its
+        birth.
+        """
+        L = n + W
+        entries = np.nonzero(out_flat[: n * d] >= 0)[0]
+        idx_dtype = np.int64 if L * d > _INT32_MAX else np.int32
+        if entries.size:
+            tgts = out_flat[entries]
+            counts = np.bincount(tgts, minlength=L)
+            width = int(counts.max()) + 8
+        else:
+            counts = np.zeros(L, dtype=np.int64)
+            width = 8
+        in_list = np.zeros((L, width), dtype=idx_dtype)
+        in_cnt = counts.astype(np.int64)
+        if entries.size:
+            order = np.argsort(tgts, kind="stable")
+            sorted_entries = entries[order].astype(idx_dtype)
+            sorted_tgts = tgts[order]
+            starts = np.nonzero(
+                np.r_[True, sorted_tgts[1:] != sorted_tgts[:-1]]
+            )[0]
+            slot_pos = np.arange(sorted_tgts.size) - np.repeat(
+                starts, np.diff(np.r_[starts, sorted_tgts.size])
+            )
+            in_list[sorted_tgts, slot_pos] = sorted_entries
+
+        def append(entry_list: list[int], target_list: list[int]) -> None:
+            nonlocal in_list, width
+            for entry, target in zip(entry_list, target_list):
+                pos = in_cnt[target]
+                if pos == width:
+                    grown = np.zeros((L, 2 * width), dtype=idx_dtype)
+                    grown[:, :width] = in_list
+                    in_list = grown
+                    width *= 2
+                in_list[target, pos] = entry
+                in_cnt[target] = pos + 1
+
+        for k in range(1, W + 1):
+            dying = k - 1
+            cnt = in_cnt[dying]
+            if cnt:
+                cand = in_list[dying, :cnt]
+                sources = cand // d
+                live = (sources > dying) & (out_flat[cand] == dying)
+                orphans = np.sort(cand[live])  # ascending (source, slot)
+                if orphans.size:
+                    draws = plan.take_regen(int(orphans.size))
+                    # Skip trick: draw v over the n-2 survivors other
+                    # than the orphan's own source (post-death range
+                    # [k, k+n-1)).
+                    rel = orphans // d - k
+                    new_targets = k + draws + (draws >= rel)
+                    out_flat[orphans] = new_targets
+                    append(orphans.tolist(), new_targets.tolist())
+            # Birth: local n+k-1 targets local k+v.
+            birth_targets = k + plan.take_birth(1)[0]
+            row0 = (n + dying) * d
+            out_flat[row0 : row0 + d] = birth_targets
+            append(list(range(row0, row0 + d)), birth_targets.tolist())
 
     # ------------------------------------------------------------------
     # bulk capped placement (RAES / capped-regeneration fast path)
@@ -514,6 +809,7 @@ class ArraySlotBackend(GraphBackend):
             per-slot loop, different RNG stream consumption — this is a
             batch path, not a per-event path.
         """
+        self._ensure_in_refs()
         source_ids = np.asarray(sources, dtype=np.int64)
         slot_cols = np.asarray(slot_indices, dtype=np.int64)
         count = len(source_ids)
@@ -743,6 +1039,7 @@ class ArraySlotBackend(GraphBackend):
             for row in np.nonzero(self._alive_rows)[0]
         }
         self._in_refs = [set() for _ in range(self._cap)]
+        self._in_refs_stale = False
         self._in_count = np.zeros(self._cap, dtype=np.int32)
         rows, slot_cols = np.nonzero(self._slots >= 0)
         for row, col in zip(rows.tolist(), slot_cols.tolist()):
@@ -824,6 +1121,7 @@ class ArraySlotBackend(GraphBackend):
           * free rows are fully cleared (no stale slots or reverse refs);
           * CSR degrees and the cached edge count match a recount.
         """
+        self._ensure_in_refs()
         for node_id, row in self._row_of.items():
             if self._id_of[row] != node_id:
                 raise SimulationError(f"row map corrupt for node {node_id}")

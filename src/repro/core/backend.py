@@ -142,6 +142,15 @@ class GraphBackend(ABC):
         self._next_id += 1
         return node_id
 
+    def peek_next_id(self) -> int:
+        """The id the next :meth:`allocate_id` call will return.
+
+        Lets batched drivers pre-compute prospective newborn ids without
+        committing the allocation (the threshold window fuser commits
+        only the verified prefix of a window's births).
+        """
+        return self._next_id
+
     def allocate_ids(self, count: int) -> list[int]:
         """Reserve *count* consecutive node ids (for batched births)."""
         first = self._next_id
@@ -359,6 +368,33 @@ class GraphBackend(ABC):
             ):
                 self.assign_slot(node_id, slot_index, target)
 
+    def apply_birth_slots(
+        self,
+        node_ids: Sequence[int],
+        times: Sequence[float] | float,
+        targets: np.ndarray,
+    ) -> None:
+        """Apply a pure-birth batch with *pre-drawn* target ids.
+
+        ``targets`` is a ``(len(node_ids), d)`` array of destination node
+        ids (−1 = leave the slot empty); row ``k`` may reference earlier
+        newborns of the same batch.  Unlike :meth:`apply_births` no
+        randomness is consumed here — the caller drew the targets from a
+        canonical plan, which is what makes fused windows bit-identical
+        across backends.  The generic implementation loops
+        :meth:`add_node`/:meth:`assign_slot`; the array backend scatters
+        the batch in vectorized writes.
+        """
+        targets = np.asarray(targets, dtype=np.int64)
+        times_list = self.birth_times_list(node_ids, times)
+        num_slots = targets.shape[1] if targets.ndim == 2 else 0
+        for k, (node_id, birth_time) in enumerate(zip(node_ids, times_list)):
+            self.add_node(node_id, birth_time=birth_time, num_slots=num_slots)
+            for slot_index in range(num_slots):
+                target = int(targets[k, slot_index])
+                if target >= 0:
+                    self.assign_slot(node_id, slot_index, target)
+
     def apply_deaths(
         self, node_ids: Sequence[int], death_time: float
     ) -> list[tuple[int, int]]:
@@ -372,6 +408,45 @@ class GraphBackend(ABC):
         for node_id in node_ids:
             orphans.extend(self.remove_node(node_id, death_time=death_time))
         return [(s, j) for s, j in orphans if self.is_alive(s)]
+
+    # ------------------------------------------------------------------
+    # fused streaming rounds (death → regeneration → birth per round)
+    # ------------------------------------------------------------------
+
+    #: True when the backend implements :meth:`apply_round_batch` — the
+    #: fused streaming-round kernel behind ``fast_rounds``.
+    supports_round_batch: bool = False
+
+    def apply_round_batch(
+        self,
+        base: int,
+        rounds: int,
+        num_slots: int,
+        start_time: float,
+        plan,
+        regenerate: bool,
+    ) -> None:
+        """Execute *rounds* fused streaming rounds in one pass.
+
+        Precondition: the alive set is exactly the contiguous id range
+        ``[base, base + n)`` (``n`` = ``plan.n``), every alive node has
+        ``num_slots`` slots, and ids ``base + n .. base + n + rounds - 1``
+        are already allocated.  Round ``k`` (1-based) at time
+        ``start_time + k``: node ``base + k - 1`` dies, each orphaned
+        slot re-targets via ``plan.take_regen`` when *regenerate* (else
+        stays empty), then node ``base + n + k - 1`` is born with
+        ``num_slots`` requests addressed by ``plan.birth_offsets[k-1]``
+        (offset ``v`` = the ``v``-th oldest post-death survivor).
+
+        After the window both backends leave the alive set in ascending
+        id order, so subsequent per-event draws stay bit-identical across
+        backends too.  See :mod:`repro.core.round_batch` for the draw
+        law; implementations must consume the plan in the documented
+        orphan order.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no fused streaming-round kernel"
+        )
 
     @staticmethod
     def birth_times_list(

@@ -135,6 +135,19 @@ class EdgePolicy(ABC):
         """
         return type(self).handle_birth is EdgePolicy.handle_birth
 
+    @property
+    def round_batch_regenerate(self) -> bool | None:
+        """Gate for the fused streaming-round kernel.
+
+        ``True``/``False`` is the *regenerate* argument a fused
+        ``apply_round_batch`` window may run with; ``None`` means this
+        policy's per-round law is not the plain uniform death →
+        regeneration → birth law the kernel implements (bounded-degree
+        policies, or any subclass overriding the birth/death hooks), so
+        the driver must stay on the per-event path.
+        """
+        return None
+
     def handle_births(
         self,
         state: GraphBackend,
@@ -191,6 +204,19 @@ class EdgePolicy(ABC):
 class NoRegenerationPolicy(EdgePolicy):
     """Lost requests stay lost (SDG / PDG)."""
 
+    @property
+    def round_batch_regenerate(self) -> bool | None:
+        # Subclasses that change the birth/death/repair hooks fall off
+        # the fused kernel's law; detect overrides rather than trusting
+        # inheritance.
+        if (
+            type(self).handle_birth is EdgePolicy.handle_birth
+            and type(self).handle_death is EdgePolicy.handle_death
+            and type(self).repair_orphans is NoRegenerationPolicy.repair_orphans
+        ):
+            return False
+        return None
+
     def repair_orphans(
         self,
         state: GraphBackend,
@@ -206,6 +232,16 @@ class NoRegenerationPolicy(EdgePolicy):
 class RegenerationPolicy(EdgePolicy):
     """Each orphaned request immediately re-samples a fresh uniform target
     (SDGR / PDGR)."""
+
+    @property
+    def round_batch_regenerate(self) -> bool | None:
+        if (
+            type(self).handle_birth is EdgePolicy.handle_birth
+            and type(self).handle_death is EdgePolicy.handle_death
+            and type(self).repair_orphans is RegenerationPolicy.repair_orphans
+        ):
+            return True
+        return None
 
     def repair_orphans(
         self,

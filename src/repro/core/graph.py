@@ -188,6 +188,73 @@ class DictBackend(GraphBackend):
         return orphaned
 
     # ------------------------------------------------------------------
+    # fused streaming rounds (reference implementation)
+    # ------------------------------------------------------------------
+
+    supports_round_batch = True
+
+    def apply_round_batch(
+        self,
+        base: int,
+        rounds: int,
+        num_slots: int,
+        start_time: float,
+        plan,
+        regenerate: bool,
+    ) -> None:
+        """Reference fused kernel: per-round graph mutations, plan draws.
+
+        Deliberately built from the ordinary mutation primitives
+        (:meth:`remove_node` / :meth:`add_node` / :meth:`assign_slot`) so
+        it shares *no* mechanics with the array kernel beyond the
+        :class:`~repro.core.round_batch.WindowDrawPlan` — the cross-backend
+        bit-identity tests are a real two-implementation cross-check.
+        """
+        n = plan.n
+        if self.num_alive() != n:
+            raise SimulationError(
+                f"fused window needs exactly {n} alive nodes, "
+                f"found {self.num_alive()}"
+            )
+        for node_id in range(base, base + n):
+            if node_id not in self.alive:
+                raise SimulationError(
+                    f"fused window needs the contiguous alive range "
+                    f"[{base}, {base + n}); {node_id} is missing"
+                )
+        # Regeneration-free windows take every birth draw upfront (same
+        # generator consumption as per-round takes — see round_batch.py).
+        offsets = None if regenerate else plan.take_birth(int(rounds))
+        for k in range(1, int(rounds) + 1):
+            time = start_time + k
+            # Death → regeneration → birth, the model's per-round order
+            # (see models/streaming.py).  remove_node returns the orphans
+            # in ascending (source, slot) order — the plan's canonical
+            # regeneration-draw order.
+            orphaned = self.remove_node(base + k - 1, death_time=time)
+            lo = base + k  # oldest post-death survivor
+            if regenerate and orphaned:
+                draws = plan.take_regen(len(orphaned))
+                for (source, slot_index), v in zip(orphaned, draws.tolist()):
+                    rel = source - lo
+                    target = lo + v + (1 if v >= rel else 0)
+                    self.assign_slot(source, slot_index, target)
+            birth_row = (
+                offsets[k - 1] if offsets is not None else plan.take_birth(1)[0]
+            )
+            birth_id = base + n + k - 1
+            self.add_node(birth_id, birth_time=time, num_slots=num_slots)
+            for slot_index, v in enumerate(birth_row.tolist()):
+                self.assign_slot(birth_id, slot_index, lo + v)
+        # Canonical post-window alive order (ascending ids), matching the
+        # array kernel's write-back so later per-event draws agree too.
+        from repro.util.sampling import IndexedSet
+
+        self.alive = IndexedSet.from_unique_list(
+            list(range(base + rounds, base + rounds + n))
+        )
+
+    # ------------------------------------------------------------------
     # state serialization (service plane)
     # ------------------------------------------------------------------
 

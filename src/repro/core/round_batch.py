@@ -1,0 +1,106 @@
+"""Shared draw plan for fused streaming-churn windows.
+
+A fused window executes ``W`` consecutive streaming rounds (death →
+regeneration → birth, :mod:`repro.models.streaming`) inside one backend
+call.  The control flow of those rounds is fully deterministic — round
+``k`` of the window kills the oldest node and births one newborn — so the
+only randomness is the destination draws.  :class:`WindowDrawPlan` owns
+all of them and fixes their *canonical order*: within round ``k``, the
+regeneration draws of the round's orphans (ascending ``(source, slot)``),
+then the newborn's ``d`` birth draws.
+
+* **birth offsets** — uniform over ``[0, n-1)``; offset ``v`` of round
+  ``k`` addresses the ``v``-th oldest of the ``n - 1`` nodes present when
+  the newborn joins (the post-death survivors), which is exactly the
+  paper's uniform-over-others birth law — the newborn itself is not in
+  the pool, so no rejection or skip is needed.  Windows without
+  regeneration draws (SDG) may take the whole window's matrix upfront
+  (:meth:`take_birth` with ``rounds > 1``): NumPy generates bounded
+  integers element-by-element from the bit stream, so one ``(W, d)``
+  request consumes the generator exactly like ``W`` consecutive ``(1,
+  d)`` requests (pinned by the window-boundary equivalence tests).
+* **regeneration draws** — uniform over ``[0, n-2)``, exactly one per
+  orphaned request, taken per round.  An orphan owned by the survivor at
+  post-death age rank ``rel`` maps draw ``v`` to rank ``v + (v >=
+  rel)``: exact uniform over the ``n - 2`` survivors other than itself
+  (the skip trick), no rejection re-draws.
+
+Draw counts are *exact* — nothing is pre-drawn and discarded at a window
+boundary — so the consumed RNG stream depends only on the round sequence,
+never on how rounds are partitioned into windows.  That buys the two
+reproducibility guarantees the fused path makes: arbitrary window splits
+replay the identical trajectory (W=1 fused == one big window), and a
+checkpoint between windows restores it (the trajectory is a pure function
+of backend state + RNG state, with no pool carry-over to lose).
+
+Both backends consume the *same* plan protocol with the *same* orphan
+ordering, so the fused trajectory is bit-identical across backends —
+unlike the per-event path, whose rejection sampling consumes the RNG
+through the alive set's internal order.  Versus the per-event path the
+fused path is law-equivalent but a *different seeded trajectory* (the
+distribution-parity suite verifies the law; ``fast_warm`` set the
+precedent).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class WindowDrawPlan:
+    """The RNG draws of one fused streaming window, in canonical order.
+
+    Args:
+        n: constant network size of the streaming model.
+        d: out-degree (requests per newborn).
+        rounds: number of rounds the window covers (``W``).
+        rng: the driver's generator, advanced by every take.
+    """
+
+    __slots__ = ("n", "d", "rounds", "_rng", "_birth_taken")
+
+    def __init__(
+        self, n: int, d: int, rounds: int, rng: np.random.Generator
+    ) -> None:
+        if n < 2:
+            raise ConfigurationError(f"window plan needs n >= 2, got {n}")
+        if rounds < 1:
+            raise ConfigurationError(f"window plan needs rounds >= 1, got {rounds}")
+        self.n = int(n)
+        self.d = int(d)
+        self.rounds = int(rounds)
+        self._rng = rng
+        self._birth_taken = 0
+
+    def take_birth(self, rounds: int = 1) -> np.ndarray:
+        """Birth offsets for the next *rounds* newborns, shape ``(rounds, d)``.
+
+        Uniform over ``[0, n-1)`` — the ``n - 1`` post-death survivors of
+        each newborn's round.  Regenerating windows must take one round at
+        a time, interleaved with that round's :meth:`take_regen`;
+        regeneration-free windows may take the whole window upfront (the
+        two consume the generator identically).
+        """
+        if self._birth_taken + rounds > self.rounds:
+            raise ConfigurationError(
+                f"window plan covers {self.rounds} rounds; birth draws for "
+                f"{self._birth_taken + rounds} requested"
+            )
+        self._birth_taken += rounds
+        return self._rng.integers(0, self.n - 1, size=(rounds, self.d))
+
+    def take_regen(self, count: int) -> np.ndarray:
+        """The current round's *count* regeneration draws, over ``[0, n-2)``.
+
+        Consumed in orphan order (ascending ``(source, slot)``), exactly
+        *count* draws — the stream position after a round depends only on
+        that round's orphan count, identical on every backend and every
+        window partition.
+        """
+        if self.n < 3:
+            raise ConfigurationError(
+                "regeneration draws need n >= 3 (no third node to re-target)"
+            )
+        return self._rng.integers(0, self.n - 2, size=count)

@@ -113,9 +113,13 @@ class DynamicNetwork(ABC):
         per-event path, different seeded trajectory — see the driver
         docstrings for each model's exact approximation.
 
-        Only drivers with ``supports_batched_advance`` implement this
-        (the streaming-cadence models interleave a death and a birth
-        every round, so there is nothing to group).
+        Only drivers with ``supports_batched_advance`` implement this.
+        The Poisson/general drivers group a window's churn into one
+        births batch and one deaths batch; the streaming-cadence models
+        — whose schedule interleaves a death and a birth every round —
+        instead run the window through the fused per-round kernel
+        (``apply_round_batch``), which keeps the exact death →
+        regeneration → birth law round by round.
         """
         if not self.supports_batched_advance:
             raise NotImplementedError(

@@ -25,8 +25,10 @@ from repro.core.edge_policy import (
     NoRegenerationPolicy,
     RegenerationPolicy,
 )
+from repro.core.round_batch import WindowDrawPlan
 from repro.errors import ConfigurationError, SimulationError
 from repro.models.base import DynamicNetwork, RoundReport
+from repro.sim.events import EventRecord, NodesBorn, NodesDied
 from repro.util.rng import SeedLike
 
 
@@ -102,6 +104,133 @@ class StreamingNetwork(DynamicNetwork):
             self.policy.handle_birth(self.state, birth_id, self.now, self.rng)
         )
         return report
+
+    # ------------------------------------------------------------------
+    # fused windows (the ``fast_rounds`` kernel)
+    # ------------------------------------------------------------------
+
+    supports_batched_advance = True
+
+    #: Per-window cap on the fused kernel's chunk size, bounding the
+    #: transient in-edge log to O(n + chunk) rows (~int32 · max in-degree
+    #: columns).  Windows larger than a chunk loop over chunks.
+    _FUSED_CHUNK_CAP = 262144
+
+    def _window_rounds(self, target: float) -> int:
+        span = target - self.now
+        rounds = int(round(span))
+        if abs(span - rounds) > 1e-9:
+            raise SimulationError(
+                "streaming windows must cover whole rounds; got a span "
+                f"of {span} rounds"
+            )
+        return rounds
+
+    def _advance_window_batched(self, target: float, report: RoundReport) -> None:
+        """One fused window: the exact per-round death → regeneration →
+        birth law executed through the backend's ``apply_round_batch``
+        kernel (same 1/(n−1) destination probabilities, bit-identical
+        across backends within the fused path, a different seeded
+        trajectory than the per-event path — like ``fast_warm``).
+
+        Falls back to per-event rounds whenever the law is not the plain
+        uniform one (bounded-degree policies) or the backend lacks the
+        kernel.  Churn is reported as one coalesced ``NodesDied`` plus
+        one ``NodesBorn`` record per window, not per round.
+        """
+        rounds = self._window_rounds(target)
+        if rounds <= 0:
+            self.clock.advance_to(target)
+            return
+        # Warm-up prefix (rounds <= n have no deaths): one canonical-plan
+        # birth batch, bit-identical across backends.
+        if self.round_number < self.n:
+            take = min(rounds, self.n - self.round_number)
+            if self.policy.supports_batch_birth:
+                self._fused_warm_prefix(take, report)
+            else:
+                self._per_event_rounds(take, report)
+            rounds -= take
+            if rounds <= 0:
+                return
+        regenerate = self.policy.round_batch_regenerate
+        fused_ok = (
+            regenerate is not None
+            and getattr(self.state, "supports_round_batch", False)
+            and (self.n >= 3 or not regenerate)
+        )
+        if not fused_ok:
+            self._per_event_rounds(rounds, report)
+            return
+        first_dead = self.round_number - self.n
+        first_born = self.round_number
+        remaining = rounds
+        while remaining > 0:
+            chunk = min(remaining, max(4096, min(self.n, self._FUSED_CHUNK_CAP)))
+            base = self.round_number - self.n
+            node_ids = self.state.allocate_ids(chunk)
+            expected = self.schedule.birth_id(self.round_number + 1)
+            if node_ids[0] != expected:
+                raise SimulationError(
+                    f"id drift: allocated {node_ids[0]}, schedule expects "
+                    f"{expected}"
+                )
+            plan = WindowDrawPlan(self.n, self.d, chunk, self.rng)
+            self.state.apply_round_batch(
+                base=base,
+                rounds=chunk,
+                num_slots=self.d,
+                start_time=float(self.round_number),
+                plan=plan,
+                regenerate=bool(regenerate),
+            )
+            self.round_number += chunk
+            self.clock.advance_to(float(self.round_number))
+            remaining -= chunk
+        report.events.append(
+            EventRecord(
+                time=self.now,
+                kind=NodesDied(node_ids=tuple(range(first_dead, first_dead + rounds))),
+            )
+        )
+        report.events.append(
+            EventRecord(
+                time=self.now,
+                kind=NodesBorn(node_ids=tuple(range(first_born, first_born + rounds))),
+            )
+        )
+
+    def _fused_warm_prefix(self, take: int, report: RoundReport) -> None:
+        """Warm rounds as one pre-drawn birth batch (canonical pool =
+        ascending ids, so both backends consume the same draws)."""
+        r0 = self.round_number
+        node_ids = self.state.allocate_ids(take)
+        if node_ids[0] != self.schedule.birth_id(r0 + 1):
+            raise SimulationError(
+                f"id drift: allocated {node_ids[0]}, schedule expects "
+                f"{self.schedule.birth_id(r0 + 1)}"
+            )
+        # Newborn of round r has the r-1 earlier nodes (ids 0..r-2) as its
+        # pool; offset draws double as target ids.
+        highs = np.repeat(
+            np.arange(r0, r0 + take, dtype=np.int64), self.d
+        )
+        valid = highs > 0
+        draws = self.rng.integers(0, np.where(valid, highs, 1))
+        targets = np.where(valid, draws, -1).reshape(take, self.d)
+        times = np.arange(r0 + 1, r0 + take + 1, dtype=np.float64)
+        self.state.apply_birth_slots(node_ids, times, targets)
+        self.round_number += take
+        self.clock.advance_to(float(self.round_number))
+        report.events.append(
+            EventRecord(time=self.now, kind=NodesBorn(node_ids=tuple(node_ids)))
+        )
+
+    def _per_event_rounds(self, count: int, report: RoundReport) -> None:
+        """Window fallback: ordinary per-event rounds, per-round records."""
+        for _ in range(count):
+            round_report = self.advance_round()
+            report.events.extend(round_report.events)
 
     def newest_id(self) -> int:
         """Id of the node born in the most recent round."""

@@ -59,6 +59,7 @@ from repro.core.backend import GraphBackend
 from repro.core.edge_policy import EdgePolicy
 from repro.errors import ConfigurationError, SimulationError
 from repro.models.base import DynamicNetwork, RoundReport
+from repro.sim.events import EventRecord, NodesBorn
 from repro.util.rng import SeedLike
 
 import numpy as np
@@ -205,6 +206,129 @@ class ThresholdStreamingNetwork(DynamicNetwork):
             for neighbor in neighbors:
                 if neighbor != exempt and state.is_alive(neighbor):
                     candidates.add(neighbor)
+
+    # ------------------------------------------------------------------
+    # fused windows (verified pure-birth prefixes)
+    # ------------------------------------------------------------------
+
+    supports_batched_advance = True
+
+    #: Per-chunk cap on the speculative draw batch of a fused window.
+    _FUSED_CHUNK_CAP = 8192
+
+    def _advance_window_batched(self, target: float, report: RoundReport) -> None:
+        """One fused window where the per-round law permits.
+
+        The threshold round is a uniform birth followed by one incremental
+        exam (last round's newborn leaves its grace); as long as every
+        exam *passes*, a run of rounds is pure births — fully committable
+        upfront.  The fuser draws a chunk of prospective birth targets
+        from a canonical pool (ascending alive ids, then newborns in
+        birth order), computes each exam's degree from the drawn targets
+        alone (valid precisely because no deaths occur in a passing
+        prefix), commits the verified prefix through
+        ``apply_birth_slots``, and re-runs the first failing round — and
+        any round whose law the fuser cannot verify (first post-warm
+        sweep, bounded-degree policies) — through the per-event path with
+        fresh draws.  Like the streaming kernel: same law, bit-identical
+        across backends within the fused path, a different seeded
+        trajectory than the per-event path.
+        """
+        span = target - self.now
+        rounds = int(round(span))
+        if abs(span - rounds) > 1e-9:
+            raise SimulationError(
+                "threshold windows must cover whole rounds; got a span "
+                f"of {span} rounds"
+            )
+        while rounds > 0:
+            fusable = (
+                self._swept_all
+                and self._grace_id is not None
+                and self.policy.supports_batch_birth
+                and self.num_alive() >= 1
+            )
+            committed = 0
+            if fusable:
+                committed = self._fused_birth_run(
+                    min(rounds, self._FUSED_CHUNK_CAP), report
+                )
+            if committed == 0:
+                round_report = self.advance_round()
+                report.events.extend(round_report.events)
+                rounds -= 1
+            else:
+                rounds -= committed
+        if target > self.now:
+            self.clock.advance_to(target)
+
+    def _fused_birth_run(self, limit: int, report: RoundReport) -> int:
+        """Commit the longest verified pure-birth prefix (≤ *limit* rounds).
+
+        Round ``k`` of the chunk births ``B_k`` (uniform ``d`` targets
+        among the ``m0 + k - 1`` nodes present) and examines the previous
+        grace node: its exam degree is its distinct drawn targets plus
+        one if ``B_k`` targeted it (for the pre-chunk grace node, its
+        live degree plus the same correction) — nothing else can have
+        changed it while no deaths occur.  Returns the number of rounds
+        committed (0 = the very first exam fails; the caller re-runs it
+        per-event).
+        """
+        W = int(limit)
+        m0 = self.num_alive()
+        d = self.d
+        pool = np.array(sorted(self.state.alive_ids()), dtype=np.int64)
+        next_id = self.state.peek_next_id()
+        highs = np.repeat(m0 + np.arange(W, dtype=np.int64), d)
+        offsets = self.rng.integers(0, highs).reshape(W, d)
+
+        # Exam degrees, entirely from the draws: distinct targets per
+        # newborn, plus the single possible in-link from the next round's
+        # newborn (pool index of B_{k-1} is m0 + k - 2).
+        sorted_offsets = np.sort(offsets, axis=1)
+        distinct = 1 + np.count_nonzero(
+            np.diff(sorted_offsets, axis=1) != 0, axis=1
+        )
+        passes = np.empty(W, dtype=bool)
+        grace = self._grace_id
+        grace_pos = int(np.searchsorted(pool, grace))
+        grace_degree = self.state.degree(grace) + int(
+            bool(np.any(offsets[0] == grace_pos))
+        )
+        passes[0] = grace_degree >= self.threshold
+        if W > 1:
+            hits = np.any(
+                offsets[1:] == (m0 + np.arange(W - 1, dtype=np.int64))[:, None],
+                axis=1,
+            )
+            passes[1:] = (distinct[:-1] + hits) >= self.threshold
+        failing = np.nonzero(~passes)[0]
+        committed = W if failing.size == 0 else int(failing[0])
+        if committed == 0:
+            return 0
+
+        node_ids = self.state.allocate_ids(committed)
+        if node_ids[0] != next_id:
+            raise SimulationError(
+                f"id drift: allocated {node_ids[0]}, expected {next_id}"
+            )
+        table = np.concatenate(
+            [pool, np.asarray(node_ids, dtype=np.int64)]
+        )
+        targets = table[offsets[:committed]]
+        times = np.arange(
+            self.round_number + 1,
+            self.round_number + committed + 1,
+            dtype=np.float64,
+        )
+        self.state.apply_birth_slots(node_ids, times, targets)
+        self.round_number += committed
+        self.clock.advance_to(float(self.round_number))
+        self._grace_id = node_ids[-1]
+        report.events.append(
+            EventRecord(time=self.now, kind=NodesBorn(node_ids=tuple(node_ids)))
+        )
+        return committed
 
     # ------------------------------------------------------------------
     # introspection

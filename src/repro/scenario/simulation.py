@@ -14,11 +14,15 @@ Two stepping modes:
   loops did — a scenario run is bit-identical to the pre-scenario code on
   the same seed.
 * **batched** (``churn_params={"batch": True}``): churn models exposing
-  ``advance_to_time_batched`` (the Poisson and general drivers) advance in
-  grouped ``apply_births``/``apply_deaths`` windows between observer
-  reads, keeping the hot loop on the array backend's vectorized path.
-  Same churn law, different seeded trajectory (see the drivers'
-  docstrings).
+  ``advance_to_time_batched`` advance in windows between observer reads,
+  keeping the hot loop on the array backend's vectorized path — grouped
+  ``apply_births``/``apply_deaths`` batches on the Poisson/general
+  drivers, the fused per-round churn kernel (``apply_round_batch``) on
+  the streaming-cadence ones.  Same churn law, different seeded
+  trajectory (see the drivers' docstrings).  ``fast_rounds=True`` on the
+  spec (or ``REPRO_FAST_ROUNDS=1`` in the environment) requests the same
+  stepping *advisorily*: drivers without a batched path fall back to
+  per-event instead of erroring.
 
 Observation windows build topology access **at most once each**: one
 :class:`~repro.core.csr.CSRView` shared by every due ``needs_view``
@@ -38,6 +42,7 @@ uninterrupted seeded run exactly.
 from __future__ import annotations
 
 import math
+import os
 from pathlib import Path
 from typing import Any, Iterable
 
@@ -325,7 +330,7 @@ class Simulation:
             rounds = max(float(self.spec.horizon) - self.rounds_completed, 0.0)
         if rounds < 0:
             raise ConfigurationError(f"rounds must be >= 0, got {rounds}")
-        if self.spec.churn_params.get("batch", False):
+        if self.spec.churn_params.get("batch", False) or self._fast_rounds_active():
             self._run_batched(float(rounds))
         else:
             if float(rounds) != int(rounds):
@@ -340,6 +345,19 @@ class Simulation:
             self._run_per_event(int(rounds))
         self._notify_finish()
         return self
+
+    def _fast_rounds_active(self) -> bool:
+        """Whether fused-window stepping is requested *and* available.
+
+        ``fast_rounds`` is advisory where ``churn_params['batch']`` is
+        mandatory: a driver without a batched path silently runs
+        per-event.  The ``REPRO_FAST_ROUNDS`` environment variable turns
+        the request on process-wide.
+        """
+        requested = self.spec.fast_rounds or os.environ.get(
+            "REPRO_FAST_ROUNDS", ""
+        ).strip().lower() in ("1", "true", "yes", "on")
+        return requested and self.network.supports_batched_advance
 
     def _dispatch(self, report: RoundReport) -> None:
         due: list[_ObserverFeed] = []

@@ -49,6 +49,7 @@ _SPEC_FIELDS = (
     "backend",
     "checkpoint_every",
     "checkpoint_dir",
+    "fast_rounds",
 )
 
 
@@ -86,6 +87,13 @@ class ScenarioSpec:
         checkpoint_dir: directory for cadence checkpoints (required when
             ``checkpoint_every`` > 0, unless supplied at session
             construction or through the ambient service options).
+        fast_rounds: opt into the fused churn kernels — inter-observation
+            gaps advance through the driver's batched window path when it
+            has one (``supports_batched_advance``), falling back to
+            per-event rounds otherwise.  Same churn law, different seeded
+            trajectory (like ``fast_warm``).  The ``REPRO_FAST_ROUNDS``
+            environment variable (``1``/``true``/``yes``/``on``) turns it
+            on process-wide without editing specs.
     """
 
     churn: str = "streaming"
@@ -101,6 +109,7 @@ class ScenarioSpec:
     backend: str | None = None
     checkpoint_every: int = 0
     checkpoint_dir: str | None = None
+    fast_rounds: bool = False
 
     def __post_init__(self) -> None:
         # JSON documents use null for "absent" (like backend), so None
@@ -154,6 +163,7 @@ class ScenarioSpec:
             )
         if self.checkpoint_dir is not None:
             object.__setattr__(self, "checkpoint_dir", str(self.checkpoint_dir))
+        object.__setattr__(self, "fast_rounds", bool(self.fast_rounds))
         make_policy(self)  # validates the policy name and its parameters
         validate_churn_params(self)  # churn param keys + policy/model fit
         if self.protocol is not None:
@@ -187,6 +197,7 @@ class ScenarioSpec:
             "backend": self.backend,
             "checkpoint_every": self.checkpoint_every,
             "checkpoint_dir": self.checkpoint_dir,
+            "fast_rounds": self.fast_rounds,
         }
 
     @classmethod

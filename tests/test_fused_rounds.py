@@ -1,0 +1,359 @@
+"""Fused streaming-round kernels: parity, partition invariance, events.
+
+The fused window path (`_advance_window_batched` on the streaming and
+threshold drivers) executes W death→regeneration→birth rounds with one
+batched backend write.  Its contract, tested here:
+
+* **Bit-identity across backends** — a seeded fused run produces the
+  same topology on the dict and array backends (the DictBackend
+  `apply_round_batch` is the reference implementation, consuming the
+  RNG draw-for-draw identically).
+* **Partition invariance** (streaming only) — the trajectory depends
+  only on the round sequence, never on how rounds are grouped into
+  windows: W=1 == W=7 == one window covering everything.  This is what
+  makes checkpoint-mid-window restore exact.  The threshold driver's
+  fused path discards speculative draws on a failed stopping-condition
+  exam, so it is deliberately *excluded* from partition tests.
+* **Law parity** — fused and per-event runs follow the same churn law
+  on distinct seeded trajectories (like ``fast_warm``), so degree
+  summaries, isolated fractions and population trajectories agree in
+  distribution.
+* **Coalesced events** — a fused window emits one ``NodesDied`` and one
+  ``NodesBorn`` record per chunk instead of per-round singles, and the
+  flattened id lists match the per-event law exactly (streaming ids are
+  deterministic: round r kills r−n−1 and births r−1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.edge_policy import NoRegenerationPolicy, RegenerationPolicy
+from repro.core.round_batch import WindowDrawPlan
+from repro.errors import ConfigurationError
+from repro.models.streaming import SDG, SDGR
+from repro.models.threshold import TSDG
+from repro.sim.events import NodesBorn, NodesDied
+from repro.util.rng import make_rng
+
+
+def snap_key(net):
+    """A comparable, order-independent topology fingerprint."""
+    snap = net.snapshot()
+    return sorted(
+        (node, tuple(sorted(snap.adjacency[node])), snap.out_slots[node])
+        for node in snap.nodes
+    )
+
+
+def fused(factory, n, d, seed, rounds, backend="array", window=None):
+    net = factory(n, d, seed=seed, backend=backend)
+    net.advance_to_time_batched(net.now + rounds, window=window)
+    return net
+
+
+def per_event(factory, n, d, seed, rounds, backend="array"):
+    net = factory(n, d, seed=seed, backend=backend)
+    net.run_rounds(rounds)
+    return net
+
+
+SHAPES = [(50, 3, 120), (7, 2, 40), (3, 1, 25)]
+
+
+class TestCrossBackendIdentity:
+    @pytest.mark.parametrize("factory", [SDG, SDGR], ids=["SDG", "SDGR"])
+    @pytest.mark.parametrize("n,d,rounds", SHAPES)
+    def test_fused_is_bit_identical_across_backends(
+        self, factory, n, d, rounds
+    ):
+        array_net = fused(factory, n, d, 42, rounds, backend="array")
+        dict_net = fused(factory, n, d, 42, rounds, backend="dict")
+        assert snap_key(array_net) == snap_key(dict_net)
+        array_net.state.check_invariants()
+        dict_net.state.check_invariants()
+
+    @pytest.mark.parametrize("factory", [SDG, SDGR], ids=["SDG", "SDGR"])
+    def test_fused_alive_set_matches_streaming_law(self, factory):
+        n, d, rounds = 50, 3, 120
+        net = fused(factory, n, d, 42, rounds)
+        assert net.num_alive() == n
+        assert net.round_number == n + rounds
+        assert sorted(net.state.alive_ids()) == list(
+            range(rounds, rounds + n)
+        )
+
+    def test_threshold_fused_is_bit_identical_across_backends(self):
+        nets = []
+        for backend in ("array", "dict"):
+            net = TSDG(50, 4, seed=7, backend=backend)
+            net.run_rounds(1)  # establish the first full sweep per-event
+            net.advance_to_time_batched(net.now + 200)
+            net.check_threshold_invariant()
+            net.state.check_invariants()
+            nets.append(net)
+        assert snap_key(nets[0]) == snap_key(nets[1])
+
+
+class TestWindowPartitionInvariance:
+    """Streaming fused trajectories are pure functions of the round
+    sequence: any window partition produces the identical topology."""
+
+    @pytest.mark.parametrize("factory", [SDG, SDGR], ids=["SDG", "SDGR"])
+    @pytest.mark.parametrize("n,d,rounds", SHAPES)
+    def test_single_round_windows_match_one_window(
+        self, factory, n, d, rounds
+    ):
+        reference = snap_key(fused(factory, n, d, 42, rounds))
+        assert snap_key(fused(factory, n, d, 42, rounds, window=1.0)) == (
+            reference
+        )
+        assert snap_key(fused(factory, n, d, 42, rounds, window=7.0)) == (
+            reference
+        )
+
+    @pytest.mark.parametrize("factory", [SDG, SDGR], ids=["SDG", "SDGR"])
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        splits=st.lists(st.integers(1, 30), min_size=1, max_size=6),
+    )
+    def test_arbitrary_splits_match_one_window(self, factory, seed, splits):
+        n, d = 20, 3
+        rounds = sum(splits)
+        reference = snap_key(fused(factory, n, d, seed, rounds))
+        net = factory(n, d, seed=seed, backend="array")
+        for span in splits:
+            net.advance_to_time_batched(net.now + span)
+        assert snap_key(net) == reference
+
+    def test_fused_matches_across_backends_per_window_size(self):
+        # The partition must not matter on either backend — guards the
+        # draw-ordering contract of both apply_round_batch variants.
+        for window in (1.0, 3.0, None):
+            a = fused(SDGR, 12, 2, 9, 31, backend="array", window=window)
+            b = fused(SDGR, 12, 2, 9, 31, backend="dict", window=window)
+            assert snap_key(a) == snap_key(b)
+
+
+class TestFallbacks:
+    def test_n2_regen_falls_back_to_per_event(self):
+        # SDGR's regeneration draw needs n >= 3 targets; n=2 must still
+        # advance correctly through the per-event path.
+        net = SDGR(2, 2, seed=1, backend="array")
+        net.advance_to_time_batched(net.now + 10)
+        net.state.check_invariants()
+        assert net.num_alive() == 2
+
+    def test_custom_policy_falls_back_to_per_event(self):
+        from repro.models.streaming import StreamingNetwork
+
+        class LoggingRegen(RegenerationPolicy):
+            """Overriding a churn hook disables the fused path."""
+
+            def handle_death(self, state, node_id, time, rng):
+                return super().handle_death(state, node_id, time, rng)
+
+        assert LoggingRegen(2).round_batch_regenerate is None
+        net = StreamingNetwork(10, LoggingRegen(2), seed=3, backend="array")
+        net.advance_to_time_batched(net.now + 20)
+        net.state.check_invariants()
+        assert net.num_alive() == 10
+
+    def test_policy_gates(self):
+        assert RegenerationPolicy(2).round_batch_regenerate is True
+        assert NoRegenerationPolicy(2).round_batch_regenerate is False
+
+
+class TestDistributionParity:
+    """Fused and per-event runs follow the same law on different seeded
+    trajectories; summary statistics agree across seed ensembles."""
+
+    def test_sdgr_mean_degree(self):
+        n, d, rounds = 200, 4, 400
+        deg_fused, deg_event = [], []
+        for seed in range(12):
+            f = fused(SDGR, n, d, seed, rounds)
+            e = per_event(SDGR, n, d, seed + 1000, rounds)
+            deg_fused.append(
+                np.mean([f.state.degree(i) for i in f.state.alive_ids()])
+            )
+            deg_event.append(
+                np.mean([e.state.degree(i) for i in e.state.alive_ids()])
+            )
+        assert abs(np.mean(deg_fused) - np.mean(deg_event)) < 0.15
+
+    def test_sdg_isolated_fraction(self):
+        n, d, rounds = 200, 4, 400
+        iso_fused, iso_event = [], []
+        for seed in range(12):
+            f = fused(SDG, n, d, seed, rounds)
+            e = per_event(SDG, n, d, seed + 1000, rounds)
+            iso_fused.append(
+                np.mean(
+                    [f.state.degree(i) == 0 for i in f.state.alive_ids()]
+                )
+            )
+            iso_event.append(
+                np.mean(
+                    [e.state.degree(i) == 0 for i in e.state.alive_ids()]
+                )
+            )
+        assert abs(np.mean(iso_fused) - np.mean(iso_event)) < 0.03
+
+    def test_threshold_population_trajectory(self):
+        pops_fused, pops_event = [], []
+        for seed in range(8):
+            f = TSDG(50, 4, threshold=4, seed=seed)
+            f.run_rounds(1)
+            f.advance_to_time_batched(f.now + 300)
+            e = TSDG(50, 4, threshold=4, seed=seed + 500)
+            e.run_rounds(301)
+            pops_fused.append(f.num_alive())
+            pops_event.append(e.num_alive())
+        # Same pure-growth law: populations track each other closely
+        # relative to their scale.
+        assert abs(np.mean(pops_fused) - np.mean(pops_event)) < (
+            0.1 * np.mean(pops_event)
+        )
+
+
+class TestCoalescedEvents:
+    def test_fused_window_emits_batched_records(self):
+        n, rounds = 20, 15
+        net = SDGR(n, 3, seed=5, backend="array")
+        report = net.advance_to_time_batched(net.now + rounds)
+        kinds = [type(ev.kind) for ev in report.events]
+        assert kinds == [NodesDied, NodesBorn]
+        # Streaming churn ids are deterministic: round r kills r-n-1 and
+        # births r-1, so a window starting at round n covers exactly:
+        assert report.deaths == list(range(rounds))
+        assert report.births == list(range(n, n + rounds))
+        assert report.start_time == pytest.approx(float(n))
+        assert report.end_time == pytest.approx(float(n + rounds))
+
+    def test_chunked_window_coalesces_per_chunk(self):
+        net = SDGR(20, 3, seed=5, backend="array")
+        report = net.advance_to_time_batched(net.now + 15, window=4.0)
+        assert all(
+            isinstance(ev.kind, (NodesDied, NodesBorn))
+            for ev in report.events
+        )
+        assert report.deaths == list(range(15))
+        assert report.births == list(range(20, 35))
+
+
+class TestWindowDrawPlan:
+    def test_validates_construction(self):
+        rng = make_rng(0)
+        with pytest.raises(ConfigurationError):
+            WindowDrawPlan(1, 2, 5, rng)
+        with pytest.raises(ConfigurationError):
+            WindowDrawPlan(10, 2, 0, rng)
+
+    def test_birth_overdraw_rejected(self):
+        plan = WindowDrawPlan(10, 2, 3, make_rng(0))
+        plan.take_birth(2)
+        plan.take_birth(1)
+        with pytest.raises(ConfigurationError):
+            plan.take_birth(1)
+
+    def test_regen_needs_three_nodes(self):
+        plan = WindowDrawPlan(2, 1, 2, make_rng(0))
+        with pytest.raises(ConfigurationError):
+            plan.take_regen(1)
+
+    def test_draw_ranges(self):
+        plan = WindowDrawPlan(10, 3, 4, make_rng(7))
+        births = plan.take_birth(4)
+        assert births.shape == (4, 3)
+        assert births.min() >= 0 and births.max() < 9
+        regen = plan.take_regen(100)
+        assert regen.min() >= 0 and regen.max() < 8
+
+
+class TestFastRoundsSimulation:
+    """The ``fast_rounds`` spec field routes Simulation.run through the
+    fused window path where the driver has one, per-event otherwise."""
+
+    def _spec(self, **overrides):
+        from repro.scenario import ScenarioSpec
+
+        defaults = dict(
+            churn="streaming",
+            policy="regen",
+            n=40,
+            d=3,
+            horizon=16,
+            seed=13,
+            fast_rounds=True,
+        )
+        defaults.update(overrides)
+        return ScenarioSpec(**defaults)
+
+    def test_spec_round_trips(self):
+        from repro.scenario import ScenarioSpec
+
+        spec = self._spec()
+        assert spec.fast_rounds is True
+        again = ScenarioSpec.from_json(spec.to_json())
+        assert again == spec and again.fast_rounds is True
+        assert ScenarioSpec().fast_rounds is False
+
+    def test_fast_rounds_runs_fused(self, backend_name):
+        from repro.scenario import Simulation
+
+        sim = Simulation(self._spec(backend=backend_name))
+        assert sim._fast_rounds_active()
+        sim.run()
+        assert sim.rounds_completed == 16
+        assert sim.network.num_alive() == 40
+        sim.state.check_invariants()
+
+    def test_env_var_turns_it_on(self, monkeypatch):
+        from repro.scenario import Simulation
+
+        spec = self._spec(fast_rounds=False)
+        assert not Simulation(spec)._fast_rounds_active()
+        monkeypatch.setenv("REPRO_FAST_ROUNDS", "1")
+        assert Simulation(spec)._fast_rounds_active()
+
+    def test_advisory_on_unbatched_driver(self):
+        # The adversarial driver has no fused path: fast_rounds falls
+        # back to per-event instead of erroring (unlike batch=True).
+        from repro.scenario import Simulation
+
+        spec = self._spec(
+            churn="adversarial", churn_params={"strategy": "max_degree"}
+        )
+        sim = Simulation(spec)
+        assert not sim._fast_rounds_active()
+        sim.run()
+        assert sim.rounds_completed == 16
+
+    def test_checkpoint_mid_window_restore_parity(
+        self, backend_name, tmp_path
+    ):
+        # Partition invariance makes a checkpoint taken at any round
+        # boundary exact: restore + finish is bit-identical to the
+        # uninterrupted fused run.
+        from repro.scenario import Simulation
+
+        observers = ("size", {"name": "degrees", "params": {"every": 4}})
+        spec = self._spec(backend=backend_name)
+        baseline = Simulation(spec, observers=observers).run()
+        partial = Simulation(spec, observers=observers)
+        partial._run_batched(7.0)  # not a multiple of any cadence
+        path = partial.save_checkpoint(tmp_path / "ck.json")
+        restored = Simulation.restore(path).run()
+        assert restored.rounds_completed == baseline.rounds_completed
+        assert restored.network.now == baseline.network.now
+        assert restored.results() == baseline.results()
+        assert restored.snapshot() == baseline.snapshot()
+        assert (
+            restored.network.rng.bit_generator.state
+            == baseline.network.rng.bit_generator.state
+        )

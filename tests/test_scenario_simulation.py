@@ -89,8 +89,12 @@ class TestSession:
             Simulation(spec, observers=[42])
 
     def test_batched_run_requires_support(self):
+        # The adversarial driver picks victims off the evolving topology
+        # and has no batched window path (streaming gained one in the
+        # fused-kernel work, so it no longer serves here).
         spec = ScenarioSpec(
-            churn="streaming", n=40, d=2, horizon=5, churn_params={"batch": True}
+            churn="adversarial", n=40, d=2, horizon=5,
+            churn_params={"batch": True, "strategy": "max_degree"},
         )
         with pytest.raises(ConfigurationError, match="no batched advance"):
             Simulation(spec).run()

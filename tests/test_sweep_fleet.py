@@ -240,7 +240,11 @@ class TestCrashRecovery:
         assert done_before == 3  # cells 0..2 (d=2) committed before the kill
         status = sweep_status(store_dir, submission)
         assert status.done == 3 and not status.complete
-        assert len(list(store.claims())) == 1  # the dead worker's claim
+        # The dead worker batch-claimed the whole grid up front (claims
+        # release cell-by-cell as results commit), so the mid-cell kill
+        # leaves the executing cell's claim plus the unexecuted rest of
+        # the batch — all expiring after one TTL.
+        assert len(list(store.claims())) == 3
 
         # Takeover: a healthy worker waits out the 0.5s TTL, claims the
         # dead worker's cell, and completes the grid.
